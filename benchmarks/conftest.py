@@ -1,0 +1,57 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Everything heavyweight (the full paper DSE flow, the one-hour reference
+simulations) is computed once per session and shared; each bench then
+times its own core computation with ``benchmark.pedantic`` and writes its
+regenerated artefact (table text or CSV series) into
+``benchmarks/results/`` so paper-vs-measured comparisons are inspectable
+after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.paper import run_paper_flow
+from repro.system.config import ORIGINAL_DESIGN, SystemConfig
+from repro.system.envelope import simulate
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One fixed seed for every bench: the whole harness is reproducible.
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    def _write(name: str, text: str) -> None:
+        (artifact_dir / name).write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def paper_outcome():
+    """The full section-V flow: D-optimal DOE, RSM fit, SA+GA optima."""
+    return run_paper_flow(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def original_result():
+    """One-hour reference simulation of the original design."""
+    return simulate(ORIGINAL_DESIGN, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_sa_result():
+    """One-hour simulation of the paper's published SA optimum."""
+    return simulate(SystemConfig(8e6, 60.0, 0.005), seed=BENCH_SEED)

@@ -1,0 +1,70 @@
+"""Ablation: envelope (accelerated) vs detailed (MNA) backend.
+
+The paper relies on an accelerated linearised simulation for hour-long
+runs (their ref [9]); our envelope model plays that role.  The bench
+compares net charging power between both backends on short windows and
+times one detailed window -- documenting the ~10^3-10^4x speed gap that
+motivates the acceleration.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.detailed import DetailedSimulator
+from repro.system.vibration import VibrationProfile
+from repro.units import mg_to_mps2
+
+WINDOW = 1.5  # seconds of simulated time per detailed run
+
+
+def _detailed_power(v_init: float) -> float:
+    parts = paper_system()
+    cfg = SystemConfig(clock_hz=4e6, watchdog_s=1e4, tx_interval_s=1e3)
+    sim = DetailedSimulator(
+        cfg, parts=parts, profile=VibrationProfile.constant(64.0), v_init=v_init
+    )
+    res = sim.run(WINDOW)
+    c = parts.store.capacitance
+    return (res.final_voltage**2 - v_init**2) * 0.5 * c / WINDOW
+
+
+def test_backend_agreement(benchmark, write_artifact):
+    parts = paper_system()
+    accel = mg_to_mps2(60.0)
+
+    rows = []
+    ratios = []
+    for v in (2.60, 2.80, 2.95):
+        t0 = time.perf_counter()
+        p_detail = _detailed_power(v)
+        wall = time.perf_counter() - t0
+        p_env = parts.microgenerator.charging_power(64.0, accel, v)
+        ratios.append(p_detail / p_env)
+        rows.append(
+            [
+                f"{v:.2f} V",
+                f"{p_env * 1e6:.0f} uW",
+                f"{p_detail * 1e6:.0f} uW",
+                f"{p_detail / p_env:.2f}",
+                f"{wall / WINDOW:.0f}x realtime",
+            ]
+        )
+
+    benchmark.pedantic(lambda: _detailed_power(2.8), rounds=1, iterations=1)
+
+    # Same order of magnitude across the operating window, and both
+    # backends agree charging power falls as the store fills.
+    assert all(0.3 < r < 3.0 for r in ratios)
+    detailed_powers = [float(r[2].split()[0]) for r in rows]
+    assert detailed_powers[0] > detailed_powers[-1]
+
+    text = format_table(
+        ["store voltage", "envelope", "detailed MNA", "ratio", "detailed cost"],
+        rows,
+        title="Backend agreement: net charging power at 64 Hz / 60 mg",
+    )
+    write_artifact("ablation_backend_agreement.txt", text)

@@ -1,0 +1,74 @@
+"""Ablation: throughput vs energy-reserve trade-off (extension).
+
+The single-objective optimum of Table VI drains every harvested joule
+into transmissions.  NSGA-II over (transmissions, final stored energy)
+exposes the frontier a deployment engineer actually chooses from; the
+bench regenerates it and checks the Table VI optimum sits at the
+throughput-heavy end.
+"""
+
+from repro.core.multiobjective import MultiObjectiveSimulation, explore_tradeoff
+from repro.core.objective import SimulationObjective
+from repro.core.report import format_table
+
+
+def test_throughput_reserve_tradeoff(benchmark, paper_outcome, write_artifact):
+    sim = MultiObjectiveSimulation(
+        objective=SimulationObjective(seed=1, horizon=3600.0)
+    )
+
+    def _explore():
+        return explore_tradeoff(
+            seed=1, population_size=16, n_generations=6, simulation=sim
+        )
+
+    entries, result = benchmark.pedantic(_explore, rounds=1, iterations=1)
+
+    assert len(entries) >= 2
+    tx = [e.transmissions for e in entries]
+    energy = [e.final_energy for e in entries]
+    # A genuine frontier: throughput and reserve anti-correlate.
+    assert tx == sorted(tx)
+    assert all(b <= a + 1e-9 for a, b in zip(energy, energy[1:]))
+    # The frontier's throughput end reaches the Table VI optimised scale.
+    assert max(tx) >= 0.8 * paper_outcome.best().simulated_value
+
+    rows = [
+        [e.config.describe(), f"{e.transmissions:.0f}", f"{e.final_energy:.3f}"]
+        for e in entries
+    ]
+    text = format_table(
+        ["configuration", "tx/hour", "final energy (J)"],
+        rows,
+        title=(
+            "Throughput vs reserve Pareto front "
+            f"({sim.n_simulations} simulations)"
+        ),
+    )
+    point, objs = result.knee_point()
+    text += f"\nknee point: {objs[0]:.0f} tx with {objs[1]:.3f} J reserved"
+    write_artifact("ablation_tradeoff.txt", text)
+
+
+def test_morris_screening(benchmark, write_artifact):
+    from repro.core.sensitivity import morris_screening
+
+    obj = SimulationObjective(seed=1, horizon=3600.0)
+
+    def _screen():
+        return morris_screening(objective=obj, n_trajectories=5, seed=1)
+
+    effects = benchmark.pedantic(_screen, rounds=1, iterations=1)
+    by_name = {e.name: e for e in effects}
+    # Fig. 4's message as a global statistic: x3 dominates.
+    assert by_name["tx_interval_s"].mu_star == max(e.mu_star for e in effects)
+
+    rows = [
+        [e.name, f"{e.mu_star:.1f}", f"{e.sigma:.1f}"] for e in effects
+    ]
+    text = format_table(
+        ["parameter", "mu* (tx per coded unit)", "sigma"],
+        rows,
+        title="Morris elementary-effects screening (global Fig. 4 complement)",
+    )
+    write_artifact("ablation_morris_screening.txt", text)

@@ -1,0 +1,34 @@
+"""Table I: system components powered by the energy harvester.
+
+The registry is metadata, so the bench checks fidelity to the published
+bill of materials and times the (trivial) registry render -- its presence
+keeps the "one bench per table" index complete.
+"""
+
+from repro.core.report import format_table
+from repro.system.components import COMPONENT_REGISTRY
+
+PAPER_TABLE_I = {
+    "microcontroller": ("PIC16F884", "Microchip"),
+    "accelerometer": ("LIS3L06AL", "STMicroelectronics"),
+    "sensor_node": ("eZ430-RF2500", "Texas Instruments"),
+}
+
+
+def _render() -> str:
+    rows = [
+        [name, entry["type"], entry["make"]]
+        for name, entry in sorted(COMPONENT_REGISTRY.items())
+    ]
+    return format_table(
+        ["component", "type", "make"], rows, title="Table I (reproduced)"
+    )
+
+
+def test_table1_component_registry(benchmark, write_artifact):
+    text = benchmark.pedantic(_render, rounds=5, iterations=1)
+    for name, (ctype, make) in PAPER_TABLE_I.items():
+        assert COMPONENT_REGISTRY[name]["type"] == ctype
+        assert COMPONENT_REGISTRY[name]["make"] == make
+    assert "Haydon" in COMPONENT_REGISTRY["linear_actuator"]["make"]
+    write_artifact("table1_components.txt", text)

@@ -1,0 +1,54 @@
+"""Table II: sensor node behaviour based on supercapacitor voltage.
+
+Regenerates the policy table by *driving the simulator* through the three
+bands and measuring actual transmission intervals, rather than reading the
+policy constants back.
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.vibration import VibrationProfile
+
+
+def _measured_interval(v_init: float, horizon: float = 360.0) -> float:
+    """Observed mean transmission interval at a held storage voltage."""
+    parts = paper_system(v_init=v_init)
+    # Large watchdog: no tuning; detuned input: no charging, so the band
+    # is held by the (slow) sleep discharge alone.
+    cfg = SystemConfig(clock_hz=4e6, watchdog_s=1e5, tx_interval_s=5.0)
+    sim = EnvelopeSimulator(
+        cfg, parts=parts, profile=VibrationProfile.constant(74.0), seed=0,
+        record_traces=False,
+    )
+    res = sim.run(horizon)
+    if res.transmissions == 0:
+        return float("inf")
+    return horizon / res.transmissions
+
+
+def _rows():
+    below = _measured_interval(2.60)
+    mid = _measured_interval(2.75)
+    fast = _measured_interval(2.85)
+    return below, mid, fast
+
+
+def test_table2_policy_bands(benchmark, write_artifact):
+    below, mid, fast = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    assert below == float("inf")  # paper: no transmission below 2.7 V
+    assert 50.0 <= mid <= 75.0  # paper: every 1 minute between 2.7-2.8 V
+    assert 4.5 <= fast <= 6.0  # paper: every 5 s (original design) above 2.8 V
+    text = format_table(
+        ["supercap voltage", "paper interval", "measured interval (s)"],
+        [
+            ["below 2.7 V", "no transmission", "no transmission"],
+            ["2.7 - 2.8 V", "60 s", f"{mid:.1f}"],
+            ["above 2.8 V", "5 s (parameter)", f"{fast:.2f}"],
+        ],
+        title="Table II (reproduced by simulation)",
+    )
+    write_artifact("table2_node_policy.txt", text)

@@ -1,0 +1,56 @@
+"""Table III: current draw of the sensor node, and the eq. 8 resistances.
+
+Regenerates the characterisation: per-phase currents, the per-transmission
+energy at the 2.8 V rail, and the equivalent resistances.
+"""
+
+from repro.core.report import format_table
+from repro.node.ez430 import SensorNode
+
+PAPER = {
+    "sleep_current": 0.5e-6,
+    "wakeup": (1e-3, 4.5e-3),
+    "sensing": (1.5e-3, 13.4e-3),
+    "transmission": (2e-3, 26.8e-3),
+    "energy_per_tx": 227e-6,
+    "r_transmit": 167.0,
+    "r_sleep": 5.8e6,
+}
+
+
+def _characterise():
+    node = SensorNode()
+    e_tx = node.transmission_energy(2.8)
+    r_tx, r_sleep = node.equivalent_resistances(2.8)
+    return node, e_tx, r_tx, r_sleep
+
+
+def test_table3_current_draw(benchmark, write_artifact):
+    node, e_tx, r_tx, r_sleep = benchmark.pedantic(
+        _characterise, rounds=20, iterations=1
+    )
+    p = node.phases
+    assert p.wakeup_time == PAPER["wakeup"][0]
+    assert p.wakeup_current == PAPER["wakeup"][1]
+    assert p.sensing_current == PAPER["sensing"][1]
+    assert p.transmit_current == PAPER["transmission"][1]
+    # Energy per transmission within 5% of the paper's 227 uJ.
+    assert abs(e_tx - PAPER["energy_per_tx"]) / PAPER["energy_per_tx"] < 0.05
+    # eq. 8 equivalent resistances.
+    assert abs(r_tx - PAPER["r_transmit"]) / PAPER["r_transmit"] < 0.05
+    assert abs(r_sleep - PAPER["r_sleep"]) / PAPER["r_sleep"] < 0.05
+
+    text = format_table(
+        ["operation", "time", "current", "paper"],
+        [
+            ["sleep", "-", f"{node.sleep_current * 1e6:.1f} uA", "0.5 uA"],
+            ["wake-up", "1 ms", f"{p.wakeup_current * 1e3:.1f} mA", "4.5 mA"],
+            ["sensing", "1.5 ms", f"{p.sensing_current * 1e3:.1f} mA", "13.4 mA"],
+            ["transmission", "2 ms", f"{p.transmit_current * 1e3:.1f} mA", "26.8 mA"],
+            ["energy/tx @2.8V", "4.5 ms", f"{e_tx * 1e6:.0f} uJ", "227 uJ"],
+            ["R transmit (eq.8)", "-", f"{r_tx:.0f} ohm", "167 ohm"],
+            ["R sleep (eq.8)", "-", f"{r_sleep / 1e6:.1f} Mohm", "5.8 Mohm"],
+        ],
+        title="Table III (reproduced)",
+    )
+    write_artifact("table3_node_currents.txt", text)

@@ -1,0 +1,39 @@
+"""Table V: the optimisation parameter space and its coded variables."""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.system.config import paper_parameter_space
+
+PAPER_RANGES = {
+    "clock_hz": (125e3, 8e6, "x1"),
+    "watchdog_s": (60.0, 600.0, "x2"),
+    "tx_interval_s": (0.005, 10.0, "x3"),
+}
+
+
+def _build():
+    space = paper_parameter_space()
+    coded_low = space.to_coded([p.low for p in space.parameters])
+    coded_high = space.to_coded([p.high for p in space.parameters])
+    return space, coded_low, coded_high
+
+
+def test_table5_parameter_space(benchmark, write_artifact):
+    space, coded_low, coded_high = benchmark.pedantic(
+        _build, rounds=20, iterations=1
+    )
+    assert np.allclose(coded_low, -1.0)
+    assert np.allclose(coded_high, 1.0)
+    rows = []
+    for p in space.parameters:
+        low, high, symbol = PAPER_RANGES[p.name]
+        assert (p.low, p.high) == (low, high)
+        assert p.coded_symbol == symbol
+        rows.append([p.name, f"{p.low:g} - {p.high:g}", p.unit, p.coded_symbol])
+    text = format_table(
+        ["parameter", "value range", "unit", "coded symbol"],
+        rows,
+        title="Table V (reproduced)",
+    )
+    write_artifact("table5_parameter_space.txt", text)

@@ -1,0 +1,62 @@
+"""Table VI: optimisation results -- the paper's headline.
+
+Paper values: original 405 transmissions/hour; Simulated Annealing
+optimum 899 (8 MHz / 60 s / 0.005 s); Genetic Algorithm optimum 894
+(125 kHz / 600 s / 3.065 s) -- i.e. both global optimisers roughly
+*double* the figure of merit.  The bench regenerates the table from our
+flow and asserts the shape: >=1.6x improvement, SA and GA within 25% of
+each other, and both optima at sub-second transmission intervals.
+"""
+
+from repro.core.report import render_table_vi
+
+PAPER_ORIGINAL = 405
+PAPER_SA = 899
+PAPER_GA = 894
+
+
+def test_table6_optimisation(benchmark, paper_outcome, write_artifact):
+    text = benchmark.pedantic(
+        lambda: render_table_vi(paper_outcome), rounds=10, iterations=1
+    )
+
+    original = paper_outcome.original_transmissions
+    values = {e.method: e.simulated_value for e in paper_outcome.optima}
+    sa = values["simulated-annealing"]
+    ga = values["genetic-algorithm"]
+
+    # Shape checks against the published table:
+    assert 300 <= original <= 600  # paper: 405
+    assert sa / original >= 1.6 and ga / original >= 1.6  # paper: ~2.2x
+    assert abs(sa - ga) <= 0.25 * max(sa, ga)  # paper: 899 vs 894
+    for entry in paper_outcome.optima:
+        assert entry.config.tx_interval_s < 1.0  # both optima drive x3 down
+
+    text += (
+        f"\n\npaper:  original {PAPER_ORIGINAL}, SA {PAPER_SA}, GA {PAPER_GA}"
+        f" (2.22x)\nours:   original {original:.0f}, SA {sa:.0f}, GA {ga:.0f}"
+        f" ({max(sa, ga) / original:.2f}x)"
+    )
+    write_artifact("table6_optimisation.txt", text)
+
+
+def test_table6_simulating_papers_published_optimum(
+    benchmark, original_result, paper_sa_result, write_artifact
+):
+    """Replay the paper's own SA configuration through our simulator."""
+
+    def _ratio():
+        return paper_sa_result.transmissions / original_result.transmissions
+
+    ratio = benchmark.pedantic(_ratio, rounds=10, iterations=1)
+    # The paper's published optimum must also roughly double our original.
+    assert ratio >= 1.5
+    write_artifact(
+        "table6_paper_configs_replay.txt",
+        "paper configurations replayed through our simulator\n"
+        f"original (4 MHz/320 s/5 s):      {original_result.transmissions} tx "
+        f"(paper: {PAPER_ORIGINAL})\n"
+        f"paper SA (8 MHz/60 s/0.005 s):   {paper_sa_result.transmissions} tx "
+        f"(paper: {PAPER_SA})\n"
+        f"ratio: {ratio:.2f}x (paper: {PAPER_SA / PAPER_ORIGINAL:.2f}x)",
+    )

@@ -1,0 +1,76 @@
+"""Harvester characterisation: the shaker-table curves, from the models.
+
+Prints the calibrated device's personality sheet:
+
+1. the tuning curve (actuator position -> resonant frequency),
+2. the delivered-power resonance peak and its bandwidth,
+3. power vs storage voltage (mechanical-cap plateau and Thevenin taper),
+4. an ASCII rendering of the (frequency, position) harvest map whose
+   ridge is exactly the LUT the microcontroller stores.
+
+Run:  python examples/harvester_characterization.py
+"""
+
+import numpy as np
+
+from repro.harvester.characterization import (
+    harvest_map,
+    power_frequency_curve,
+    power_voltage_curve,
+    resonance_bandwidth,
+    tuning_curve,
+)
+from repro.system.components import paper_microgenerator
+from repro.units import mg_to_mps2
+
+ACCEL = mg_to_mps2(60.0)
+
+
+def main() -> None:
+    micro = paper_microgenerator()
+    pos_64 = micro.tuning_map.position_for_frequency(64.0)
+    micro.actuator.steps = micro.actuator.steps_for_position(pos_64)
+
+    print("== tuning curve (position -> resonant frequency) ==")
+    positions, freqs = tuning_curve(micro, n_points=9)
+    for p, f in zip(positions, freqs):
+        print(f"  position {p:6.1f}  ->  {f:6.2f} Hz")
+
+    print("\n== resonance peak at position", pos_64, "(tuned to 64 Hz) ==")
+    f_axis, p_axis = power_frequency_curve(micro, ACCEL, 2.65)
+    peak = p_axis.max()
+    print(f"  peak delivered power: {peak * 1e6:.0f} uW at "
+          f"{f_axis[np.argmax(p_axis)]:.2f} Hz")
+    bw = resonance_bandwidth(micro, ACCEL, 2.65, position=pos_64)
+    print(f"  half-power bandwidth: {bw * 1e3:.0f} mHz "
+          "(why 8-bit tuning resolution is needed)")
+    for df in (0.1, 0.3, 1.0, 5.0):
+        p = micro.envelope.charging_power(64.0 + df, ACCEL, pos_64, 2.65)
+        print(f"  detuned by {df:>4.1f} Hz: {p * 1e6:6.1f} uW "
+              f"({100 * p / peak:5.1f}% of peak)")
+
+    print("\n== power vs storage voltage at resonance ==")
+    volts, powers = power_voltage_curve(
+        micro, 64.0, ACCEL, position=pos_64,
+        voltages=np.linspace(1.0, 3.6, 14),
+    )
+    for v, p in zip(volts, powers):
+        bar = "#" * int(p * 1e6 / 10)
+        print(f"  {v:4.2f} V  {p * 1e6:6.1f} uW  {bar}")
+
+    print("\n== harvest map: frequency (rows) x position (cols), uW ==")
+    freqs, poss, surface = harvest_map(
+        micro, ACCEL, 2.65,
+        frequencies=np.linspace(62.0, 76.0, 8),
+        positions=np.linspace(0, 255, 16),
+    )
+    header = "        " + " ".join(f"{int(p):4d}" for p in poss)
+    print(header)
+    for i, f in enumerate(freqs):
+        cells = " ".join(f"{surface[i, j] * 1e6:4.0f}" for j in range(len(poss)))
+        print(f"  {f:5.1f}  {cells}")
+    print("\nthe ridge of that surface is the MCU's frequency->position LUT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Tuning demo: watch Algorithms 1-3 track a changing vibration frequency.
+
+Simulates two hours with an aggressive vibration profile (a +-5 Hz step
+every 10 minutes) and prints a timeline of every watchdog wake-up: what
+the MCU measured, whether it retuned, how many coarse/fine moves it made
+and what each session cost in energy.  Ends with the harvester's energy
+ledger.
+
+Run:  python examples/tuning_demo.py
+"""
+
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.vibration import VibrationProfile, VibrationSegment
+from repro.units import mg_to_mps2
+
+
+def sawtooth_profile() -> VibrationProfile:
+    """64 -> 69 -> 74 -> 69 -> 64 ... Hz, stepping every 10 minutes."""
+    accel = mg_to_mps2(60.0)
+    freqs = [64.0, 69.0, 74.0, 69.0, 64.0, 69.0, 74.0, 69.0, 64.0, 69.0, 74.0, 69.0]
+    segments = [
+        VibrationSegment(i * 600.0, f, accel) for i, f in enumerate(freqs)
+    ]
+    return VibrationProfile(segments)
+
+
+def main() -> None:
+    parts = paper_system(v_init=2.85)
+    config = SystemConfig(clock_hz=4e6, watchdog_s=120.0, tx_interval_s=5.0)
+    sim = EnvelopeSimulator(config, parts=parts, profile=sawtooth_profile(), seed=7)
+    result = sim.run(7200.0)
+
+    print("wake-up timeline (one line per watchdog event):")
+    print(f"{'t (s)':>8} {'f_meas':>8} {'opt':>4} {'pos':>4} "
+          f"{'coarse':>6} {'fine':>4} {'cost (mJ)':>10}  note")
+    for ev in result.tuning_events:
+        r = ev.result
+        if r.skipped_low_energy:
+            note = "skipped: storage below 2.6 V"
+            print(f"{ev.time:8.0f} {'-':>8} {'-':>4} {'-':>4} "
+                  f"{'-':>6} {'-':>4} {ev.energy * 1e3:10.2f}  {note}")
+            continue
+        note = "retuned" if r.retuned else "already on target"
+        print(
+            f"{ev.time:8.0f} {r.measured_frequency:8.3f} {r.optimum_position:>4} "
+            f"{r.initial_position:>4} {r.coarse_iterations:>6} {r.fine_steps:>4} "
+            f"{ev.energy * 1e3:10.2f}  {note}"
+        )
+
+    print("\nrun summary:")
+    print(result.summary())
+
+    retunes = result.retune_count()
+    print(
+        f"\nthe controller retuned {retunes} times across "
+        f"{len(sawtooth_profile().segments) - 1} frequency steps; "
+        f"tuning overhead was "
+        f"{result.breakdown.tuning_overhead * 1e3:.0f} mJ of "
+        f"{result.breakdown.harvested * 1e3:.0f} mJ harvested"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: reproduction of "Response-surface-based design space exploration
+and optimisation of wireless sensor nodes with tunable energy harvesters"
+(Wang et al., DATE 2012).
+
+The library has three layers:
+
+1. **Simulation substrates** -- an event-driven mixed-signal kernel
+   (:mod:`repro.sim`), a nonlinear analogue circuit solver
+   (:mod:`repro.analog`) and physical-domain models
+   (:mod:`repro.mech`, :mod:`repro.harvester`).
+2. **System model** -- the complete harvester-powered wireless sensor node
+   (:mod:`repro.digital`, :mod:`repro.node`, :mod:`repro.control`,
+   :mod:`repro.system`), runnable either as a detailed co-simulation or as
+   the fast envelope model used for hour-long runs.
+3. **Methodology** -- response-surface modelling (:mod:`repro.rsm`), design
+   of experiments (:mod:`repro.doe`), global optimisers
+   (:mod:`repro.optimize`) and the end-to-end design-space-exploration
+   workflow (:mod:`repro.core`), which is the paper's contribution.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,79 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit about a DC operating point and solves the complex
+system ``(G + jB(omega)) x = b_ac`` over a frequency sweep.  The harvester
+package uses this to extract the microgenerator's electrical frequency
+response and to validate the analytic envelope model against the detailed
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analog.dc import operating_point
+from repro.analog.mna import MnaSystem
+from repro.errors import SingularMatrixError
+
+
+class AcResult:
+    """Complex node responses over a frequency sweep."""
+
+    def __init__(self, system: MnaSystem, frequencies: np.ndarray, solutions: np.ndarray):
+        self.system = system
+        #: Sweep frequencies in Hz.
+        self.frequencies = frequencies
+        #: Complex solution matrix, shape (n_freq, n_unknowns).
+        self.solutions = solutions
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of ``node`` across the sweep."""
+        idx = self.system.node_index(node)
+        if idx < 0:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.solutions[:, idx]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        """``|V(node)|`` across the sweep."""
+        return np.abs(self.voltage(node))
+
+    def phase(self, node: str) -> np.ndarray:
+        """Phase of ``V(node)`` in radians across the sweep."""
+        return np.angle(self.voltage(node))
+
+
+def ac_analysis(
+    system: MnaSystem,
+    frequencies: Sequence[float],
+    x_op: Optional[np.ndarray] = None,
+) -> AcResult:
+    """Run an AC sweep.
+
+    Parameters
+    ----------
+    frequencies:
+        Sweep points in Hz.
+    x_op:
+        Operating point to linearise about; computed via
+        :func:`repro.analog.dc.operating_point` when omitted.
+    """
+    if x_op is None:
+        x_op = operating_point(system)
+    freqs = np.asarray(list(frequencies), dtype=float)
+    n = system.size
+    solutions = np.zeros((len(freqs), n), dtype=complex)
+    for i, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        G = np.zeros((n, n), dtype=complex)
+        b = np.zeros(n, dtype=complex)
+        for comp in system.circuit.components:
+            comp.stamp_ac(G, b, omega, x_op)
+        try:
+            solutions[i] = np.linalg.solve(G, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"AC matrix singular at {f:.6g} Hz: {exc}"
+            ) from exc
+    return AcResult(system, freqs, solutions)

@@ -1,0 +1,152 @@
+"""Component base class and the stamping context.
+
+Every analogue element implements :class:`Component`: it names its terminal
+nodes, may claim *extra* unknowns (branch currents, mechanical states) and
+stamps its contribution into the MNA system each Newton iteration.
+
+The stamp context :class:`Stamps` exposes:
+
+- ``G`` / ``b`` -- the (dense) Jacobian matrix and right-hand side,
+- ``x`` -- the current Newton iterate,
+- ``x_prev`` -- the accepted solution of the previous timestep,
+- ``t`` / ``dt`` -- current time and step size,
+- ``mode`` -- ``"dc"`` (capacitors open, inductors short) or ``"tran"``,
+- ``method`` -- ``"be"`` (backward Euler) or ``"trap"`` (trapezoidal).
+
+Index ``-1`` denotes the ground node; all stamping helpers silently skip it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+MODE_DC = "dc"
+MODE_TRAN = "tran"
+METHOD_BE = "be"
+METHOD_TRAP = "trap"
+
+
+class Stamps:
+    """Mutable MNA assembly buffers handed to every component's ``stamp``."""
+
+    def __init__(
+        self,
+        size: int,
+        x: np.ndarray,
+        x_prev: np.ndarray,
+        t: float,
+        dt: float,
+        mode: str = MODE_TRAN,
+        method: str = METHOD_TRAP,
+        gmin: float = 0.0,
+    ):
+        self.G = np.zeros((size, size))
+        self.b = np.zeros(size)
+        self.x = x
+        self.x_prev = x_prev
+        self.t = t
+        self.dt = dt
+        self.mode = mode
+        self.method = method
+        self.gmin = gmin
+
+    # -- helpers ----------------------------------------------------------
+
+    def v(self, index: int) -> float:
+        """Voltage (or extra unknown) of the current iterate; ground is 0 V."""
+        return 0.0 if index < 0 else float(self.x[index])
+
+    def v_prev(self, index: int) -> float:
+        """Previous-timestep value of an unknown; ground is 0 V."""
+        return 0.0 if index < 0 else float(self.x_prev[index])
+
+    def add_G(self, row: int, col: int, value: float) -> None:
+        """Accumulate into the Jacobian, skipping ground rows/columns."""
+        if row >= 0 and col >= 0:
+            self.G[row, col] += value
+
+    def add_b(self, row: int, value: float) -> None:
+        """Accumulate into the right-hand side, skipping the ground row."""
+        if row >= 0:
+            self.b[row] += value
+
+    def stamp_conductance(self, p: int, n: int, g: float) -> None:
+        """Stamp a two-terminal conductance ``g`` between nodes ``p`` and ``n``."""
+        self.add_G(p, p, g)
+        self.add_G(n, n, g)
+        self.add_G(p, n, -g)
+        self.add_G(n, p, -g)
+
+    def stamp_current_source(self, p: int, n: int, current: float) -> None:
+        """Stamp an independent current flowing from node ``p`` to node ``n``."""
+        self.add_b(p, -current)
+        self.add_b(n, current)
+
+
+class Component:
+    """Base class for all analogue elements.
+
+    Subclasses set ``self._nodes`` (terminal node names, in order) and
+    override :meth:`stamp`.  Elements with branch currents or internal
+    states override :meth:`n_extras` and use the indices handed to
+    :meth:`bind`.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise NetlistError("component name must be non-empty")
+        self.name = name
+        self._nodes = tuple(nodes)
+        self.node_idx: Tuple[int, ...] = ()
+        self.extra_idx: Tuple[int, ...] = ()
+
+    # -- netlist interface --------------------------------------------------
+
+    def node_names(self) -> Tuple[str, ...]:
+        """Terminal node names in declaration order."""
+        return self._nodes
+
+    def n_extras(self) -> int:
+        """Number of extra unknowns (branch currents / internal states)."""
+        return 0
+
+    def bind(self, node_idx: Sequence[int], extra_idx: Sequence[int]) -> None:
+        """Receive the matrix indices assigned by the MNA system."""
+        self.node_idx = tuple(node_idx)
+        self.extra_idx = tuple(extra_idx)
+
+    # -- numerical interface --------------------------------------------------
+
+    def stamp(self, st: Stamps) -> None:
+        """Accumulate this element's contribution into ``st``."""
+        raise NotImplementedError
+
+    def stamp_ac(self, G: np.ndarray, b: np.ndarray, omega: float, x_op: np.ndarray) -> None:
+        """Stamp the small-signal (complex) system about operating point ``x_op``.
+
+        The default is a zero contribution, correct for elements that are
+        purely resistive *and* already captured by their DC linearisation --
+        subclasses with reactive or source behaviour override this.
+        """
+
+    def is_nonlinear(self) -> bool:
+        """Whether Newton iteration must re-stamp this element each iterate."""
+        return False
+
+    def limit_update(self, x_new: np.ndarray, x_old: np.ndarray) -> None:
+        """Damp the Newton update in place (junction limiting).  Optional."""
+
+    def update_state(self, x: np.ndarray, x_prev: np.ndarray, dt: float, method: str) -> None:
+        """Commit internal companion-model state after an accepted timestep."""
+
+    def initial_extras(self) -> List[float]:
+        """Initial values for this component's extra unknowns."""
+        return [0.0] * self.n_extras()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        nodes = ",".join(self._nodes)
+        return f"{type(self).__name__}({self.name!r}, nodes=[{nodes}])"

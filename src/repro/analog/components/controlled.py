@@ -1,0 +1,162 @@
+"""Controlled sources: VCVS, VCCS, CCVS, CCCS.
+
+The four classic dependent sources complete the linear component library.
+The system model itself only needs them indirectly (the electromechanical
+generator is in effect a pair of controlled sources), but behavioural
+modelling of amplifiers, regulators and sensor front-ends -- natural
+extensions around the paper's power path -- is impossible without them.
+
+Conventions: controlling voltage is ``v(cp) - v(cn)``; controlling current
+is the branch current of a named :class:`VoltageSource`-like element (one
+that owns a branch-current unknown).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analog.components.base import Component, Stamps
+from repro.errors import NetlistError
+
+
+class Vcvs(Component):
+    """Voltage-controlled voltage source: ``v(p,n) = gain * v(cp,cn)``."""
+
+    def __init__(self, name: str, p: str, n: str, cp: str, cn: str, gain: float):
+        super().__init__(name, (p, n, cp, cn))
+        self.gain = float(gain)
+
+    def n_extras(self) -> int:
+        return 1
+
+    def stamp(self, st: Stamps) -> None:
+        p, n, cp, cn = self.node_idx
+        (k,) = self.extra_idx
+        st.add_G(p, k, 1.0)
+        st.add_G(n, k, -1.0)
+        # Branch equation: v_p - v_n - gain*(v_cp - v_cn) = 0
+        st.add_G(k, p, 1.0)
+        st.add_G(k, n, -1.0)
+        st.add_G(k, cp, -self.gain)
+        st.add_G(k, cn, self.gain)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n, cp, cn = self.node_idx
+        (k,) = self.extra_idx
+        for row, col, val in (
+            (p, k, 1.0),
+            (n, k, -1.0),
+            (k, p, 1.0),
+            (k, n, -1.0),
+            (k, cp, -self.gain),
+            (k, cn, self.gain),
+        ):
+            if row >= 0 and col >= 0:
+                G[row, col] += val
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current through the controlled source (p -> n)."""
+        return float(x[self.extra_idx[0]])
+
+
+class Vccs(Component):
+    """Voltage-controlled current source: ``i(p->n) = gm * v(cp,cn)``."""
+
+    def __init__(self, name: str, p: str, n: str, cp: str, cn: str, gm: float):
+        super().__init__(name, (p, n, cp, cn))
+        self.gm = float(gm)
+
+    def stamp(self, st: Stamps) -> None:
+        p, n, cp, cn = self.node_idx
+        st.add_G(p, cp, self.gm)
+        st.add_G(p, cn, -self.gm)
+        st.add_G(n, cp, -self.gm)
+        st.add_G(n, cn, self.gm)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n, cp, cn = self.node_idx
+        for row, col, val in (
+            (p, cp, self.gm),
+            (p, cn, -self.gm),
+            (n, cp, -self.gm),
+            (n, cn, self.gm),
+        ):
+            if row >= 0 and col >= 0:
+                G[row, col] += val
+
+
+class Ccvs(Component):
+    """Current-controlled voltage source: ``v(p,n) = r * i(control)``.
+
+    ``control`` must be a component owning a branch-current unknown
+    (a :class:`~repro.analog.components.sources.VoltageSource`, an
+    :class:`~repro.analog.components.passives.Inductor`, another
+    controlled voltage source...).
+    """
+
+    def __init__(self, name: str, p: str, n: str, control: Component, r: float):
+        super().__init__(name, (p, n))
+        if control.n_extras() < 1:
+            raise NetlistError(
+                f"CCVS {name!r}: control element {control.name!r} has no "
+                "branch-current unknown"
+            )
+        self.control = control
+        self.r = float(r)
+
+    def n_extras(self) -> int:
+        return 1
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        kc = self.control.extra_idx[0]
+        st.add_G(p, k, 1.0)
+        st.add_G(n, k, -1.0)
+        st.add_G(k, p, 1.0)
+        st.add_G(k, n, -1.0)
+        st.add_G(k, kc, -self.r)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        kc = self.control.extra_idx[0]
+        for row, col, val in (
+            (p, k, 1.0),
+            (n, k, -1.0),
+            (k, p, 1.0),
+            (k, n, -1.0),
+            (k, kc, -self.r),
+        ):
+            if row >= 0 and col >= 0:
+                G[row, col] += val
+
+
+class Cccs(Component):
+    """Current-controlled current source: ``i(p->n) = gain * i(control)``."""
+
+    def __init__(self, name: str, p: str, n: str, control: Component, gain: float):
+        super().__init__(name, (p, n))
+        if control.n_extras() < 1:
+            raise NetlistError(
+                f"CCCS {name!r}: control element {control.name!r} has no "
+                "branch-current unknown"
+            )
+        self.control = control
+        self.gain = float(gain)
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        kc = self.control.extra_idx[0]
+        st.add_G(p, kc, self.gain)
+        st.add_G(n, kc, -self.gain)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        kc = self.control.extra_idx[0]
+        if p >= 0:
+            G[p, kc] += self.gain
+        if n >= 0:
+            G[n, kc] += -self.gain

@@ -1,0 +1,142 @@
+"""Shockley diode with Newton junction limiting.
+
+The diode is the only strongly nonlinear element in the paper's system (the
+rectifying bridge between the microgenerator coil and the supercapacitor).
+The model is the standard exponential law
+
+    ``i = Is (exp(v / (n Vt)) - 1) + gmin * v``
+
+with two numerical safeguards used by production circuit simulators:
+
+- the exponential is linearised above a critical voltage so a wild Newton
+  iterate cannot overflow, and
+- :meth:`Diode.limit_update` applies SPICE-style ``pnjlim`` damping to the
+  junction voltage between Newton iterations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analog.components.base import Component, Stamps
+from repro.errors import NetlistError
+from repro.units import thermal_voltage
+
+
+class Diode(Component):
+    """PN junction diode between anode ``p`` and cathode ``n``.
+
+    Parameters
+    ----------
+    saturation_current:
+        ``Is`` in amps (default 1e-12, a small-signal silicon diode; the
+        rectifier bench uses Schottky-like 1e-8 for a lower knee).
+    emission_coefficient:
+        Ideality factor ``n`` (default 1.5).
+    temperature_kelvin:
+        Junction temperature for ``Vt``.
+    """
+
+    #: Junction voltage above which the exponential is linearised.
+    _EXP_LIMIT = 40.0
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        saturation_current: float = 1e-12,
+        emission_coefficient: float = 1.5,
+        temperature_kelvin: float = 300.15,
+    ):
+        super().__init__(name, (p, n))
+        if saturation_current <= 0.0:
+            raise NetlistError(f"diode {name!r}: saturation current must be > 0")
+        if emission_coefficient <= 0.0:
+            raise NetlistError(f"diode {name!r}: emission coefficient must be > 0")
+        self.isat = float(saturation_current)
+        self.nvt = float(emission_coefficient) * thermal_voltage(temperature_kelvin)
+        #: Critical voltage used by the junction limiter.
+        self.vcrit = self.nvt * math.log(self.nvt / (math.sqrt(2.0) * self.isat))
+
+    # -- device equations ------------------------------------------------------
+
+    def current_and_conductance(self, vd: float) -> "tuple[float, float]":
+        """Return ``(i, di/dv)`` with the overflow-safe exponential."""
+        arg = vd / self.nvt
+        if arg > self._EXP_LIMIT:
+            # Linearise beyond the limit: continue with the tangent.
+            e = math.exp(self._EXP_LIMIT)
+            i = self.isat * (e * (1.0 + (arg - self._EXP_LIMIT)) - 1.0)
+            g = self.isat * e / self.nvt
+        else:
+            e = math.exp(arg)
+            i = self.isat * (e - 1.0)
+            g = self.isat * e / self.nvt
+        return i, g
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        vd = st.v(p) - st.v(n)
+        i, g = self.current_and_conductance(vd)
+        g += st.gmin
+        i += st.gmin * vd
+        ieq = i - g * vd
+        st.stamp_conductance(p, n, g)
+        st.stamp_current_source(p, n, ieq)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x_op[p]
+        vn = 0.0 if n < 0 else x_op[n]
+        _, g = self.current_and_conductance(float(vp - vn))
+        if p >= 0:
+            G[p, p] += g
+        if n >= 0:
+            G[n, n] += g
+        if p >= 0 and n >= 0:
+            G[p, n] -= g
+            G[n, p] -= g
+
+    def limit_update(self, x_new: np.ndarray, x_old: np.ndarray) -> None:
+        """SPICE ``pnjlim``: damp forward-bias jumps of the junction voltage."""
+        p, n = self.node_idx
+        v_new = (0.0 if p < 0 else x_new[p]) - (0.0 if n < 0 else x_new[n])
+        v_old = (0.0 if p < 0 else x_old[p]) - (0.0 if n < 0 else x_old[n])
+        v_lim = self._pnjlim(float(v_new), float(v_old))
+        if v_lim == v_new:
+            return
+        delta = v_lim - v_new
+        # Split the correction across the two (non-ground) terminals.
+        if p >= 0 and n >= 0:
+            x_new[p] += 0.5 * delta
+            x_new[n] -= 0.5 * delta
+        elif p >= 0:
+            x_new[p] += delta
+        elif n >= 0:
+            x_new[n] -= delta
+
+    def _pnjlim(self, v_new: float, v_old: float) -> float:
+        """Berkeley SPICE junction limiting."""
+        vt = self.nvt
+        if v_new > self.vcrit and abs(v_new - v_old) > 2.0 * vt:
+            if v_old > 0.0:
+                arg = 1.0 + (v_new - v_old) / vt
+                if arg > 0.0:
+                    return v_old + vt * math.log(arg)
+                return self.vcrit
+            return vt * math.log(max(v_new / vt, 1e-12))
+        return v_new
+
+    def current(self, x: np.ndarray) -> float:
+        """Diode current for a given solution vector."""
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        i, _ = self.current_and_conductance(float(vp - vn))
+        return i

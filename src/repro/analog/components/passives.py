@@ -1,0 +1,265 @@
+"""Linear passive elements: resistor, capacitor, inductor, supercapacitor.
+
+Capacitors and inductors use SPICE-style companion models:
+
+- backward Euler:  ``i_C = (C/dt) v - (C/dt) v_prev``
+- trapezoidal:     ``i_C = (2C/dt) v - (2C/dt) v_prev - i_prev``
+
+and dually for the inductor (whose branch current is an extra unknown).
+In DC mode capacitors stamp nothing (open) and inductors become ideal
+shorts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analog.components.base import (
+    Component,
+    METHOD_TRAP,
+    MODE_DC,
+    Stamps,
+)
+from repro.errors import NetlistError
+
+
+class Resistor(Component):
+    """Ideal linear resistor.
+
+    Parameters
+    ----------
+    resistance:
+        Ohms; must be positive.
+    """
+
+    def __init__(self, name: str, p: str, n: str, resistance: float):
+        super().__init__(name, (p, n))
+        if resistance <= 0.0:
+            raise NetlistError(f"resistor {name!r}: resistance must be > 0")
+        self.resistance = float(resistance)
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        st.stamp_conductance(p, n, 1.0 / self.resistance)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        g = 1.0 / self.resistance
+        _ac_conductance(G, p, n, g)
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current p->n for a given solution vector."""
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        return float((vp - vn) / self.resistance)
+
+
+class Capacitor(Component):
+    """Ideal linear capacitor with optional initial voltage.
+
+    The initial voltage is honoured by the transient solver's state
+    initialisation (it seeds ``x_prev``); in DC analysis the capacitor is an
+    open circuit.
+    """
+
+    def __init__(self, name: str, p: str, n: str, capacitance: float, v0: float = 0.0):
+        super().__init__(name, (p, n))
+        if capacitance <= 0.0:
+            raise NetlistError(f"capacitor {name!r}: capacitance must be > 0")
+        self.capacitance = float(capacitance)
+        self.v0 = float(v0)
+        self._i_prev = 0.0
+
+    def reset(self) -> None:
+        """Clear companion-model history (start of a new transient)."""
+        self._i_prev = 0.0
+
+    def stamp(self, st: Stamps) -> None:
+        if st.mode == MODE_DC:
+            return
+        p, n = self.node_idx
+        C = self.capacitance
+        if st.method == METHOD_TRAP:
+            geq = 2.0 * C / st.dt
+            ieq = geq * (st.v_prev(p) - st.v_prev(n)) + self._i_prev
+        else:
+            geq = C / st.dt
+            ieq = geq * (st.v_prev(p) - st.v_prev(n))
+        st.stamp_conductance(p, n, geq)
+        # Companion current source opposing geq at the previous voltage.
+        st.stamp_current_source(p, n, -ieq)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        _ac_conductance(G, p, n, 1j * omega * self.capacitance)
+
+    def update_state(self, x, x_prev, dt, method) -> None:
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        vpp = 0.0 if p < 0 else x_prev[p]
+        vpn = 0.0 if n < 0 else x_prev[n]
+        C = self.capacitance
+        if method == METHOD_TRAP:
+            self._i_prev = 2.0 * C / dt * ((vp - vn) - (vpp - vpn)) - self._i_prev
+        else:
+            self._i_prev = C / dt * ((vp - vn) - (vpp - vpn))
+
+    def voltage(self, x: np.ndarray) -> float:
+        """Capacitor voltage p-n for a given solution vector."""
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        return float(vp - vn)
+
+
+class Supercapacitor(Capacitor):
+    """Supercapacitor: bulk capacitance with equivalent series resistance.
+
+    Modelled as an ideal capacitor behind an ESR; the terminal pair is
+    ``(p, n)`` and an internal node carries the true capacitor voltage.
+    The paper's 0.55 F storage device is an instance of this model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        capacitance: float,
+        esr: float = 0.1,
+        v0: float = 0.0,
+    ):
+        internal = f"{name}#int"
+        super().__init__(name, internal, n, capacitance, v0=v0)
+        if esr <= 0.0:
+            raise NetlistError(f"supercapacitor {name!r}: ESR must be > 0")
+        self.esr = float(esr)
+        self._terminal_p = p
+        self._nodes = (p, internal, n)
+
+    def stamp(self, st: Stamps) -> None:
+        p, internal, n = self.node_idx
+        st.stamp_conductance(p, internal, 1.0 / self.esr)
+        self._stamp_cap(st, internal, n)
+
+    def _stamp_cap(self, st: Stamps, p: int, n: int) -> None:
+        if st.mode == MODE_DC:
+            return
+        C = self.capacitance
+        if st.method == METHOD_TRAP:
+            geq = 2.0 * C / st.dt
+            ieq = geq * (st.v_prev(p) - st.v_prev(n)) + self._i_prev
+        else:
+            geq = C / st.dt
+            ieq = geq * (st.v_prev(p) - st.v_prev(n))
+        st.stamp_conductance(p, n, geq)
+        st.stamp_current_source(p, n, -ieq)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, internal, n = self.node_idx
+        _ac_conductance(G, p, internal, 1.0 / self.esr)
+        _ac_conductance(G, internal, n, 1j * omega * self.capacitance)
+
+    def update_state(self, x, x_prev, dt, method) -> None:
+        _, internal, n = self.node_idx
+        vp = 0.0 if internal < 0 else x[internal]
+        vn = 0.0 if n < 0 else x[n]
+        vpp = 0.0 if internal < 0 else x_prev[internal]
+        vpn = 0.0 if n < 0 else x_prev[n]
+        C = self.capacitance
+        if method == METHOD_TRAP:
+            self._i_prev = 2.0 * C / dt * ((vp - vn) - (vpp - vpn)) - self._i_prev
+        else:
+            self._i_prev = C / dt * ((vp - vn) - (vpp - vpn))
+
+    def stored_voltage(self, x: np.ndarray) -> float:
+        """Voltage across the internal bulk capacitance."""
+        _, internal, n = self.node_idx
+        vp = 0.0 if internal < 0 else x[internal]
+        vn = 0.0 if n < 0 else x[n]
+        return float(vp - vn)
+
+
+class Inductor(Component):
+    """Ideal linear inductor; its branch current is an extra MNA unknown."""
+
+    def __init__(self, name: str, p: str, n: str, inductance: float, i0: float = 0.0):
+        super().__init__(name, (p, n))
+        if inductance <= 0.0:
+            raise NetlistError(f"inductor {name!r}: inductance must be > 0")
+        self.inductance = float(inductance)
+        self.i0 = float(i0)
+        self._v_prev = 0.0
+
+    def reset(self) -> None:
+        """Clear companion-model history (start of a new transient)."""
+        self._v_prev = 0.0
+
+    def n_extras(self) -> int:
+        return 1
+
+    def initial_extras(self) -> List[float]:
+        return [self.i0]
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        # KCL: branch current enters p, leaves n.
+        st.add_G(p, k, 1.0)
+        st.add_G(n, k, -1.0)
+        if st.mode == MODE_DC:
+            # Ideal short: v_p - v_n = 0.
+            st.add_G(k, p, 1.0)
+            st.add_G(k, n, -1.0)
+            return
+        L = self.inductance
+        if st.method == METHOD_TRAP:
+            # v = L di/dt -> v_n + v_prev = (2L/dt)(i_n - i_prev)
+            req = 2.0 * L / st.dt
+            veq = req * st.v_prev(k) + self._v_prev
+        else:
+            req = L / st.dt
+            veq = req * st.v_prev(k)
+        st.add_G(k, p, 1.0)
+        st.add_G(k, n, -1.0)
+        st.add_G(k, k, -req)
+        st.add_b(k, -veq)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        if p >= 0:
+            G[p, k] += 1.0
+        if n >= 0:
+            G[n, k] += -1.0
+        if p >= 0:
+            G[k, p] += 1.0
+        if n >= 0:
+            G[k, n] += -1.0
+        G[k, k] += -1j * omega * self.inductance
+
+    def update_state(self, x, x_prev, dt, method) -> None:
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        self._v_prev = float(vp - vn)
+
+    def current(self, x: np.ndarray) -> float:
+        """Inductor branch current for a given solution vector."""
+        (k,) = self.extra_idx
+        return float(x[k])
+
+
+def _ac_conductance(G: np.ndarray, p: int, n: int, y: complex) -> None:
+    """Stamp an admittance into a complex AC matrix, skipping ground."""
+    if p >= 0:
+        G[p, p] += y
+    if n >= 0:
+        G[n, n] += y
+    if p >= 0 and n >= 0:
+        G[p, n] -= y
+        G[n, p] -= y

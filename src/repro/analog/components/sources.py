@@ -1,0 +1,146 @@
+"""Independent sources: DC/time-dependent voltage and current sources.
+
+Voltage sources carry a branch current as an extra MNA unknown; current
+sources stamp the right-hand side only.  Both accept either a constant
+``dc`` value or a ``waveform`` callable ``f(t) -> value`` evaluated at the
+current simulation time (DC analysis uses ``t`` as given, so waveform
+sources are evaluated at the analysis time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.analog.components.base import Component, Stamps
+from repro.errors import NetlistError
+
+
+class VoltageSource(Component):
+    """Independent voltage source from ``p`` to ``n`` (``v_p - v_n = V``)."""
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        dc: float = 0.0,
+        waveform: Optional[Callable[[float], float]] = None,
+        ac_magnitude: float = 0.0,
+    ):
+        super().__init__(name, (p, n))
+        self.dc = float(dc)
+        self.waveform = waveform
+        self.ac_magnitude = float(ac_magnitude)
+
+    def value(self, t: float) -> float:
+        """Source voltage at time ``t``."""
+        if self.waveform is not None:
+            return float(self.waveform(t))
+        return self.dc
+
+    def n_extras(self) -> int:
+        return 1
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        st.add_G(p, k, 1.0)
+        st.add_G(n, k, -1.0)
+        st.add_G(k, p, 1.0)
+        st.add_G(k, n, -1.0)
+        st.add_b(k, self.value(st.t))
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        (k,) = self.extra_idx
+        if p >= 0:
+            G[p, k] += 1.0
+            G[k, p] += 1.0
+        if n >= 0:
+            G[n, k] += -1.0
+            G[k, n] += -1.0
+        b[k] += self.ac_magnitude
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current flowing from ``p`` through the source to ``n``."""
+        (k,) = self.extra_idx
+        return float(x[k])
+
+
+class CurrentSource(Component):
+    """Independent current source pushing current from ``p`` to ``n``."""
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        dc: float = 0.0,
+        waveform: Optional[Callable[[float], float]] = None,
+        ac_magnitude: float = 0.0,
+    ):
+        super().__init__(name, (p, n))
+        self.dc = float(dc)
+        self.waveform = waveform
+        self.ac_magnitude = float(ac_magnitude)
+
+    def value(self, t: float) -> float:
+        """Source current at time ``t``."""
+        if self.waveform is not None:
+            return float(self.waveform(t))
+        return self.dc
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        st.stamp_current_source(p, n, self.value(st.t))
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        if p >= 0:
+            b[p] -= self.ac_magnitude
+        if n >= 0:
+            b[n] += self.ac_magnitude
+
+
+def sine(amplitude: float, frequency_hz: float, offset: float = 0.0, phase: float = 0.0) -> Callable[[float], float]:
+    """Build a sinusoidal waveform callable for source elements."""
+    if frequency_hz <= 0.0:
+        raise NetlistError("sine waveform frequency must be > 0")
+    omega = 2.0 * math.pi * frequency_hz
+
+    def _wave(t: float) -> float:
+        return offset + amplitude * math.sin(omega * t + phase)
+
+    return _wave
+
+
+def step(level_before: float, level_after: float, t_step: float) -> Callable[[float], float]:
+    """Build a step waveform switching value at ``t_step``."""
+
+    def _wave(t: float) -> float:
+        return level_after if t >= t_step else level_before
+
+    return _wave
+
+
+def pulse(
+    low: float,
+    high: float,
+    period: float,
+    width: float,
+    t_start: float = 0.0,
+) -> Callable[[float], float]:
+    """Build a rectangular pulse train (ideal edges)."""
+    if period <= 0.0 or width <= 0.0 or width > period:
+        raise NetlistError("pulse: need 0 < width <= period")
+
+    def _wave(t: float) -> float:
+        if t < t_start:
+            return low
+        phase = (t - t_start) % period
+        return high if phase < width else low
+
+    return _wave

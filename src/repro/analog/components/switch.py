@@ -1,0 +1,119 @@
+"""Voltage-independent switch: a two-state resistor controlled from outside.
+
+The sensor-node and microcontroller consumption models of the paper are
+"equivalent resistances" (eq. 8) switched in and out as the device changes
+operating phase (sleep / wake-up / sensing / transmission).  ``Switch``
+realises exactly that: a resistor whose value toggles between ``r_on`` and
+``r_off`` under digital control -- either via the :attr:`closed` attribute
+(set by controller processes) or a ``control`` callable evaluated at the
+current simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.analog.components.base import Component, Stamps
+from repro.errors import NetlistError
+
+
+class Switch(Component):
+    """Two-state resistive switch between ``p`` and ``n``."""
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        r_on: float = 1.0,
+        r_off: float = 1e12,
+        closed: bool = False,
+        control: Optional[Callable[[float], bool]] = None,
+    ):
+        super().__init__(name, (p, n))
+        if r_on <= 0.0 or r_off <= 0.0:
+            raise NetlistError(f"switch {name!r}: resistances must be > 0")
+        if r_on >= r_off:
+            raise NetlistError(f"switch {name!r}: need r_on < r_off")
+        self.r_on = float(r_on)
+        self.r_off = float(r_off)
+        self.closed = bool(closed)
+        self.control = control
+
+    def resistance(self, t: float) -> float:
+        """Effective resistance at time ``t``."""
+        state = self.control(t) if self.control is not None else self.closed
+        return self.r_on if state else self.r_off
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        st.stamp_conductance(p, n, 1.0 / self.resistance(st.t))
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        g = 1.0 / self.resistance(0.0)
+        if p >= 0:
+            G[p, p] += g
+        if n >= 0:
+            G[n, n] += g
+        if p >= 0 and n >= 0:
+            G[p, n] -= g
+            G[n, p] -= g
+
+    def current(self, x: np.ndarray, t: float = 0.0) -> float:
+        """Branch current p->n for a given solution vector."""
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        return float((vp - vn) / self.resistance(t))
+
+
+class VariableResistor(Component):
+    """Resistor whose value is set programmatically between timesteps.
+
+    Used for consumption models whose equivalent resistance depends on the
+    device phase (Table III / Table IV): the digital controller assigns
+    :attr:`resistance` and the analogue solver picks the new value up at the
+    next stamp.
+    """
+
+    def __init__(self, name: str, p: str, n: str, resistance: float):
+        super().__init__(name, (p, n))
+        if resistance <= 0.0:
+            raise NetlistError(f"variable resistor {name!r}: resistance must be > 0")
+        self._resistance = float(resistance)
+
+    @property
+    def resistance(self) -> float:
+        """Present resistance in ohms."""
+        return self._resistance
+
+    @resistance.setter
+    def resistance(self, value: float) -> None:
+        if value <= 0.0:
+            raise NetlistError(f"variable resistor {self.name!r}: resistance must be > 0")
+        self._resistance = float(value)
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        st.stamp_conductance(p, n, 1.0 / self._resistance)
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        g = 1.0 / self._resistance
+        if p >= 0:
+            G[p, p] += g
+        if n >= 0:
+            G[n, n] += g
+        if p >= 0 and n >= 0:
+            G[p, n] -= g
+            G[n, p] -= g
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current p->n for a given solution vector."""
+        p, n = self.node_idx
+        vp = 0.0 if p < 0 else x[p]
+        vn = 0.0 if n < 0 else x[n]
+        return float((vp - vn) / self._resistance)

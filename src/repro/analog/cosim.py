@@ -1,0 +1,198 @@
+"""Lockstep bridge between the analogue solver and the event-driven kernel.
+
+:class:`CircuitHook` implements :class:`repro.sim.kernel.AnalogHook`: the
+kernel asks it to advance the circuit between digital events.  Digital
+processes observe analogue quantities through :class:`ThresholdWatcher`
+objects, which stop the analogue integration at (interpolated) crossing
+times and notify a :class:`repro.sim.process.NamedEvent` -- this is how the
+supercapacitor-voltage comparisons of the paper's Algorithm 1 and the node
+policy thresholds (2.6 / 2.7 / 2.8 V) become digital events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.components.base import METHOD_TRAP, MODE_TRAN
+from repro.analog.mna import MnaSystem
+from repro.analog.newton import NewtonOptions, solve_newton
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.kernel import AnalogHook, Simulator
+from repro.sim.process import NamedEvent
+from repro.sim.trace import TraceSet
+
+
+class ThresholdWatcher:
+    """Watches ``value(x) - threshold`` for sign changes during integration."""
+
+    def __init__(
+        self,
+        name: str,
+        probe: Callable[[np.ndarray], float],
+        threshold: float,
+        event: Optional[NamedEvent] = None,
+        direction: str = "both",
+    ):
+        if direction not in ("rising", "falling", "both"):
+            raise SimulationError(f"bad watcher direction {direction!r}")
+        self.name = name
+        self.probe = probe
+        self.threshold = threshold
+        self.event = event
+        self.direction = direction
+        self.last_above: Optional[bool] = None
+        self.crossings: List[float] = []
+
+    def check(self, t: float, x: np.ndarray) -> bool:
+        """Record state; return ``True`` when a watched crossing occurred."""
+        above = self.probe(x) > self.threshold
+        fired = False
+        if self.last_above is not None and above != self.last_above:
+            rising = above
+            if (
+                self.direction == "both"
+                or (self.direction == "rising" and rising)
+                or (self.direction == "falling" and not rising)
+            ):
+                self.crossings.append(t)
+                fired = True
+        self.last_above = above
+        return fired
+
+
+class CircuitHook(AnalogHook):
+    """Advance a circuit in lockstep with a :class:`Simulator`.
+
+    Parameters
+    ----------
+    dt:
+        Internal integration step (fixed; the co-simulation use cases of
+        this library run at fast oscillation periods where a fixed step at
+        ~100 points per vibration cycle is both accurate and predictable).
+    record:
+        Node names to trace continuously (``traces`` attribute).
+    """
+
+    def __init__(
+        self,
+        system: MnaSystem,
+        dt: float,
+        method: str = METHOD_TRAP,
+        newton: Optional[NewtonOptions] = None,
+        record: Sequence[str] = (),
+    ):
+        if dt <= 0.0:
+            raise SimulationError("CircuitHook: dt must be positive")
+        self.system = system
+        self.dt = dt
+        self.method = method
+        self.newton = newton or NewtonOptions()
+        self.watchers: List[ThresholdWatcher] = []
+        self.traces = TraceSet()
+        self._record_nodes = list(record)
+        self.x = system.initial_vector()
+        system.seed_initial_conditions(self.x)
+        system.reset_states()
+        self.t = 0.0
+        self._primed = False
+        self._kernel = None
+
+    def bind_kernel(self, simulator) -> None:
+        """Receive the kernel (called by ``Simulator.attach_analog``)."""
+        self._kernel = simulator
+
+    def watch(
+        self,
+        name: str,
+        node: str,
+        threshold: float,
+        event: Optional[NamedEvent] = None,
+        direction: str = "both",
+    ) -> ThresholdWatcher:
+        """Watch a node voltage against ``threshold``; returns the watcher."""
+        idx = self.system.node_index(node)
+
+        def probe(x: np.ndarray, _idx=idx) -> float:
+            return 0.0 if _idx < 0 else float(x[_idx])
+
+        watcher = ThresholdWatcher(name, probe, threshold, event=event, direction=direction)
+        self.watchers.append(watcher)
+        return watcher
+
+    def voltage(self, node: str) -> float:
+        """Present voltage of ``node`` (digital processes read this)."""
+        return self.system.voltage(self.x, node)
+
+    # -- AnalogHook interface ------------------------------------------------
+
+    def advance(self, t_from: float, t_to: float) -> float:
+        if not self._primed:
+            self._prime(t_from)
+        t = self.t
+        while t < t_to - 1e-15:
+            step = min(self.dt, t_to - t)
+            x_new = self._step(t + step, step)
+            self.system.update_states(x_new, self.x, step, self.method)
+            self.x = x_new
+            t += step
+            self.t = t
+            self._trace(t)
+            fired = False
+            for watcher in self.watchers:
+                if watcher.check(t, self.x):
+                    if watcher.event is not None:
+                        # Fire once the kernel clock reaches the crossing
+                        # (notifying mid-advance would wake processes at a
+                        # stale `sim.now`).
+                        if self._kernel is not None:
+                            self._kernel.schedule_at(t, watcher.event.notify)
+                        else:
+                            watcher.event.notify()
+                    fired = True
+            if fired:
+                return t
+        self.t = t_to
+        return t_to
+
+    # -- internals --------------------------------------------------------
+
+    def _prime(self, t0: float) -> None:
+        self.t = t0
+        self._trace(t0)
+        for watcher in self.watchers:
+            watcher.check(t0, self.x)
+        self._primed = True
+
+    def _step(self, t_new: float, dt: float) -> np.ndarray:
+        try:
+            return solve_newton(
+                self.system,
+                self.x,
+                self.x,
+                t_new,
+                dt,
+                mode=MODE_TRAN,
+                method=self.method,
+                options=self.newton,
+            )
+        except ConvergenceError:
+            # One level of step halving is enough for the mildly stiff
+            # rectifier circuits used here; deeper recursion would hide
+            # genuine modelling errors.
+            half = dt / 2.0
+            x_mid = solve_newton(
+                self.system, self.x, self.x, t_new - half, half,
+                mode=MODE_TRAN, method=self.method, options=self.newton,
+            )
+            self.system.update_states(x_mid, self.x, half, self.method)
+            self.x = x_mid
+            return solve_newton(
+                self.system, x_mid, x_mid, t_new, half,
+                mode=MODE_TRAN, method=self.method, options=self.newton,
+            )
+
+    def _trace(self, t: float) -> None:
+        for node in self._record_nodes:
+            self.traces.trace(f"v({node})").append(t, self.voltage(node))

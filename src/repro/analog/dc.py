@@ -1,0 +1,77 @@
+"""DC operating-point analysis with gmin stepping.
+
+The plain Newton solve from a zero start diverges for circuits like the
+paper's diode bridge feeding a large storage capacitor.  ``operating_point``
+therefore falls back to *gmin stepping*: it first solves with a large
+minimum conductance shunting every junction (an easy, almost-linear
+problem), then relaxes gmin geometrically towards its final value, using
+each solution to seed the next -- the standard SPICE homotopy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analog.components.base import METHOD_TRAP, MODE_DC
+from repro.analog.mna import MnaSystem
+from repro.analog.newton import NewtonOptions, solve_newton
+from repro.errors import ConvergenceError
+
+
+def operating_point(
+    system: MnaSystem,
+    t: float = 0.0,
+    options: Optional[NewtonOptions] = None,
+    gmin_start: float = 1e-2,
+    gmin_steps: int = 12,
+) -> np.ndarray:
+    """Compute the DC operating point of ``system`` at analysis time ``t``.
+
+    Returns the solution vector; read node voltages with
+    :meth:`MnaSystem.voltage`.
+    """
+    opts = options or NewtonOptions()
+    x0 = system.initial_vector()
+    system.seed_initial_conditions(x0)
+    try:
+        return solve_newton(
+            system, x0, x0, t, dt=1.0, mode=MODE_DC, method=METHOD_TRAP, options=opts
+        )
+    except ConvergenceError:
+        pass
+
+    # gmin stepping homotopy.
+    x = x0.copy()
+    gmin_final = opts.gmin
+    if gmin_start <= gmin_final:
+        gmin_start = max(1e-3, gmin_final * 1e9)
+    ratio = (gmin_final / gmin_start) ** (1.0 / max(gmin_steps - 1, 1))
+    gmin = gmin_start
+    last_error: Optional[ConvergenceError] = None
+    for _ in range(gmin_steps):
+        try:
+            x = solve_newton(
+                system,
+                x,
+                x,
+                t,
+                dt=1.0,
+                mode=MODE_DC,
+                method=METHOD_TRAP,
+                options=opts,
+                gmin=gmin,
+            )
+            last_error = None
+        except ConvergenceError as exc:
+            last_error = exc
+        gmin *= ratio
+    if last_error is not None:
+        raise ConvergenceError(
+            f"DC operating point failed even with gmin stepping: {last_error}"
+        )
+    # Final polish at the true gmin.
+    return solve_newton(
+        system, x, x, t, dt=1.0, mode=MODE_DC, method=METHOD_TRAP, options=opts
+    )

@@ -1,0 +1,150 @@
+"""Modified nodal analysis: index assignment and system assembly.
+
+:class:`MnaSystem` freezes a :class:`~repro.analog.netlist.Circuit`:
+
+- every non-ground node gets a row/column (ground maps to index ``-1``),
+- every component's extra unknowns (branch currents, internal states) get
+  rows after the nodes,
+- :meth:`assemble` produces the Jacobian ``G`` and right-hand side ``b``
+  for a given iterate, timestep and analysis mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.components.base import (
+    Component,
+    METHOD_TRAP,
+    MODE_DC,
+    MODE_TRAN,
+    Stamps,
+)
+from repro.analog.netlist import Circuit
+from repro.errors import NetlistError
+
+
+class MnaSystem:
+    """A circuit frozen into numbered MNA unknowns."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.node_names = circuit.node_names()
+        self._node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        self._node_index[Circuit.GROUND] = -1
+        offset = len(self.node_names)
+        self._extra_labels: List[str] = []
+        for comp in circuit.components:
+            n_extra = comp.n_extras()
+            extra_idx = list(range(offset, offset + n_extra))
+            node_idx = [self._node_index[n] for n in comp.node_names()]
+            comp.bind(node_idx, extra_idx)
+            for j in range(n_extra):
+                self._extra_labels.append(f"{comp.name}#{j}")
+            offset += n_extra
+        self.size = offset
+        self.nonlinear = [c for c in circuit.components if c.is_nonlinear()]
+
+    # -- queries -----------------------------------------------------------
+
+    def node_index(self, name: str) -> int:
+        """Matrix index of node ``name`` (ground is ``-1``)."""
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    def voltage(self, x: np.ndarray, name: str) -> float:
+        """Voltage of node ``name`` in solution vector ``x``."""
+        idx = self.node_index(name)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def labels(self) -> List[str]:
+        """Human-readable labels for every unknown, in matrix order."""
+        return list(self.node_names) + list(self._extra_labels)
+
+    def initial_vector(self) -> np.ndarray:
+        """Starting vector: zero node voltages, component-provided extras.
+
+        Capacitor initial voltages are applied by
+        :meth:`seed_initial_conditions` because they live on node voltages,
+        not extras.
+        """
+        x = np.zeros(self.size)
+        for comp in self.circuit.components:
+            extras = comp.initial_extras()
+            for idx, val in zip(comp.extra_idx, extras):
+                x[idx] = val
+        return x
+
+    def seed_initial_conditions(self, x: np.ndarray) -> None:
+        """Write capacitor ``v0`` initial conditions into vector ``x``.
+
+        Each capacitor's positive terminal is set to ``v(n) + v0``; applied
+        in netlist order, so later elements may override earlier ones when
+        they share nodes.
+        """
+        from repro.analog.components.passives import Capacitor
+
+        for comp in self.circuit.components:
+            if isinstance(comp, Capacitor) and comp.v0 != 0.0:
+                if isinstance(comp, _supercap_type()):
+                    p, internal, n = comp.node_idx
+                    vn = 0.0 if n < 0 else x[n]
+                    if internal >= 0:
+                        x[internal] = vn + comp.v0
+                    if p >= 0:
+                        x[p] = vn + comp.v0
+                else:
+                    p, n = comp.node_idx
+                    vn = 0.0 if n < 0 else x[n]
+                    if p >= 0:
+                        x[p] = vn + comp.v0
+
+    # -- assembly ------------------------------------------------------------
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        x_prev: np.ndarray,
+        t: float,
+        dt: float,
+        mode: str = MODE_TRAN,
+        method: str = METHOD_TRAP,
+        gmin: float = 0.0,
+    ) -> Stamps:
+        """Stamp every component and return the filled :class:`Stamps`."""
+        st = Stamps(
+            self.size, x, x_prev, t, dt, mode=mode, method=method, gmin=gmin
+        )
+        for comp in self.circuit.components:
+            comp.stamp(st)
+        return st
+
+    def update_states(self, x: np.ndarray, x_prev: np.ndarray, dt: float, method: str) -> None:
+        """Commit companion-model state on every component after a step."""
+        for comp in self.circuit.components:
+            comp.update_state(x, x_prev, dt, method)
+
+    def reset_states(self) -> None:
+        """Reset companion-model history on components that track it."""
+        for comp in self.circuit.components:
+            reset = getattr(comp, "reset", None)
+            if callable(reset):
+                reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"MnaSystem({self.circuit.title!r}, nodes={len(self.node_names)}, "
+            f"unknowns={self.size})"
+        )
+
+
+def _supercap_type():
+    from repro.analog.components.passives import Supercapacitor
+
+    return Supercapacitor

@@ -1,0 +1,105 @@
+"""Newton-Raphson solution of the stamped MNA system.
+
+Convergence follows SPICE practice: the iterate is accepted when every
+unknown moves by less than ``abstol + reltol * |x|`` between iterations.
+Nonlinear components may damp the raw update via ``limit_update`` (junction
+limiting), which is what makes exponential diodes tractable from poor
+starting points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analog.components.base import METHOD_TRAP, MODE_TRAN
+from repro.analog.mna import MnaSystem
+from repro.errors import ConvergenceError, SingularMatrixError
+
+
+class NewtonOptions:
+    """Tolerances and iteration limits for the nonlinear solve."""
+
+    def __init__(
+        self,
+        abstol: float = 1e-9,
+        reltol: float = 1e-6,
+        max_iterations: int = 100,
+        gmin: float = 1e-12,
+    ):
+        self.abstol = abstol
+        self.reltol = reltol
+        self.max_iterations = max_iterations
+        self.gmin = gmin
+
+
+def solve_newton(
+    system: MnaSystem,
+    x0: np.ndarray,
+    x_prev: np.ndarray,
+    t: float,
+    dt: float,
+    mode: str = MODE_TRAN,
+    method: str = METHOD_TRAP,
+    options: Optional[NewtonOptions] = None,
+    gmin: Optional[float] = None,
+) -> np.ndarray:
+    """Solve the (possibly nonlinear) MNA system at one time point.
+
+    Parameters
+    ----------
+    x0:
+        Starting iterate (typically the previous solution).
+    x_prev:
+        Accepted solution of the previous timestep (companion models).
+    gmin:
+        Override the options' minimum conductance (used by gmin stepping).
+
+    Returns
+    -------
+    numpy.ndarray
+        The converged solution vector.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration limit is exhausted.
+    SingularMatrixError
+        If the Jacobian is singular (floating subcircuit etc.).
+    """
+    opts = options or NewtonOptions()
+    if opts.max_iterations < 1:
+        raise ConvergenceError("Newton needs at least one iteration", 0)
+    g = opts.gmin if gmin is None else gmin
+    x = x0.copy()
+
+    if not system.nonlinear:
+        st = system.assemble(x, x_prev, t, dt, mode=mode, method=method, gmin=g)
+        return _linear_solve(st.G, st.b)
+
+    for iteration in range(opts.max_iterations):
+        st = system.assemble(x, x_prev, t, dt, mode=mode, method=method, gmin=g)
+        x_new = _linear_solve(st.G, st.b)
+        for comp in system.nonlinear:
+            comp.limit_update(x_new, x)
+        delta = np.abs(x_new - x)
+        bound = opts.abstol + opts.reltol * np.maximum(np.abs(x_new), np.abs(x))
+        x = x_new
+        if np.all(delta <= bound):
+            return x
+    raise ConvergenceError(
+        f"Newton iteration failed to converge at t={t:.6g} (dt={dt:.3g})",
+        iterations=opts.max_iterations,
+        residual=float(np.max(delta)),
+    )
+
+
+def _linear_solve(G: np.ndarray, b: np.ndarray) -> np.ndarray:
+    try:
+        x = np.linalg.solve(G, b)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
+    if not np.all(np.isfinite(x)):
+        raise SingularMatrixError("MNA solution contains non-finite values")
+    return x

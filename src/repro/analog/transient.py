@@ -1,0 +1,191 @@
+"""Transient analysis with adaptive step control.
+
+The integrator is trapezoidal by default (backward Euler on request), with
+two adaptation mechanisms:
+
+- **Newton rescue** -- if a step fails to converge the step size is halved
+  and retried (down to ``dt_min``).
+- **LTE control** -- the local truncation error is estimated from the
+  difference between the accepted solution and a linear predictor through
+  the two previous points (the classic SPICE heuristic).  Steps whose
+  estimate exceeds the tolerance are redone with a smaller ``dt``; smooth
+  stretches let ``dt`` grow back towards ``dt_max``.
+
+Results are recorded into :class:`repro.sim.trace.TraceSet` so that node
+waveforms integrate directly with the figure benches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.components.base import METHOD_BE, METHOD_TRAP, MODE_TRAN
+from repro.analog.mna import MnaSystem
+from repro.analog.newton import NewtonOptions, solve_newton
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.trace import TraceSet
+
+
+class TransientResult:
+    """Waveforms and bookkeeping produced by a transient run."""
+
+    def __init__(self, system: MnaSystem):
+        self.system = system
+        self.traces = TraceSet()
+        self.steps_taken = 0
+        self.steps_rejected = 0
+        self.final_state: Optional[np.ndarray] = None
+        self.final_time = 0.0
+
+    def voltage_trace(self, node: str):
+        """Trace of a node voltage (raises ``KeyError`` if not recorded)."""
+        return self.traces[f"v({node})"]
+
+
+class TransientSolver:
+    """Adaptive transient integrator over an :class:`MnaSystem`."""
+
+    def __init__(
+        self,
+        system: MnaSystem,
+        method: str = METHOD_TRAP,
+        newton: Optional[NewtonOptions] = None,
+        lte_tol: float = 1e-3,
+        dt_min: float = 1e-9,
+        dt_grow: float = 1.5,
+        dt_shrink: float = 0.5,
+    ):
+        if method not in (METHOD_TRAP, METHOD_BE):
+            raise SimulationError(f"unknown integration method {method!r}")
+        self.system = system
+        self.method = method
+        self.newton = newton or NewtonOptions()
+        self.lte_tol = lte_tol
+        self.dt_min = dt_min
+        self.dt_grow = dt_grow
+        self.dt_shrink = dt_shrink
+
+    def run(
+        self,
+        t_end: float,
+        dt: float,
+        record: Optional[Sequence[str]] = None,
+        x0: Optional[np.ndarray] = None,
+        t_start: float = 0.0,
+        on_step: Optional[Callable[[float, np.ndarray], None]] = None,
+        adaptive: bool = True,
+    ) -> TransientResult:
+        """Integrate from ``t_start`` to ``t_end``.
+
+        Parameters
+        ----------
+        dt:
+            Initial (and maximum) step size.
+        record:
+            Node names whose voltages to trace; defaults to every node.
+        x0:
+            Starting state; defaults to initial conditions (``v0`` seeds).
+        on_step:
+            Callback ``f(t, x)`` after every accepted step -- the hook the
+            digital side uses to observe analogue quantities.
+        adaptive:
+            Disable to force fixed stepping (useful in convergence tests).
+        """
+        if t_end <= t_start:
+            raise SimulationError("transient: t_end must exceed t_start")
+        if dt <= 0.0:
+            raise SimulationError("transient: dt must be positive")
+        system = self.system
+        system.reset_states()
+        if x0 is None:
+            x = system.initial_vector()
+            system.seed_initial_conditions(x)
+        else:
+            x = x0.copy()
+
+        nodes = list(record) if record is not None else list(system.node_names)
+        result = TransientResult(system)
+        self._record(result, nodes, t_start, x)
+
+        dt_max = dt
+        step = dt
+        t = t_start
+        x_prev = x.copy()
+        x_prev2: Optional[np.ndarray] = None
+        t_prev = t
+        t_prev2: Optional[float] = None
+
+        while t < t_end - 1e-15:
+            step = min(step, t_end - t)
+            accepted = False
+            while not accepted:
+                try:
+                    x_new = solve_newton(
+                        system,
+                        x,
+                        x,
+                        t + step,
+                        step,
+                        mode=MODE_TRAN,
+                        method=self.method,
+                        options=self.newton,
+                    )
+                except ConvergenceError:
+                    result.steps_rejected += 1
+                    if step <= self.dt_min * (1.0 + 1e-9):
+                        raise
+                    step = max(step * self.dt_shrink, self.dt_min)
+                    continue
+
+                if adaptive and x_prev2 is not None:
+                    lte = self._lte_estimate(
+                        x_new, x, x_prev2, t + step, t, t_prev2
+                    )
+                    if lte > self.lte_tol and step > self.dt_min * (1.0 + 1e-9):
+                        result.steps_rejected += 1
+                        step = max(step * self.dt_shrink, self.dt_min)
+                        continue
+                accepted = True
+
+            system.update_states(x_new, x, step, self.method)
+            x_prev2, t_prev2 = x.copy(), t
+            x, t = x_new, t + step
+            result.steps_taken += 1
+            self._record(result, nodes, t, x)
+            if on_step is not None:
+                on_step(t, x)
+            if adaptive:
+                step = min(step * self.dt_grow, dt_max)
+
+        result.final_state = x
+        result.final_time = t
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _lte_estimate(
+        x_new: np.ndarray,
+        x_cur: np.ndarray,
+        x_old: np.ndarray,
+        t_new: float,
+        t_cur: float,
+        t_old: float,
+    ) -> float:
+        """Normalised distance between the solution and a linear predictor."""
+        denom = t_cur - t_old
+        if denom <= 0.0:
+            return 0.0
+        slope = (x_cur - x_old) / denom
+        predicted = x_cur + slope * (t_new - t_cur)
+        scale = 1.0 + np.maximum(np.abs(x_new), np.abs(x_cur))
+        return float(np.max(np.abs(x_new - predicted) / scale))
+
+    @staticmethod
+    def _record(result: TransientResult, nodes: Sequence[str], t: float, x: np.ndarray) -> None:
+        for node in nodes:
+            result.traces.trace(f"v({node})").append(
+                t, result.system.voltage(x, node)
+            )

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Installed as ``repro-wsn``; every capability is also available as a
+module run (``python -m repro.cli ...``).  Subcommands:
+
+- ``simulate``  -- one envelope simulation of a configuration
+  (``--trace`` writes the Fig. 5-style supercap CSV).
+- ``explore``   -- the full paper flow: D-optimal DOE, RSM fit, SA + GA,
+  verification; prints Table VI and optionally persists JSON.
+- ``sweep``     -- Fig. 4-style one-parameter sweep on the simulator.
+- ``report``    -- re-render a persisted exploration outcome.
+- ``tradeoff``  -- NSGA-II Pareto front of transmissions vs. reserve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wsn",
+        description=(
+            "RSM-based design space exploration of an energy-harvester "
+            "powered wireless sensor node (Wang et al., DATE 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one system simulation")
+    sim.add_argument("--clock", type=float, default=4e6, help="MCU clock in Hz")
+    sim.add_argument("--watchdog", type=float, default=320.0, help="watchdog period in s")
+    sim.add_argument("--interval", type=float, default=5.0, help="fast transmission interval in s")
+    sim.add_argument("--horizon", type=float, default=3600.0, help="simulated seconds")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--trace", type=str, default=None, help="write supercap CSV here")
+
+    exp = sub.add_parser("explore", help="run the full paper DSE flow")
+    exp.add_argument("--runs", type=int, default=10, help="D-optimal design size")
+    exp.add_argument("--seed", type=int, default=1)
+    exp.add_argument("--horizon", type=float, default=3600.0)
+    exp.add_argument("--save", type=str, default=None, help="persist outcome JSON here")
+
+    swp = sub.add_parser("sweep", help="one-parameter sweep (Fig. 4 style)")
+    swp.add_argument(
+        "--parameter",
+        choices=["clock_hz", "watchdog_s", "tx_interval_s"],
+        required=True,
+    )
+    swp.add_argument("--points", type=int, default=7)
+    swp.add_argument("--seed", type=int, default=1)
+
+    rep = sub.add_parser("report", help="render a persisted outcome")
+    rep.add_argument("path", type=str, help="JSON file from 'explore --save'")
+
+    tro = sub.add_parser("tradeoff", help="Pareto front: transmissions vs reserve")
+    tro.add_argument("--seed", type=int, default=1)
+    tro.add_argument("--population", type=int, default=16)
+    tro.add_argument("--generations", type=int, default=8)
+
+    mc = sub.add_parser(
+        "montecarlo", help="distribution of a config over random environments"
+    )
+    mc.add_argument("--clock", type=float, default=4e6)
+    mc.add_argument("--watchdog", type=float, default=320.0)
+    mc.add_argument("--interval", type=float, default=5.0)
+    mc.add_argument("--samples", type=int, default=20)
+    mc.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.system.config import SystemConfig
+    from repro.system.envelope import simulate
+
+    config = SystemConfig(
+        clock_hz=args.clock, watchdog_s=args.watchdog, tx_interval_s=args.interval
+    )
+    result = simulate(config, horizon=args.horizon, seed=args.seed)
+    print(result.summary())
+    if args.trace:
+        from repro.core.report import series_to_csv
+
+        grid = np.linspace(0.0, result.horizon, 721)
+        csv = series_to_csv(
+            {"time_s": grid, "v_store": result.traces["v_store"].resample(grid)}
+        )
+        with open(args.trace, "w") as fh:
+            fh.write(csv + "\n")
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.core.paper import paper_explorer
+    from repro.core.report import render_table_vi
+
+    explorer = paper_explorer(seed=args.seed, horizon=args.horizon)
+    outcome = explorer.run(n_runs=args.runs, seed=args.seed)
+    print(outcome.summary())
+    print()
+    print(render_table_vi(outcome))
+    print("\nmodel: y =", outcome.model.to_string(["x1", "x2", "x3"]))
+    if args.save:
+        from repro.core.campaign import save_outcome
+
+        save_outcome(outcome, args.save)
+        print(f"\noutcome saved to {args.save}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.paper import paper_objective
+    from repro.core.report import format_table
+    from repro.system.config import paper_parameter_space
+
+    objective = paper_objective(seed=args.seed)
+    space = paper_parameter_space()
+    idx = space.names().index(args.parameter)
+    axis = np.linspace(-1.0, 1.0, max(args.points, 2))
+    rows = []
+    for coded in axis:
+        point = np.zeros(3)
+        point[idx] = coded
+        natural = space.to_natural(point)[idx]
+        rows.append([f"{coded:+.2f}", f"{natural:g}", f"{objective(point):.0f}"])
+    print(
+        format_table(
+            ["coded", args.parameter, "transmissions"],
+            rows,
+            title=f"sweep of {args.parameter} (others at centre)",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core.campaign import load_outcome
+    from repro.core.report import render_table_vi
+
+    outcome = load_outcome(args.path)
+    print(outcome.summary())
+    print()
+    print(render_table_vi(outcome))
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.core.multiobjective import explore_tradeoff
+    from repro.core.report import format_table
+
+    entries, result = explore_tradeoff(
+        seed=args.seed,
+        population_size=args.population,
+        n_generations=args.generations,
+    )
+    rows = [
+        [
+            e.config.describe(),
+            f"{e.transmissions:.0f}",
+            f"{e.final_energy:.3f}",
+        ]
+        for e in entries
+    ]
+    print(
+        format_table(
+            ["configuration", "transmissions", "final energy (J)"],
+            rows,
+            title=f"Pareto front ({result.n_evaluations} evaluations)",
+        )
+    )
+    point, objs = result.knee_point()
+    print(f"\nknee point: {objs[0]:.0f} tx with {objs[1]:.3f} J reserved")
+    return 0
+
+
+def _cmd_montecarlo(args) -> int:
+    from repro.core.montecarlo import monte_carlo
+    from repro.system.config import SystemConfig
+
+    config = SystemConfig(
+        clock_hz=args.clock, watchdog_s=args.watchdog, tx_interval_s=args.interval
+    )
+    result = monte_carlo(config, n_samples=args.samples, seed=args.seed)
+    print(result.summary())
+    print(
+        f"final voltage: mean {np.mean(result.final_voltages):.3f} V, "
+        f"min {np.min(result.final_voltages):.3f} V"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "explore": _cmd_explore,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+    "tradeoff": _cmd_tradeoff,
+    "montecarlo": _cmd_montecarlo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

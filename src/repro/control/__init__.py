@@ -1,0 +1,53 @@
+"""Tuning control algorithms (paper Algorithms 1-3), written sans-IO.
+
+The control logic is a generator that *yields commands* and receives
+responses -- it never touches a clock, an energy store or a generator
+model directly.  Both simulation backends (envelope and detailed) execute
+the same generator against their own physics, which guarantees the two
+models run identical firmware:
+
+- :mod:`repro.control.commands` -- the command vocabulary.
+- :mod:`repro.control.session` -- one watchdog wake-up's worth of
+  Algorithm 1 (with the coarse Algorithm 2 and fine Algorithm 3 loops).
+- :mod:`repro.control.runner` -- the driver that connects a session
+  generator to a :class:`~repro.control.runner.ControllerBackend`.
+"""
+
+from repro.control.commands import (
+    CheckEnergy,
+    GetCurrentPosition,
+    MeasureFrequency,
+    MeasurePhase,
+    MoveActuatorTo,
+    Settle,
+    StepActuator,
+)
+from repro.control.runner import ControllerBackend, run_session
+from repro.control.session import SessionResult, tuning_session
+
+__all__ = [
+    "AdaptiveEnvelopeSimulator",
+    "AdaptiveWatchdog",
+    "CheckEnergy",
+    "ControllerBackend",
+    "GetCurrentPosition",
+    "MeasureFrequency",
+    "MeasurePhase",
+    "MoveActuatorTo",
+    "SessionResult",
+    "Settle",
+    "StepActuator",
+    "run_session",
+    "tuning_session",
+]
+
+
+def __getattr__(name):
+    # The adaptive extension pulls in the envelope simulator, which itself
+    # imports this package's command/runner modules; loading it lazily
+    # (PEP 562) breaks that import cycle.
+    if name in ("AdaptiveEnvelopeSimulator", "AdaptiveWatchdog"):
+        from repro.control import adaptive
+
+        return getattr(adaptive, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

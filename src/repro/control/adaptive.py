@@ -1,0 +1,82 @@
+"""Adaptive watchdog policy (extension: beyond the paper's fixed period).
+
+The paper's watchdog period is a fixed design parameter with a built-in
+tension: short periods react quickly to vibration changes but burn MCU
+energy on idle checks; long periods are cheap but leave the generator
+detuned for minutes.  A classic firmware answer is *exponential backoff*:
+
+- after a wake-up that found the generator already tuned, stretch the
+  next period (up to ``max_period``);
+- after a wake-up that had to retune (or skipped on low energy), snap
+  back to ``min_period`` -- the environment is changing, watch closely.
+
+:class:`AdaptiveWatchdog` is the policy object;
+:class:`AdaptiveEnvelopeSimulator` drops it into the envelope backend in
+place of the fixed schedule, so the ablation bench can compare both under
+identical physics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.session import SessionResult
+from repro.errors import ConfigError
+from repro.system.envelope import EnvelopeSimulator
+
+
+class AdaptiveWatchdog:
+    """Exponential-backoff wake-up scheduling."""
+
+    def __init__(
+        self,
+        min_period: float = 60.0,
+        max_period: float = 600.0,
+        backoff: float = 2.0,
+    ):
+        if not 0.0 < min_period <= max_period:
+            raise ConfigError("need 0 < min_period <= max_period")
+        if backoff <= 1.0:
+            raise ConfigError("backoff factor must exceed 1")
+        self.min_period = min_period
+        self.max_period = max_period
+        self.backoff = backoff
+        self.period = min_period
+
+    def update(self, result: SessionResult) -> float:
+        """Digest a session outcome; returns the next wake-up period."""
+        if result.retuned or result.skipped_low_energy:
+            self.period = self.min_period
+        else:
+            self.period = min(self.period * self.backoff, self.max_period)
+        return self.period
+
+    def reset(self) -> None:
+        """Return to the vigilant minimum period."""
+        self.period = self.min_period
+
+
+class AdaptiveEnvelopeSimulator(EnvelopeSimulator):
+    """Envelope simulator whose watchdog period adapts between wake-ups.
+
+    The ``watchdog_s`` member of the configuration is interpreted as the
+    *maximum* period; the adaptive policy moves between ``min_period`` and
+    that maximum.  Everything else (physics, node policy, tuning firmware)
+    is identical to the fixed-schedule simulator.
+    """
+
+    def __init__(self, *args, adaptive: Optional[AdaptiveWatchdog] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.adaptive = adaptive or AdaptiveWatchdog(
+            min_period=60.0, max_period=self.config.watchdog_s
+        )
+        # Start vigilant.
+        self.watchdog.period = self.adaptive.period
+
+    def _run_wakeup(self) -> None:
+        super()._run_wakeup()
+        last = self.tuning_events[-1].result
+        self.watchdog.period = self.adaptive.update(last)
+        # Re-anchor the schedule at the present instant so the new period
+        # takes effect immediately.
+        self.watchdog.t0 = self.t

@@ -1,0 +1,83 @@
+"""Command vocabulary of the tuning controller.
+
+Each command corresponds to a concrete firmware action with a physical
+cost; backends decide how much wall time and energy it takes, the session
+logic only decides *what to do next*.
+
+=====================  =============================  ======================
+Command                 Response                       Paper reference
+=====================  =============================  ======================
+CheckEnergy             bool (Vs >= 2.6 V)             Algorithm 1, step 3
+MeasureFrequency        float, measured Hz             Algorithm 1, steps 4-9
+GetCurrentPosition      int, 8-bit position register   Algorithm 1, step 11
+MoveActuatorTo          int, steps actually moved      Algorithm 2, steps 2-3
+Settle                  None                           Algorithms 2/3, step 4
+MeasurePhase            float, signed seconds          Algorithm 1, step 16
+StepActuator            int, steps actually moved      Algorithm 3, steps 2-3
+=====================  =============================  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CheckEnergy:
+    """Is there enough stored energy to run the actuator? (Vs >= threshold)"""
+
+    threshold: float = 2.6
+
+
+@dataclass(frozen=True)
+class MeasureFrequency:
+    """Run the 8-cycle Timer1 frequency measurement of the generator signal."""
+
+
+@dataclass(frozen=True)
+class GetCurrentPosition:
+    """Read the firmware's 8-bit tuning-magnet position register."""
+
+
+@dataclass(frozen=True)
+class MoveActuatorTo:
+    """Command the actuator to an absolute 8-bit position (coarse move)."""
+
+    position: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.position <= 255:
+            raise ModelError(f"actuator position {self.position!r} outside 8 bits")
+
+
+@dataclass(frozen=True)
+class StepActuator:
+    """Move the actuator by one motor step in ``direction`` (+1 / -1)."""
+
+    direction: int
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 1):
+            raise ModelError("step direction must be +1 or -1")
+
+
+@dataclass(frozen=True)
+class Settle:
+    """Wait for the microgenerator signal to settle (Algorithms 2/3: 5 s)."""
+
+    duration: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ModelError("settle duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class MeasurePhase:
+    """Measure the accelerometer-vs-generator phase difference (signed s).
+
+    Positive means the generator's resonance sits *above* the excitation
+    frequency (the firmware should retract the tuning magnet).
+    """

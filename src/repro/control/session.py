@@ -1,0 +1,129 @@
+"""One watchdog wake-up of the harvester tuning firmware (Algorithm 1).
+
+``tuning_session`` is a generator implementing the paper's pseudo-code:
+
+1. Check stored energy (Vs >= 2.6 V, the actuator's minimum) -- if too
+   low, go straight back to sleep.
+2. Measure the microgenerator frequency over 8 cycles (Timer1).
+3. Look the optimum 8-bit magnet position up in the pre-characterised LUT.
+4. If the position register already matches (within ``position_tolerance``
+   -- the paper's 1/2^8 accuracy), sleep.
+5. Otherwise run coarse tuning (Algorithm 2): command the absolute move,
+   wait 5 s for the signal to settle, verify, repeat.
+6. Measure the accelerometer/generator phase difference; if below 100 us,
+   sleep; otherwise run fine tuning (Algorithm 3): single steps in the
+   phase-reducing direction until the threshold is met.  Real firmware
+   cannot iterate forever on a quantised actuator, so the loop carries a
+   ``max_fine_steps`` guard and reverts a step that made things worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.control.commands import (
+    CheckEnergy,
+    GetCurrentPosition,
+    MeasureFrequency,
+    MeasurePhase,
+    MoveActuatorTo,
+    Settle,
+    StepActuator,
+)
+from repro.digital.lut import FrequencyLut
+from repro.errors import ModelError
+
+#: Algorithm 1, step 3: minimum supercap voltage to start the actuator.
+V_MIN_TUNING = 2.6
+#: Algorithm 1, step 17: fine-tuning phase threshold (100 us).
+PHASE_THRESHOLD = 100e-6
+#: Algorithms 2/3, step 4: settling wait after an actuator move.
+SETTLE_TIME = 5.0
+
+
+@dataclass
+class SessionResult:
+    """What one wake-up session did (used for logs and energy audits)."""
+
+    skipped_low_energy: bool = False
+    measured_frequency: Optional[float] = None
+    optimum_position: Optional[int] = None
+    initial_position: Optional[int] = None
+    coarse_iterations: int = 0
+    fine_steps: int = 0
+    fine_converged: bool = False
+    final_phase: Optional[float] = None
+    retuned: bool = False
+
+
+def tuning_session(
+    lut: FrequencyLut,
+    phase_threshold: float = PHASE_THRESHOLD,
+    position_tolerance: int = 1,
+    max_coarse_iterations: int = 4,
+    max_fine_steps: int = 8,
+    settle_time: float = SETTLE_TIME,
+    v_min: float = V_MIN_TUNING,
+) -> Generator[object, object, SessionResult]:
+    """Yield the command sequence of one Algorithm 1 wake-up."""
+    if phase_threshold <= 0.0:
+        raise ModelError("phase threshold must be > 0")
+    if position_tolerance < 0:
+        raise ModelError("position tolerance must be >= 0")
+    result = SessionResult()
+
+    enough = yield CheckEnergy(threshold=v_min)
+    if not enough:
+        result.skipped_low_energy = True
+        return result
+
+    f_measured = yield MeasureFrequency()
+    result.measured_frequency = float(f_measured)
+    optimum = lut.lookup(result.measured_frequency)
+    result.optimum_position = optimum
+
+    current = yield GetCurrentPosition()
+    result.initial_position = int(current)
+    if abs(int(current) - optimum) <= position_tolerance:
+        return result  # Algorithm 1, step 12: already tuned, back to sleep.
+
+    # -- Algorithm 2: coarse-grain tuning ------------------------------------
+    for _ in range(max_coarse_iterations):
+        result.coarse_iterations += 1
+        yield MoveActuatorTo(position=optimum)
+        yield Settle(duration=settle_time)
+        current = yield GetCurrentPosition()
+        if abs(int(current) - optimum) <= position_tolerance:
+            break
+    result.retuned = True
+
+    # -- Algorithm 1, step 16-21 / Algorithm 3: fine-grain tuning --------------
+    phase = yield MeasurePhase()
+    result.final_phase = float(phase)
+    if abs(phase) < phase_threshold:
+        result.fine_converged = True
+        return result
+
+    for _ in range(max_fine_steps):
+        direction = -1 if phase > 0.0 else 1
+        moved = yield StepActuator(direction=direction)
+        result.fine_steps += 1
+        yield Settle(duration=settle_time)
+        new_phase = yield MeasurePhase()
+        if abs(new_phase) < phase_threshold:
+            result.final_phase = float(new_phase)
+            result.fine_converged = True
+            return result
+        if abs(new_phase) >= abs(phase) or int(moved) == 0:
+            # The step made things worse (or hit the travel end): revert
+            # and accept the best reachable tuning.
+            yield StepActuator(direction=-direction)
+            yield Settle(duration=settle_time)
+            result.fine_steps += 1
+            result.final_phase = float(phase)
+            return result
+        phase = new_phase
+        result.final_phase = float(phase)
+
+    return result

@@ -1,0 +1,53 @@
+"""The paper's contribution: RSM-based design space exploration.
+
+Workflow (paper sections II and V):
+
+1. generate a D-optimal design over the Table V parameter space,
+2. simulate the complete system at each design point,
+3. fit a quadratic response surface (eq. 9),
+4. maximise it with Simulated Annealing and a Genetic Algorithm,
+5. verify the optima with full simulations (Table VI / Fig. 5).
+
+- :mod:`repro.core.objective` -- cached simulation objective.
+- :mod:`repro.core.explorer` -- :class:`~repro.core.explorer.DesignSpaceExplorer`.
+- :mod:`repro.core.report` -- table/figure regeneration helpers.
+- :mod:`repro.core.campaign` -- JSON persistence of exploration outcomes.
+- :mod:`repro.core.paper` -- canonical paper setup in one call.
+"""
+
+from repro.core.campaign import load_outcome, save_outcome
+from repro.core.explorer import DesignSpaceExplorer, ExplorationOutcome, OptimaEntry
+from repro.core.montecarlo import EnvironmentModel, MonteCarloResult, monte_carlo
+from repro.core.multiobjective import MultiObjectiveSimulation, explore_tradeoff
+from repro.core.objective import SimulationObjective
+from repro.core.paper import paper_explorer, paper_objective, run_paper_flow
+from repro.core.report import (
+    design_space_sweep,
+    format_table,
+    table_vi_rows,
+)
+from repro.core.sensitivity import morris_screening, robustness_study
+from repro.system.config import paper_parameter_space
+
+__all__ = [
+    "DesignSpaceExplorer",
+    "EnvironmentModel",
+    "ExplorationOutcome",
+    "MonteCarloResult",
+    "MultiObjectiveSimulation",
+    "OptimaEntry",
+    "SimulationObjective",
+    "design_space_sweep",
+    "explore_tradeoff",
+    "format_table",
+    "load_outcome",
+    "monte_carlo",
+    "morris_screening",
+    "paper_explorer",
+    "paper_objective",
+    "paper_parameter_space",
+    "robustness_study",
+    "run_paper_flow",
+    "save_outcome",
+    "table_vi_rows",
+]

@@ -1,0 +1,193 @@
+"""The design-space exploration driver (paper section V).
+
+:class:`DesignSpaceExplorer` chains DOE -> simulate -> fit -> optimise ->
+verify.  Optimisers maximise the cheap fitted surface (as in the paper);
+the winning points are then *verified* with full simulations, which is
+what Table VI reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.doe.design import Design
+from repro.doe.doptimal import d_optimal
+from repro.errors import DesignError
+from repro.optimize.annealing import simulated_annealing
+from repro.optimize.genetic import genetic_algorithm
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+from repro.rng import derive_seed
+from repro.rsm.coding import ParameterSpace
+from repro.rsm.diagnostics import FitDiagnostics, diagnostics
+from repro.rsm.model import ResponseSurface, fit_response_surface
+from repro.core.objective import SimulationObjective
+from repro.system.config import SystemConfig
+
+
+@dataclass
+class OptimaEntry:
+    """One optimiser's outcome: RSM prediction and simulation truth."""
+
+    method: str
+    coded: np.ndarray
+    config: SystemConfig
+    rsm_value: float
+    simulated_value: float
+    optimizer_result: OptimizationResult
+
+
+@dataclass
+class ExplorationOutcome:
+    """Everything the paper's evaluation section reports."""
+
+    space: ParameterSpace
+    design: Design
+    responses: np.ndarray
+    model: ResponseSurface
+    fit_diagnostics: FitDiagnostics
+    original_config: SystemConfig
+    original_transmissions: float
+    optima: List[OptimaEntry] = field(default_factory=list)
+    n_simulations: int = 0
+
+    def best(self) -> OptimaEntry:
+        """The optimiser entry with the highest *simulated* value."""
+        if not self.optima:
+            raise DesignError("no optima recorded")
+        return max(self.optima, key=lambda e: e.simulated_value)
+
+    def improvement_factor(self) -> float:
+        """Best simulated transmissions relative to the original design."""
+        if self.original_transmissions <= 0:
+            return float("inf")
+        return self.best().simulated_value / self.original_transmissions
+
+    def summary(self) -> str:
+        """Multi-line report in the shape of the paper's Table VI."""
+        lines = [
+            f"design: {self.design.name} ({self.design.n_runs} runs), "
+            f"R^2 = {self.fit_diagnostics.r2:.3f}",
+            f"original  {self.original_config.describe()}: "
+            f"{self.original_transmissions:.0f} transmissions",
+        ]
+        for entry in self.optima:
+            lines.append(
+                f"{entry.method:<20s} {entry.config.describe()}: "
+                f"{entry.simulated_value:.0f} transmissions "
+                f"(RSM predicted {entry.rsm_value:.0f})"
+            )
+        lines.append(f"improvement factor: {self.improvement_factor():.2f}x")
+        return "\n".join(lines)
+
+
+class DesignSpaceExplorer:
+    """DOE -> simulate -> RSM -> optimise -> verify."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective: SimulationObjective,
+        original_config: Optional[SystemConfig] = None,
+    ):
+        self.space = space
+        self.objective = objective
+        from repro.system.config import ORIGINAL_DESIGN
+
+        self.original_config = original_config or ORIGINAL_DESIGN
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def build_design(
+        self, n_runs: int = 10, method: str = "fedorov", seed: int = 0
+    ) -> Design:
+        """Stage 1: the D-optimal design (paper: 10 runs, 3-level grid)."""
+        return d_optimal(
+            self.space.k,
+            n_runs,
+            kind="quadratic",
+            method=method,
+            seed=derive_seed(seed, 11),
+            space=self.space,
+        )
+
+    def run_design(self, design: Design) -> np.ndarray:
+        """Stage 2: simulate every design point."""
+        return self.objective.evaluate_design(design.points)
+
+    def fit_model(self, design: Design, responses: np.ndarray) -> ResponseSurface:
+        """Stage 3: fit the quadratic response surface (eq. 9)."""
+        return fit_response_surface(
+            design.points, responses, kind="quadratic", space=self.space
+        )
+
+    def optimise_model(
+        self,
+        model: ResponseSurface,
+        seed: int = 0,
+        optimizers: Optional[Dict[str, Callable[..., OptimizationResult]]] = None,
+    ) -> List[OptimaEntry]:
+        """Stage 4+5: maximise the surface, then verify by simulation."""
+        problem = Problem(
+            objective=lambda x: float(model.predict_coded(x)),
+            bounds=self.space.bounds_coded(),
+            maximize=True,
+            name="rsm-surface",
+        )
+        methods = optimizers or {
+            "simulated-annealing": simulated_annealing,
+            "genetic-algorithm": genetic_algorithm,
+        }
+        entries: List[OptimaEntry] = []
+        for i, (name, method) in enumerate(methods.items()):
+            result = method(problem, seed=derive_seed(seed, 100 + i))
+            coded = self.space.clip_coded(result.x)
+            config = self.objective.config_from_coded(coded)
+            simulated = self.objective(coded)
+            entries.append(
+                OptimaEntry(
+                    method=name,
+                    coded=np.asarray(coded, dtype=float),
+                    config=config,
+                    rsm_value=float(result.value),
+                    simulated_value=float(simulated),
+                    optimizer_result=result,
+                )
+            )
+        return entries
+
+    # -- one-call flow -----------------------------------------------------------
+
+    def run(
+        self,
+        n_runs: int = 10,
+        seed: int = 0,
+        doe_method: str = "fedorov",
+        design: Optional[Design] = None,
+        optimizers: Optional[Dict[str, Callable[..., OptimizationResult]]] = None,
+    ) -> ExplorationOutcome:
+        """Execute the full paper workflow and return every artefact."""
+        design = design or self.build_design(n_runs, method=doe_method, seed=seed)
+        responses = self.run_design(design)
+        model = self.fit_model(design, responses)
+        X = design.model_matrix("quadratic")
+        diag = diagnostics(X, responses, model.fit)
+        original_coded = self.space.to_coded(
+            np.array(self.original_config.as_vector())
+        )
+        original_value = self.objective(original_coded)
+        optima = self.optimise_model(model, seed=seed, optimizers=optimizers)
+        return ExplorationOutcome(
+            space=self.space,
+            design=design,
+            responses=responses,
+            model=model,
+            fit_diagnostics=diag,
+            original_config=self.original_config,
+            original_transmissions=float(original_value),
+            optima=optima,
+            n_simulations=self.objective.n_simulations,
+        )

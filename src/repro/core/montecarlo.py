@@ -1,0 +1,117 @@
+"""Monte Carlo analysis of a configuration under environment uncertainty.
+
+The paper evaluates each configuration against one fixed vibration
+profile; real deployments see scattered conditions.  ``monte_carlo``
+samples random environments (acceleration level, starting frequency,
+frequency-step sign, initial storage voltage, measurement-noise stream)
+and returns the distribution of the figure of merit, so configurations
+can be compared by quantiles instead of a single nominal number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rng import SeedLike, derive_seed, ensure_rng
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.vibration import VibrationProfile
+
+
+@dataclass(frozen=True)
+class EnvironmentModel:
+    """Sampling ranges for the uncertain environment."""
+
+    accel_mg: "tuple[float, float]" = (55.0, 65.0)
+    f_start: "tuple[float, float]" = (62.0, 72.0)
+    f_step_abs: float = 5.0
+    step_period: "tuple[float, float]" = (1200.0, 1800.0)
+    v_init: "tuple[float, float]" = (2.60, 2.75)
+
+    def sample(self, rng: np.random.Generator) -> "tuple[VibrationProfile, float]":
+        """Draw one (profile, initial voltage) environment."""
+        accel = rng.uniform(*self.accel_mg)
+        f0 = rng.uniform(*self.f_start)
+        step = self.f_step_abs * (1.0 if rng.uniform() < 0.5 else -1.0)
+        # Keep the walk inside the 60-80 Hz tunable band.
+        if f0 + 2 * step < 60.0 or f0 + 2 * step > 80.0:
+            step = -step
+        period = rng.uniform(*self.step_period)
+        profile = VibrationProfile.paper_profile(
+            f_start=f0, f_step=step, step_period=period, accel_mg=accel
+        )
+        return profile, rng.uniform(*self.v_init)
+
+
+@dataclass
+class MonteCarloResult:
+    """Distribution of the figure of merit across sampled environments."""
+
+    config: SystemConfig
+    transmissions: np.ndarray
+    final_voltages: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.transmissions)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.transmissions))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.transmissions))
+
+    def quantile(self, q: float) -> float:
+        """Transmission quantile (q in [0, 1])."""
+        return float(np.quantile(self.transmissions, q))
+
+    def summary(self) -> str:
+        """One-line distribution report."""
+        return (
+            f"{self.config.describe()}: mean {self.mean:.0f} tx, "
+            f"p10 {self.quantile(0.1):.0f}, median {self.quantile(0.5):.0f}, "
+            f"p90 {self.quantile(0.9):.0f} over {self.n_samples} environments"
+        )
+
+
+def monte_carlo(
+    config: SystemConfig,
+    n_samples: int = 20,
+    environment: Optional[EnvironmentModel] = None,
+    horizon: float = 3600.0,
+    seed: SeedLike = 0,
+) -> MonteCarloResult:
+    """Simulate ``config`` across ``n_samples`` random environments."""
+    if n_samples < 1:
+        raise ConfigError("need at least one Monte Carlo sample")
+    env = environment or EnvironmentModel()
+    rng = ensure_rng(seed)
+    base_seed = int(rng.integers(0, 2**31 - 1))
+    transmissions: List[int] = []
+    voltages: List[float] = []
+    for i in range(n_samples):
+        profile, v_init = env.sample(rng)
+        sim = EnvelopeSimulator(
+            config,
+            parts=paper_system(
+                v_init=v_init, initial_frequency=profile.frequency(0.0)
+            ),
+            profile=profile,
+            seed=derive_seed(base_seed, i),
+            record_traces=False,
+        )
+        result = sim.run(horizon)
+        transmissions.append(result.transmissions)
+        voltages.append(result.final_voltage)
+    return MonteCarloResult(
+        config=config,
+        transmissions=np.asarray(transmissions, dtype=float),
+        final_voltages=np.asarray(voltages, dtype=float),
+    )

@@ -1,0 +1,118 @@
+"""Report generation: the paper's tables and figure series.
+
+Plain-text/CSV renderers only -- no plotting dependencies.  Benches print
+these next to the paper's published values so EXPERIMENTS.md can record
+paper-vs-measured for every artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.explorer import ExplorationOutcome
+from repro.core.objective import SimulationObjective
+from repro.rsm.model import ResponseSurface
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table_vi_rows(outcome: ExplorationOutcome) -> List[List[str]]:
+    """Rows in the exact shape of the paper's Table VI."""
+    rows = [
+        [
+            "clock (Hz)",
+            f"{outcome.original_config.clock_hz:g}",
+            *[f"{e.config.clock_hz:g}" for e in outcome.optima],
+        ],
+        [
+            "watchdog (s)",
+            f"{outcome.original_config.watchdog_s:g}",
+            *[f"{e.config.watchdog_s:g}" for e in outcome.optima],
+        ],
+        [
+            "tx interval (s)",
+            f"{outcome.original_config.tx_interval_s:g}",
+            *[f"{e.config.tx_interval_s:g}" for e in outcome.optima],
+        ],
+        [
+            "transmissions",
+            f"{outcome.original_transmissions:.0f}",
+            *[f"{e.simulated_value:.0f}" for e in outcome.optima],
+        ],
+    ]
+    return rows
+
+
+def render_table_vi(outcome: ExplorationOutcome) -> str:
+    """ASCII rendition of Table VI."""
+    headers = ["parameter", "original"] + [e.method for e in outcome.optima]
+    return format_table(headers, table_vi_rows(outcome), title="Table VI (reproduced)")
+
+
+def design_space_sweep(
+    model: ResponseSurface,
+    objective: Optional[SimulationObjective] = None,
+    n_points: int = 21,
+    center: Optional[np.ndarray] = None,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fig. 4 data: 1-D sweeps of each coded variable, others held fixed.
+
+    Returns per-parameter dictionaries with the coded axis, the RSM
+    prediction and (when an objective is given) the true simulated
+    response on a coarser axis.
+    """
+    k = model.basis.k
+    base = np.zeros(k) if center is None else np.asarray(center, dtype=float)
+    axis = np.linspace(-1.0, 1.0, n_points)
+    sweeps: Dict[str, Dict[str, np.ndarray]] = {}
+    names = (
+        [p.name for p in model.space.parameters]
+        if model.space is not None
+        else [f"x{i + 1}" for i in range(k)]
+    )
+    for i, name in enumerate(names):
+        pts = np.tile(base, (n_points, 1))
+        pts[:, i] = axis
+        entry: Dict[str, np.ndarray] = {
+            "coded": axis,
+            "rsm": np.asarray(model.predict_coded(pts), dtype=float),
+        }
+        if model.space is not None:
+            entry["natural"] = model.space.to_natural(pts)[:, i]
+        if objective is not None:
+            coarse = np.linspace(-1.0, 1.0, 7)
+            sim_pts = np.tile(base, (len(coarse), 1))
+            sim_pts[:, i] = coarse
+            entry["sim_coded"] = coarse
+            entry["sim"] = objective.evaluate_design(sim_pts)
+        sweeps[name] = entry
+    return sweeps
+
+
+def series_to_csv(columns: Dict[str, np.ndarray]) -> str:
+    """Render aligned 1-D arrays as CSV (figure data export)."""
+    names = list(columns)
+    length = len(next(iter(columns.values())))
+    lines = [",".join(names)]
+    for i in range(length):
+        lines.append(",".join(f"{float(columns[n][i]):.9g}" for n in names))
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Sensitivity and robustness analysis of the exploration outcome.
+
+Two studies beyond the paper's evaluation:
+
+- :func:`morris_screening` -- elementary-effects (Morris) screening of the
+  three firmware parameters on the true simulator: mean |EE| ranks
+  parameter influence, the EE standard deviation flags nonlinearity or
+  interaction.  This is the cheap global complement to the local Fig. 4
+  sweeps.
+- :func:`robustness_study` -- re-simulates a configuration across
+  perturbed environments (vibration amplitude, starting frequency,
+  initial storage voltage) and reports the spread, quantifying how well a
+  tuned optimum survives conditions it was not optimised for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objective import SimulationObjective
+from repro.errors import DesignError
+from repro.rng import SeedLike, ensure_rng
+from repro.rsm.coding import ParameterSpace
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig, paper_parameter_space
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.vibration import VibrationProfile
+
+
+@dataclass
+class MorrisEffect:
+    """Elementary-effect statistics for one parameter."""
+
+    name: str
+    mu_star: float  # mean absolute elementary effect
+    sigma: float  # EE standard deviation (nonlinearity/interaction signal)
+
+
+def morris_screening(
+    objective: Optional[SimulationObjective] = None,
+    n_trajectories: int = 6,
+    delta: float = 0.5,
+    seed: SeedLike = 0,
+) -> List[MorrisEffect]:
+    """Morris elementary-effects screening over the coded Table V box.
+
+    Each trajectory starts at a random coded point and perturbs one
+    parameter at a time by ``delta`` (in coded units), costing
+    ``n_trajectories * (k + 1)`` simulations.
+    """
+    if not 0.0 < delta <= 2.0:
+        raise DesignError("Morris delta must be in (0, 2] coded units")
+    obj = objective or SimulationObjective(seed=0)
+    space = obj.space
+    rng = ensure_rng(seed)
+    k = space.k
+    effects: Dict[int, List[float]] = {i: [] for i in range(k)}
+
+    for _ in range(max(n_trajectories, 1)):
+        x = rng.uniform(-1.0, 1.0 - delta, size=k)
+        y = obj(x)
+        for i in rng.permutation(k):
+            x_next = x.copy()
+            x_next[i] += delta
+            y_next = obj(x_next)
+            effects[int(i)].append((y_next - y) / delta)
+            x, y = x_next, y_next
+
+    out = []
+    for i, param in enumerate(space.parameters):
+        ee = np.asarray(effects[i])
+        out.append(
+            MorrisEffect(
+                name=param.name,
+                mu_star=float(np.mean(np.abs(ee))),
+                sigma=float(np.std(ee)),
+            )
+        )
+    return out
+
+
+@dataclass
+class RobustnessEntry:
+    """One perturbed-environment evaluation."""
+
+    label: str
+    transmissions: int
+    final_voltage: float
+
+
+@dataclass
+class RobustnessReport:
+    """Spread of a configuration's performance across environments."""
+
+    config: SystemConfig
+    entries: List[RobustnessEntry]
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array([e.transmissions for e in self.entries], dtype=float)
+
+    @property
+    def worst(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def spread(self) -> float:
+        """Relative spread (max-min)/mean."""
+        mean = self.mean
+        if mean <= 0:
+            return float("inf")
+        return float((np.max(self.values) - self.worst) / mean)
+
+
+def robustness_study(
+    config: SystemConfig,
+    seed: int = 0,
+    accel_levels_mg: Sequence[float] = (45.0, 60.0, 75.0),
+    f_starts: Sequence[float] = (62.0, 64.0, 66.0),
+    v_inits: Sequence[float] = (2.55, 2.65, 2.75),
+    horizon: float = 3600.0,
+) -> RobustnessReport:
+    """Evaluate ``config`` across a small grid of perturbed environments.
+
+    One factor varies at a time around the nominal evaluation conditions
+    (60 mg, 64 Hz start, 2.65 V) -- 9 simulations by default.
+    """
+    entries: List[RobustnessEntry] = []
+
+    def run(label: str, profile: VibrationProfile, v_init: float) -> None:
+        sim = EnvelopeSimulator(
+            config,
+            parts=paper_system(v_init=v_init),
+            profile=profile,
+            seed=seed,
+            record_traces=False,
+        )
+        res = sim.run(horizon)
+        entries.append(
+            RobustnessEntry(label, res.transmissions, res.final_voltage)
+        )
+
+    for mg in accel_levels_mg:
+        run(
+            f"accel {mg:g} mg",
+            VibrationProfile.paper_profile(accel_mg=mg),
+            2.65,
+        )
+    for f0 in f_starts:
+        run(
+            f"f_start {f0:g} Hz",
+            VibrationProfile.paper_profile(f_start=f0),
+            2.65,
+        )
+    for v0 in v_inits:
+        run(f"v_init {v0:g} V", VibrationProfile.paper_profile(), v0)
+
+    return RobustnessReport(config=config, entries=entries)

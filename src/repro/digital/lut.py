@@ -1,0 +1,59 @@
+"""The 8-bit frequency-to-position look-up table in MCU memory.
+
+Algorithm 1 step 10: *"Find optimum position (8-bit) of tuning magnet
+through look-up table which has been pre-obtained and stored in the
+microcontroller memory."*  :class:`FrequencyLut` is that table: a dense
+array over a quantised frequency axis mapping measured frequency to the
+actuator position believed to retune the generator onto it.
+
+The table is built from a :class:`repro.harvester.tuning_map.TuningMap`
+during "factory characterisation" and is intentionally *frozen* -- if the
+physical map drifted, the LUT would be stale, which is one reason the
+paper pairs coarse LUT tuning with closed-loop fine tuning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ModelError
+
+
+class FrequencyLut:
+    """Dense frequency -> 8-bit position table."""
+
+    def __init__(self, f_min: float, f_max: float, positions: Sequence[int]):
+        if not f_min < f_max:
+            raise ModelError("LUT: need f_min < f_max")
+        if len(positions) < 2:
+            raise ModelError("LUT: need at least 2 entries")
+        if any(not 0 <= p <= 255 for p in positions):
+            raise ModelError("LUT: positions must fit in 8 bits")
+        self.f_min = f_min
+        self.f_max = f_max
+        self.positions: List[int] = [int(p) for p in positions]
+
+    @classmethod
+    def from_tuning_map(
+        cls, tuning_map, f_min: float, f_max: float, n_entries: int = 256
+    ) -> "FrequencyLut":
+        """Characterise a physical tuning map into a stored table."""
+        return cls(f_min, f_max, tuning_map.build_lut(f_min, f_max, n_entries))
+
+    def lookup(self, frequency_hz: float) -> int:
+        """Optimum 8-bit position for a measured frequency (clamped)."""
+        if frequency_hz <= self.f_min:
+            return self.positions[0]
+        if frequency_hz >= self.f_max:
+            return self.positions[-1]
+        n = len(self.positions)
+        idx = int(round((frequency_hz - self.f_min) / (self.f_max - self.f_min) * (n - 1)))
+        return self.positions[min(max(idx, 0), n - 1)]
+
+    @property
+    def frequency_step(self) -> float:
+        """Frequency quantum of one table entry (Hz)."""
+        return (self.f_max - self.f_min) / (len(self.positions) - 1)
+
+    def __len__(self) -> int:
+        return len(self.positions)

@@ -1,0 +1,136 @@
+"""Microcontroller model (PIC16F884-class).
+
+Wraps the power model and the timer into the operations Algorithm 1
+performs, each returning a :class:`Measurement` carrying its result,
+duration and energy so that both simulation backends account identically:
+
+- :meth:`Microcontroller.measure_frequency` -- the 8-cycle Timer1 loop
+  (coarse-tuning measurement; MCU energy only).
+- :meth:`Microcontroller.measure_phase` -- the accelerometer-vs-generator
+  phase comparison (fine tuning; MCU *and* accelerometer energy).
+- :meth:`Microcontroller.sleep_power` -- standby draw with the watchdog
+  running.
+
+Durations reproduce the paper's Table IV operation times at the 4 MHz
+reference clock and 65 Hz excitation: the measurement loop takes
+``n_cycles / f_in`` (waveform-bound) plus a computation tail that scales
+with ``1/f_clk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.digital.power_model import (
+    ACCELEROMETER_ON_TIME,
+    ACCELEROMETER_POWER,
+    MCU_COARSE_TIME,
+    MCU_FINE_TIME,
+    REFERENCE_CLOCK_HZ,
+    AccelerometerPower,
+    McuPowerModel,
+)
+from repro.digital.timer import TimerCounter
+from repro.errors import ModelError
+from repro.rng import SeedLike, ensure_rng
+
+#: Instruction cycles of the coarse computation tail (LUT lookup, division).
+COARSE_CALC_CYCLES = 104000.0  # 26 ms at 4 MHz: 149 ms total at 65 Hz input
+#: Instruction cycles of the fine computation tail (phase arithmetic).
+FINE_CALC_CYCLES = 688000.0  # 172 ms at 4 MHz: 325 ms total at 65 Hz input
+#: Extra analogue-peripheral power during phase measurement (ADC/comparator
+#: running): lifts the 4 MHz fine-tuning row to Table IV's 6.5 mW.
+FINE_PERIPHERAL_POWER = 1.5e-3
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of one MCU operation: value, wall time and energy drawn."""
+
+    value: float
+    duration: float
+    mcu_energy: float
+    peripheral_energy: float = 0.0
+
+    @property
+    def total_energy(self) -> float:
+        """MCU plus peripheral energy (J)."""
+        return self.mcu_energy + self.peripheral_energy
+
+
+class Microcontroller:
+    """The tuning-control MCU with a configurable clock."""
+
+    def __init__(
+        self,
+        clock_hz: float,
+        power: Optional[McuPowerModel] = None,
+        accelerometer: Optional[AccelerometerPower] = None,
+        n_measure_cycles: int = 8,
+    ):
+        if clock_hz <= 0.0:
+            raise ModelError("MCU clock must be > 0")
+        if n_measure_cycles < 1:
+            raise ModelError("need at least one measurement cycle")
+        self.clock_hz = clock_hz
+        self.power = power or McuPowerModel()
+        self.accelerometer = accelerometer or AccelerometerPower()
+        self.n_measure_cycles = n_measure_cycles
+        self.timer = TimerCounter(clock_hz)
+
+    # -- operations -----------------------------------------------------------
+
+    def measure_frequency(self, true_frequency: float, rng: SeedLike = None) -> Measurement:
+        """Run the 8-cycle frequency measurement (Algorithm 1, steps 4-9)."""
+        gen = ensure_rng(rng)
+        f_measured = self.timer.measure_frequency(
+            true_frequency, self.n_measure_cycles, gen
+        )
+        duration = (
+            self.n_measure_cycles / true_frequency
+            + COARSE_CALC_CYCLES / self.clock_hz
+        )
+        energy = self.power.active_power(self.clock_hz) * duration
+        return Measurement(f_measured, duration, energy)
+
+    def measure_phase(self, true_phase_seconds: float, rng: SeedLike = None) -> Measurement:
+        """Measure the accelerometer/generator phase difference (Algorithm 3).
+
+        The accelerometer is powered for its Table IV window; the returned
+        value keeps the sign of the true phase difference (the firmware
+        derives direction from which edge arrives first).
+        """
+        gen = ensure_rng(rng)
+        magnitude = self.timer.measure_interval(abs(true_phase_seconds), gen)
+        value = magnitude if true_phase_seconds >= 0.0 else -magnitude
+        duration = (
+            self.accelerometer.on_time + FINE_CALC_CYCLES / self.clock_hz
+        )
+        mcu_energy = (
+            self.power.active_power(self.clock_hz) + FINE_PERIPHERAL_POWER
+        ) * duration
+        return Measurement(
+            value,
+            duration,
+            mcu_energy,
+            peripheral_energy=self.accelerometer.energy_per_measurement(),
+        )
+
+    def busy(self, duration: float) -> Measurement:
+        """Account an arbitrary active-mode stretch (e.g. issuing commands)."""
+        if duration < 0.0:
+            raise ModelError("duration must be >= 0")
+        return Measurement(
+            0.0, duration, self.power.active_power(self.clock_hz) * duration
+        )
+
+    # -- standby ------------------------------------------------------------
+
+    def sleep_power(self) -> float:
+        """Standby power (W) with the watchdog timer running."""
+        return self.power.sleep_power
+
+    def frequency_resolution(self, frequency: float) -> float:
+        """Predicted 1-sigma error of :meth:`measure_frequency` (Hz)."""
+        return self.timer.frequency_std(frequency, self.n_measure_cycles)

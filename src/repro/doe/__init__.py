@@ -1,0 +1,46 @@
+"""Design of experiments (paper section II-B).
+
+- :mod:`repro.doe.design` -- the :class:`~repro.doe.design.Design`
+  container (coded points + parameter space).
+- :mod:`repro.doe.factorial` -- full and fractional factorials.
+- :mod:`repro.doe.ccd` -- central composite designs.
+- :mod:`repro.doe.bbd` -- Box-Behnken designs.
+- :mod:`repro.doe.lhs` -- Latin hypercube sampling.
+- :mod:`repro.doe.candidates` -- candidate sets for optimal design.
+- :mod:`repro.doe.doptimal` -- D-optimal designs by Fedorov and
+  coordinate exchange (the paper's choice: 10 runs instead of 27).
+- :mod:`repro.doe.criteria` -- D/A/G/I efficiency metrics.
+"""
+
+from repro.doe.augment import augment_d_optimal
+from repro.doe.bbd import box_behnken
+from repro.doe.candidates import grid_candidates, random_candidates
+from repro.doe.ccd import central_composite
+from repro.doe.criteria import (
+    a_efficiency,
+    d_efficiency,
+    g_efficiency,
+    i_criterion,
+)
+from repro.doe.design import Design
+from repro.doe.doptimal import d_optimal
+from repro.doe.factorial import fractional_factorial, full_factorial, two_level_factorial
+from repro.doe.lhs import latin_hypercube
+
+__all__ = [
+    "Design",
+    "a_efficiency",
+    "augment_d_optimal",
+    "box_behnken",
+    "central_composite",
+    "d_efficiency",
+    "d_optimal",
+    "fractional_factorial",
+    "full_factorial",
+    "g_efficiency",
+    "grid_candidates",
+    "i_criterion",
+    "latin_hypercube",
+    "random_candidates",
+    "two_level_factorial",
+]

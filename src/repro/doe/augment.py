@@ -1,0 +1,82 @@
+"""Design augmentation: extend an existing design D-optimally.
+
+The practical sequel to the paper's 10-run design: after fitting a
+saturated model, an engineer typically buys a few more runs to gain
+residual degrees of freedom (lack-of-fit checks).  ``augment_d_optimal``
+chooses those follow-up points so the *combined* design maximises
+``det(X'X)`` -- existing runs are fixed, only the additions move.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.doe.candidates import grid_candidates
+from repro.doe.design import Design
+from repro.errors import DesignError
+from repro.rng import SeedLike, ensure_rng
+from repro.rsm.basis import PolynomialBasis
+
+
+def augment_d_optimal(
+    design: Design,
+    n_additional: int,
+    kind: str = "quadratic",
+    candidates: Optional[np.ndarray] = None,
+    n_restarts: int = 5,
+    max_passes: int = 30,
+    seed: SeedLike = None,
+) -> Design:
+    """Return ``design`` plus ``n_additional`` D-optimally chosen runs."""
+    if n_additional < 1:
+        raise DesignError("need at least one additional run")
+    basis = PolynomialBasis(design.k, kind)
+    cand = (
+        grid_candidates(design.k)
+        if candidates is None
+        else np.asarray(candidates, dtype=float)
+    )
+    if cand.ndim != 2 or cand.shape[1] != design.k:
+        raise DesignError("candidates must be an (m, k) array")
+    rng = ensure_rng(seed)
+    fixed = design.points
+
+    def logdet(extra: np.ndarray) -> float:
+        X = basis.expand(np.vstack([fixed, extra]))
+        sign, val = np.linalg.slogdet(X.T @ X)
+        return val if sign > 0 else -np.inf
+
+    best_extra, best_val = None, -np.inf
+    for _ in range(max(n_restarts, 1)):
+        idx = rng.choice(len(cand), size=n_additional, replace=True)
+        extra = cand[idx].copy()
+        current = logdet(extra)
+        for _ in range(max_passes):
+            improved = False
+            for i in range(n_additional):
+                saved = extra[i].copy()
+                best_j, best_local = None, current
+                for j in range(len(cand)):
+                    extra[i] = cand[j]
+                    val = logdet(extra)
+                    if val > best_local + 1e-12:
+                        best_j, best_local = j, val
+                if best_j is None:
+                    extra[i] = saved
+                else:
+                    extra[i] = cand[best_j]
+                    current = best_local
+                    improved = True
+            if not improved:
+                break
+        if current > best_val:
+            best_extra, best_val = extra.copy(), current
+    if best_extra is None or not np.isfinite(best_val):
+        raise DesignError("augmentation failed to produce a usable design")
+    return Design(
+        np.vstack([fixed, best_extra]),
+        space=design.space,
+        name=f"{design.name}+aug{n_additional}",
+    )

@@ -1,0 +1,36 @@
+"""Box-Behnken designs.
+
+Mid-edge points of the coded cube plus centre replicates; a three-level
+second-order design that avoids the cube corners (useful when corners are
+physically extreme -- e.g. max clock + min watchdog + min interval all at
+once).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Optional
+
+import numpy as np
+
+from repro.doe.design import Design
+from repro.errors import DesignError
+from repro.rsm.coding import ParameterSpace
+
+
+def box_behnken(
+    k: int, n_center: int = 1, space: Optional[ParameterSpace] = None
+) -> Design:
+    """Build the Box-Behnken design over ``k >= 3`` coded variables."""
+    if k < 3:
+        raise DesignError("Box-Behnken needs k >= 3")
+    if n_center < 0:
+        raise DesignError("n_center must be >= 0")
+    rows = []
+    for i, j in combinations(range(k), 2):
+        for si, sj in product((-1.0, 1.0), repeat=2):
+            pt = np.zeros(k)
+            pt[i], pt[j] = si, sj
+            rows.append(pt)
+    rows.extend(np.zeros(k) for _ in range(n_center))
+    return Design(np.array(rows), space=space, name=f"bbd-k{k}")

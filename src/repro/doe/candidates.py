@@ -1,0 +1,33 @@
+"""Candidate point sets for optimal (computer-generated) designs.
+
+D-optimal algorithms select runs from a finite candidate set; the paper
+uses the three-level grid (the same 27 points as the full factorial),
+which is also the default here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DesignError
+from repro.rng import SeedLike, ensure_rng
+
+
+def grid_candidates(k: int, n_levels: int = 3) -> np.ndarray:
+    """The ``n_levels^k`` coded grid (3 levels -> [-1, 0, 1] per axis)."""
+    if k < 1:
+        raise DesignError("need k >= 1")
+    if n_levels < 2:
+        raise DesignError("need at least 2 levels")
+    from itertools import product
+
+    levels = np.linspace(-1.0, 1.0, n_levels)
+    return np.array(list(product(levels, repeat=k)))
+
+
+def random_candidates(k: int, n_points: int, seed: SeedLike = None) -> np.ndarray:
+    """Uniform random candidates in the coded box."""
+    if n_points < 1:
+        raise DesignError("need at least one candidate")
+    rng = ensure_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(n_points, k))

@@ -1,0 +1,89 @@
+"""Design quality criteria.
+
+All criteria are defined on the model matrix ``X`` of the intended
+regression; efficiencies are scale-free so designs of different sizes can
+be compared (the paper's 10-run D-optimal vs the 27-run factorial).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.doe.candidates import grid_candidates
+from repro.doe.design import Design
+from repro.errors import DesignError
+from repro.rsm.basis import PolynomialBasis
+
+
+def _model_matrix(design: Design, kind: str) -> np.ndarray:
+    return design.model_matrix(kind)
+
+
+def d_efficiency(design: Design, kind: str = "quadratic") -> float:
+    """Normalised D-efficiency ``det(X'X / n)^(1/p)`` in [0, 1]-ish units.
+
+    1.0 corresponds to the (unattainable) orthonormal information matrix;
+    useful for *relative* comparison between designs for the same model.
+    """
+    X = _model_matrix(design, kind)
+    n, p = X.shape
+    sign, logdet = np.linalg.slogdet(X.T @ X / n)
+    if sign <= 0:
+        return 0.0
+    return float(np.exp(logdet / p))
+
+
+def a_efficiency(design: Design, kind: str = "quadratic") -> float:
+    """A-efficiency ``p / trace((X'X / n)^-1)`` (harmonic-mean eigenvalue)."""
+    X = _model_matrix(design, kind)
+    n, p = X.shape
+    try:
+        inv = np.linalg.inv(X.T @ X / n)
+    except np.linalg.LinAlgError:
+        return 0.0
+    tr = float(np.trace(inv))
+    if tr <= 0:
+        return 0.0
+    return p / tr
+
+
+def prediction_variance(
+    design: Design, points: np.ndarray, kind: str = "quadratic"
+) -> np.ndarray:
+    """Scaled prediction variance ``n x'(X'X)^-1 x`` at coded points."""
+    X = _model_matrix(design, kind)
+    n = X.shape[0]
+    basis = PolynomialBasis(design.k, kind)
+    F = basis.expand(np.atleast_2d(points))
+    try:
+        inv = np.linalg.inv(X.T @ X)
+    except np.linalg.LinAlgError as exc:
+        raise DesignError(f"singular information matrix: {exc}") from exc
+    return n * np.einsum("ij,jk,ik->i", F, inv, F)
+
+
+def g_efficiency(
+    design: Design,
+    kind: str = "quadratic",
+    candidates: Optional[np.ndarray] = None,
+) -> float:
+    """G-efficiency ``p / max_x SPV(x)`` over a candidate grid."""
+    cand = grid_candidates(design.k, 5) if candidates is None else candidates
+    spv = prediction_variance(design, cand, kind)
+    p = PolynomialBasis(design.k, kind).n_terms
+    worst = float(np.max(spv))
+    if worst <= 0:
+        return 0.0
+    return p / worst
+
+
+def i_criterion(
+    design: Design,
+    kind: str = "quadratic",
+    candidates: Optional[np.ndarray] = None,
+) -> float:
+    """Average scaled prediction variance over the region (lower = better)."""
+    cand = grid_candidates(design.k, 5) if candidates is None else candidates
+    return float(np.mean(prediction_variance(design, cand, kind)))

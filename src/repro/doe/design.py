@@ -1,0 +1,99 @@
+"""The Design container: a set of coded runs over a parameter space."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DesignError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import ParameterSpace
+from repro.rsm.regression import d_criterion, log_d_criterion
+
+
+class Design:
+    """A matrix of coded design points, optionally bound to a space.
+
+    Rows are runs, columns are design variables in coded [-1, 1] units.
+    """
+
+    def __init__(
+        self,
+        points_coded: np.ndarray,
+        space: Optional[ParameterSpace] = None,
+        name: str = "design",
+    ):
+        pts = np.atleast_2d(np.asarray(points_coded, dtype=float))
+        if pts.size == 0:
+            raise DesignError("design needs at least one run")
+        if space is not None and pts.shape[1] != space.k:
+            raise DesignError(
+                f"design has {pts.shape[1]} variables, space has {space.k}"
+            )
+        if np.any(np.abs(pts) > 1.0 + 1e-9):
+            raise DesignError("coded design points must lie in [-1, 1]")
+        self.points = pts
+        self.space = space
+        self.name = name
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs (rows)."""
+        return self.points.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Number of design variables (columns)."""
+        return self.points.shape[1]
+
+    def natural_points(self) -> np.ndarray:
+        """Runs in natural units (requires a bound parameter space)."""
+        if self.space is None:
+            raise DesignError(f"design {self.name!r} has no parameter space")
+        return self.space.to_natural(self.points)
+
+    def model_matrix(self, kind: str = "quadratic") -> np.ndarray:
+        """Expanded model matrix X for a polynomial basis."""
+        return PolynomialBasis(self.k, kind).expand(self.points)
+
+    # -- quality -------------------------------------------------------------
+
+    def d_criterion(self, kind: str = "quadratic") -> float:
+        """``det(X'X)`` for the given model."""
+        return d_criterion(self.model_matrix(kind))
+
+    def log_d_criterion(self, kind: str = "quadratic") -> float:
+        """``log det(X'X)``; -inf when the design is singular."""
+        return log_d_criterion(self.model_matrix(kind))
+
+    def supports_model(self, kind: str = "quadratic") -> bool:
+        """Whether the design can identify every coefficient of the model."""
+        X = self.model_matrix(kind)
+        if X.shape[0] < X.shape[1]:
+            return False
+        return np.linalg.matrix_rank(X) == X.shape[1]
+
+    # -- manipulation -----------------------------------------------------------
+
+    def append(self, other: "Design") -> "Design":
+        """Concatenate two designs over the same variables."""
+        if other.k != self.k:
+            raise DesignError("cannot append designs with different k")
+        return Design(
+            np.vstack([self.points, other.points]),
+            space=self.space or other.space,
+            name=f"{self.name}+{other.name}",
+        )
+
+    def unique(self, decimals: int = 9) -> "Design":
+        """Drop duplicate runs (rounded comparison)."""
+        _, idx = np.unique(
+            np.round(self.points, decimals), axis=0, return_index=True
+        )
+        return Design(self.points[np.sort(idx)], space=self.space, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Design({self.name!r}, runs={self.n_runs}, k={self.k})"

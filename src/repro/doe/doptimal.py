@@ -1,0 +1,161 @@
+"""D-optimal experimental design (paper section II-B).
+
+Selects ``n`` runs from a candidate set so that the information matrix
+``X'X`` of the intended regression model has maximal determinant -- the
+criterion the paper uses to get a quadratic-capable design in 10 runs
+instead of the 27-run full factorial.
+
+Two classic exchange algorithms are provided:
+
+- **Fedorov exchange** -- repeatedly swap the (design point, candidate)
+  pair that most improves ``det(X'X)`` until no swap helps.
+- **Coordinate exchange** -- improve one coordinate of one run at a time
+  over the candidate levels (works without a combinatorial candidate set).
+
+Problem sizes here are tiny (n ~ 10, p ~ 10, candidates ~ 27-125), so both
+implementations recompute ``log det`` directly with numpy instead of using
+rank-one update formulas; correctness over micro-optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.doe.candidates import grid_candidates
+from repro.doe.design import Design
+from repro.errors import DesignError
+from repro.rng import SeedLike, ensure_rng
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import ParameterSpace
+
+
+def d_optimal(
+    k: int,
+    n_runs: int,
+    kind: str = "quadratic",
+    candidates: Optional[np.ndarray] = None,
+    method: str = "fedorov",
+    n_restarts: int = 10,
+    max_passes: int = 50,
+    seed: SeedLike = None,
+    space: Optional[ParameterSpace] = None,
+) -> Design:
+    """Build a D-optimal design for a polynomial model.
+
+    Parameters
+    ----------
+    k:
+        Number of design variables.
+    n_runs:
+        Runs to select; must be >= the model's coefficient count (the
+        paper: 10 runs for the 10-coefficient quadratic in 3 variables).
+    kind:
+        Polynomial basis the design must support.
+    candidates:
+        Candidate coded points; defaults to the 3-level grid.
+    method:
+        ``"fedorov"`` or ``"coordinate"``.
+    n_restarts:
+        Independent random starts; the best final design wins.
+    """
+    basis = PolynomialBasis(k, kind)
+    if n_runs < basis.n_terms:
+        raise DesignError(
+            f"{n_runs} runs cannot support a {basis.n_terms}-term model"
+        )
+    if method not in ("fedorov", "coordinate"):
+        raise DesignError(f"unknown method {method!r}")
+    cand = grid_candidates(k) if candidates is None else np.asarray(candidates, dtype=float)
+    if cand.ndim != 2 or cand.shape[1] != k:
+        raise DesignError("candidates must be an (m, k) array")
+    rng = ensure_rng(seed)
+
+    best_pts, best_logdet = None, -np.inf
+    for _ in range(max(n_restarts, 1)):
+        pts = _random_nonsingular_start(cand, n_runs, basis, rng)
+        if method == "fedorov":
+            pts, logdet = _fedorov(pts, cand, basis, max_passes)
+        else:
+            levels = np.unique(cand.ravel())
+            pts, logdet = _coordinate_exchange(pts, levels, basis, max_passes)
+        if logdet > best_logdet:
+            best_pts, best_logdet = pts, logdet
+    if best_pts is None or not np.isfinite(best_logdet):
+        raise DesignError("failed to find a non-singular D-optimal design")
+    return Design(best_pts, space=space, name=f"d-optimal-{n_runs}")
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _logdet(points: np.ndarray, basis: PolynomialBasis) -> float:
+    X = basis.expand(points)
+    sign, val = np.linalg.slogdet(X.T @ X)
+    return val if sign > 0 else -np.inf
+
+
+def _random_nonsingular_start(
+    cand: np.ndarray, n_runs: int, basis: PolynomialBasis, rng
+) -> np.ndarray:
+    for _ in range(200):
+        idx = rng.choice(len(cand), size=n_runs, replace=n_runs > len(cand))
+        pts = cand[idx].copy()
+        if np.isfinite(_logdet(pts, basis)):
+            return pts
+    raise DesignError(
+        "could not draw a non-singular starting design; enlarge the "
+        "candidate set or the run count"
+    )
+
+
+def _fedorov(
+    pts: np.ndarray, cand: np.ndarray, basis: PolynomialBasis, max_passes: int
+) -> "tuple[np.ndarray, float]":
+    current = _logdet(pts, basis)
+    for _ in range(max_passes):
+        best_gain, best_swap = 0.0, None
+        for i in range(len(pts)):
+            saved = pts[i].copy()
+            for j in range(len(cand)):
+                pts[i] = cand[j]
+                val = _logdet(pts, basis)
+                gain = val - current
+                if gain > best_gain + 1e-12:
+                    best_gain, best_swap = gain, (i, j)
+            pts[i] = saved
+        if best_swap is None:
+            break
+        i, j = best_swap
+        pts[i] = cand[j]
+        current += best_gain
+        current = _logdet(pts, basis)  # refresh to avoid drift
+    return pts, current
+
+
+def _coordinate_exchange(
+    pts: np.ndarray, levels: np.ndarray, basis: PolynomialBasis, max_passes: int
+) -> "tuple[np.ndarray, float]":
+    current = _logdet(pts, basis)
+    k = pts.shape[1]
+    for _ in range(max_passes):
+        improved = False
+        for i in range(len(pts)):
+            for c in range(k):
+                saved = pts[i, c]
+                best_val, best_level = current, saved
+                for level in levels:
+                    if level == saved:
+                        continue
+                    pts[i, c] = level
+                    val = _logdet(pts, basis)
+                    if val > best_val + 1e-12:
+                        best_val, best_level = val, level
+                pts[i, c] = best_level
+                if best_level != saved:
+                    current = best_val
+                    improved = True
+        if not improved:
+            break
+    return pts, current

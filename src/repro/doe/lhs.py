@@ -1,0 +1,60 @@
+"""Latin hypercube sampling.
+
+Space-filling designs for surrogate modelling beyond the paper's
+polynomial RSM workflow.  ``criterion="maximin"`` performs a simple
+best-of-N restart search maximising the minimum pairwise distance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.doe.design import Design
+from repro.errors import DesignError
+from repro.rng import SeedLike, ensure_rng
+from repro.rsm.coding import ParameterSpace
+
+
+def latin_hypercube(
+    k: int,
+    n_runs: int,
+    seed: SeedLike = None,
+    criterion: str = "none",
+    n_restarts: int = 20,
+    space: Optional[ParameterSpace] = None,
+) -> Design:
+    """Sample an LHS design in coded [-1, 1] units.
+
+    Parameters
+    ----------
+    criterion:
+        ``"none"`` -- one random LHS; ``"maximin"`` -- keep the best of
+        ``n_restarts`` by minimum pairwise distance.
+    """
+    if n_runs < 2:
+        raise DesignError("LHS needs at least 2 runs")
+    if criterion not in ("none", "maximin"):
+        raise DesignError(f"unknown LHS criterion {criterion!r}")
+    rng = ensure_rng(seed)
+
+    def _one() -> np.ndarray:
+        pts = np.empty((n_runs, k))
+        for j in range(k):
+            perm = rng.permutation(n_runs)
+            pts[:, j] = (perm + rng.uniform(0.0, 1.0, n_runs)) / n_runs
+        return 2.0 * pts - 1.0
+
+    if criterion == "none":
+        return Design(_one(), space=space, name=f"lhs-{n_runs}")
+    best, best_score = None, -np.inf
+    for _ in range(max(n_restarts, 1)):
+        pts = _one()
+        diffs = pts[:, None, :] - pts[None, :, :]
+        dists = np.sqrt(np.sum(diffs**2, axis=2))
+        np.fill_diagonal(dists, np.inf)
+        score = float(np.min(dists))
+        if score > best_score:
+            best, best_score = pts, score
+    return Design(best, space=space, name=f"lhs-maximin-{n_runs}")

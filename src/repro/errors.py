@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the event-driven simulation kernel reaches an invalid state."""
+
+
+class ConvergenceError(SimulationError):
+    """Raised when an iterative numerical method fails to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm, if known.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(SimulationError):
+    """Raised when the MNA system matrix is singular (e.g. floating node)."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit netlists (unknown nodes, bad values...)."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid physical-model parameters (negative mass etc.)."""
+
+
+class DesignError(ReproError):
+    """Raised for invalid designs of experiments or parameter spaces."""
+
+
+class FitError(ReproError):
+    """Raised when a response-surface fit cannot be performed.
+
+    Typical causes: fewer runs than model coefficients, or a rank-deficient
+    design matrix.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when an optimiser is configured inconsistently."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid system configurations (out-of-range parameters)."""

@@ -1,0 +1,49 @@
+"""The tunable electromagnetic microgenerator and its power path.
+
+- :mod:`repro.harvester.tuning_map` -- actuator position to resonant
+  frequency map (and the 8-bit LUT the microcontroller stores).
+- :mod:`repro.harvester.actuator` -- Haydon 21000-style linear stepper
+  actuator with the paper's Table IV energy/time model.
+- :mod:`repro.harvester.storage` -- supercapacitor energy bookkeeping for
+  the envelope model.
+- :mod:`repro.harvester.rectifier` -- diode-bridge builder (detailed) and
+  averaged Thevenin rectifier model (envelope).
+- :mod:`repro.harvester.envelope` -- analytic steady-state harvesting power
+  (the "accelerated simulation" substitute for hour-long runs).
+- :mod:`repro.harvester.microgenerator` -- the tunable generator facade and
+  its detailed MNA component.
+"""
+
+from repro.harvester.actuator import LinearActuator, MoveResult
+from repro.harvester.characterization import (
+    harvest_map,
+    power_frequency_curve,
+    power_voltage_curve,
+    resonance_bandwidth,
+    tuning_curve,
+)
+from repro.harvester.envelope import EnvelopeHarvester
+from repro.harvester.microgenerator import (
+    ElectromagneticGenerator,
+    TunableMicrogenerator,
+)
+from repro.harvester.rectifier import RectifierEnvelope, add_diode_bridge
+from repro.harvester.storage import EnergyStore
+from repro.harvester.tuning_map import TuningMap
+
+__all__ = [
+    "ElectromagneticGenerator",
+    "EnergyStore",
+    "EnvelopeHarvester",
+    "LinearActuator",
+    "MoveResult",
+    "RectifierEnvelope",
+    "TunableMicrogenerator",
+    "TuningMap",
+    "add_diode_bridge",
+    "harvest_map",
+    "power_frequency_curve",
+    "power_voltage_curve",
+    "resonance_bandwidth",
+    "tuning_curve",
+]

@@ -1,0 +1,135 @@
+"""Harvester characterisation sweeps.
+
+The curves an engineer measures on a shaker table before deploying a
+tunable harvester -- generated here from the models so examples, benches
+and documentation can show the device's personality:
+
+- :func:`power_frequency_curve` -- delivered power vs excitation frequency
+  at a fixed tuning position (the resonance peak whose narrowness
+  motivates the whole tuning subsystem);
+- :func:`tuning_curve` -- resonant frequency vs actuator position;
+- :func:`power_voltage_curve` -- delivered power vs storage voltage
+  (Thevenin taper + mechanical cap crossover);
+- :func:`harvest_map` -- the (frequency, position) power surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.harvester.microgenerator import TunableMicrogenerator
+
+
+def power_frequency_curve(
+    micro: TunableMicrogenerator,
+    accel: float,
+    store_voltage: float,
+    position: Optional[float] = None,
+    frequencies: Optional[np.ndarray] = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Delivered power vs excitation frequency at a fixed position."""
+    pos = micro.position if position is None else position
+    if frequencies is None:
+        f_r = micro.tuning_map.resonant_frequency(pos)
+        frequencies = np.linspace(f_r - 3.0, f_r + 3.0, 121)
+    freqs = np.asarray(frequencies, dtype=float)
+    powers = np.array(
+        [
+            micro.envelope.charging_power(f, accel, pos, store_voltage)
+            for f in freqs
+        ]
+    )
+    return freqs, powers
+
+
+def tuning_curve(
+    micro: TunableMicrogenerator, n_points: int = 64
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Resonant frequency vs actuator position across the travel."""
+    if n_points < 2:
+        raise ModelError("need at least two points")
+    positions = np.linspace(0, micro.tuning_map.n_positions - 1, n_points)
+    freqs = np.array(
+        [micro.tuning_map.resonant_frequency(p) for p in positions]
+    )
+    return positions, freqs
+
+
+def power_voltage_curve(
+    micro: TunableMicrogenerator,
+    frequency_hz: float,
+    accel: float,
+    position: Optional[float] = None,
+    voltages: Optional[np.ndarray] = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Delivered power vs storage voltage at a fixed excitation."""
+    pos = micro.position if position is None else position
+    if voltages is None:
+        ceiling = micro.envelope.ceiling_voltage(frequency_hz, accel, pos)
+        voltages = np.linspace(0.5, max(ceiling, 1.0), 101)
+    volts = np.asarray(voltages, dtype=float)
+    powers = np.array(
+        [
+            micro.envelope.charging_power(frequency_hz, accel, pos, v)
+            for v in volts
+        ]
+    )
+    return volts, powers
+
+
+def harvest_map(
+    micro: TunableMicrogenerator,
+    accel: float,
+    store_voltage: float,
+    frequencies: Optional[np.ndarray] = None,
+    positions: Optional[np.ndarray] = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """(frequency, position) -> power surface.
+
+    Returns (frequencies, positions, power matrix of shape (n_f, n_p)).
+    The ridge of the surface *is* the optimal tuning trajectory the LUT
+    encodes.
+    """
+    f_lo, f_hi = micro.tuning_map.frequency_range()
+    if frequencies is None:
+        frequencies = np.linspace(f_lo, f_hi, 41)
+    if positions is None:
+        positions = np.linspace(0, micro.tuning_map.n_positions - 1, 41)
+    freqs = np.asarray(frequencies, dtype=float)
+    poss = np.asarray(positions, dtype=float)
+    surface = np.zeros((len(freqs), len(poss)))
+    for i, f in enumerate(freqs):
+        for j, p in enumerate(poss):
+            surface[i, j] = micro.envelope.charging_power(
+                f, accel, p, store_voltage
+            )
+    return freqs, poss, surface
+
+
+def resonance_bandwidth(
+    micro: TunableMicrogenerator,
+    accel: float,
+    store_voltage: float,
+    position: float,
+    level: float = 0.5,
+) -> float:
+    """Width (Hz) of the delivered-power peak at ``level`` of its maximum.
+
+    For the calibrated device this is a few hundred mHz -- the number that
+    justifies both the 8-bit tuning resolution and the fine-tuning loop.
+    """
+    if not 0.0 < level < 1.0:
+        raise ModelError("level must be in (0, 1)")
+    freqs, powers = power_frequency_curve(
+        micro, accel, store_voltage, position=position
+    )
+    peak = float(np.max(powers))
+    if peak <= 0.0:
+        return 0.0
+    above = freqs[powers >= level * peak]
+    if len(above) < 2:
+        return 0.0
+    return float(above[-1] - above[0])

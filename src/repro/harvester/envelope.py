@@ -1,0 +1,131 @@
+"""Analytic steady-state harvesting power (the accelerated model).
+
+Hour-long design-space-exploration runs cannot integrate a 65 Hz
+oscillation cycle-by-cycle; the paper's authors faced the same problem and
+used a linearised state-space acceleration technique (their ref [9]).  Our
+equivalent: for a *linear* harvester the steady-state response at a given
+excitation is known in closed form, so the envelope simulator evaluates
+
+    position -> retuned resonator -> velocity amplitude -> EMF peak
+             -> averaged rectifier -> charging power at the present
+                storage voltage
+
+once per control-system event instead of thousands of times per vibration
+cycle.  The mapping is validated against the detailed MNA model in
+``tests/harvester/test_envelope_vs_detailed.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.harvester.rectifier import RectifierEnvelope
+from repro.harvester.tuning_map import TuningMap
+from repro.mech.coupling import ElectromagneticCoupling
+
+
+class EnvelopeHarvester:
+    """Steady-state electrical model of the tunable microgenerator.
+
+    Parameters
+    ----------
+    tuning_map:
+        Position -> resonant frequency physics (includes the resonator).
+    coupling:
+        Electromagnetic transduction constants.
+    rectifier:
+        Averaged bridge model.
+    source_resistance:
+        DC-side Thevenin resistance of coil + bridge; defaults to the coil
+        resistance.
+    mech_efficiency:
+        Fraction of the resonator's electrical-damping power that can
+        actually reach the storage (coil + rectifier losses).  Delivered
+        power is ``min(Thevenin, mech_efficiency * P_e)`` -- the Thevenin
+        gap limits near the voltage ceiling, the mechanical budget limits
+        at low storage voltages.
+    """
+
+    def __init__(
+        self,
+        tuning_map: TuningMap,
+        coupling: ElectromagneticCoupling,
+        rectifier: Optional[RectifierEnvelope] = None,
+        source_resistance: Optional[float] = None,
+        mech_efficiency: float = 1.0,
+    ):
+        self.tuning_map = tuning_map
+        self.coupling = coupling
+        self.rectifier = rectifier or RectifierEnvelope()
+        self.source_resistance = (
+            coupling.coil_resistance if source_resistance is None else source_resistance
+        )
+        if self.source_resistance <= 0.0:
+            raise ModelError("envelope: source resistance must be > 0")
+        if not 0.0 < mech_efficiency <= 1.0:
+            raise ModelError("envelope: mech efficiency must be in (0, 1]")
+        self.mech_efficiency = mech_efficiency
+
+    # -- mechanical/electrical chain ---------------------------------------
+
+    def resonant_frequency(self, position: float) -> float:
+        """Resonant frequency (Hz) at an actuator position."""
+        return self.tuning_map.resonant_frequency(position)
+
+    def emf_peak(self, frequency_hz: float, accel_amplitude: float, position: float) -> float:
+        """Open-loop EMF peak (V) at the given excitation and position."""
+        resonator = self.tuning_map.resonator_at(position)
+        velocity = resonator.velocity_amplitude(frequency_hz, accel_amplitude)
+        return self.coupling.emf_amplitude(velocity)
+
+    def mechanical_limit(
+        self, frequency_hz: float, accel_amplitude: float, position: float
+    ) -> float:
+        """Maximum deliverable power (W): the scaled electrical-damping power."""
+        resonator = self.tuning_map.resonator_at(position)
+        return self.mech_efficiency * resonator.electrical_power(
+            frequency_hz, accel_amplitude
+        )
+
+    def charging_power(
+        self,
+        frequency_hz: float,
+        accel_amplitude: float,
+        position: float,
+        store_voltage: float,
+    ) -> float:
+        """Average power (W) delivered into the storage capacitor."""
+        emf = self.emf_peak(frequency_hz, accel_amplitude, position)
+        thevenin = self.rectifier.charging_power(
+            emf, self.source_resistance, store_voltage
+        )
+        return min(
+            thevenin, self.mechanical_limit(frequency_hz, accel_amplitude, position)
+        )
+
+    def charging_current(
+        self,
+        frequency_hz: float,
+        accel_amplitude: float,
+        position: float,
+        store_voltage: float,
+    ) -> float:
+        """Average charging current (A) into the storage capacitor."""
+        if store_voltage <= 0.0:
+            return 0.0
+        power = self.charging_power(
+            frequency_hz, accel_amplitude, position, store_voltage
+        )
+        return power / store_voltage
+
+    def ceiling_voltage(
+        self, frequency_hz: float, accel_amplitude: float, position: float
+    ) -> float:
+        """Storage voltage at which charging stops for this excitation."""
+        emf = self.emf_peak(frequency_hz, accel_amplitude, position)
+        return self.rectifier.ceiling_voltage(emf)
+
+    def optimal_position(self, frequency_hz: float) -> int:
+        """LUT position maximising charging power for ``frequency_hz``."""
+        return self.tuning_map.position_for_frequency(frequency_hz)

@@ -1,0 +1,267 @@
+"""The tunable electromagnetic microgenerator.
+
+Two representations share one parameter set:
+
+- :class:`ElectromagneticGenerator` -- a detailed MNA component coupling
+  the mechanical SDOF states (relative displacement ``z`` and velocity
+  ``v``) into the electrical network, exactly as SystemC-A couples its
+  mechanical and electrical equations.  Its extra unknowns are
+  ``[i_coil, z, v]`` with equations
+
+      ``v_p - v_n - R_c i - L di/dt - theta v = 0``      (coil branch)
+      ``dz/dt - v = 0``                                   (kinematics)
+      ``m dv/dt + c_m v + k(t) z - theta i + m a(t) = 0`` (dynamics)
+
+- :class:`TunableMicrogenerator` -- the facade used by the system model:
+  it owns the tuning map, the actuator and the envelope model, and can
+  instantiate the detailed component for co-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.analog.components.base import (
+    Component,
+    METHOD_TRAP,
+    MODE_DC,
+    Stamps,
+)
+from repro.errors import ModelError
+from repro.harvester.actuator import LinearActuator
+from repro.harvester.envelope import EnvelopeHarvester
+from repro.harvester.rectifier import RectifierEnvelope
+from repro.harvester.tuning_map import TuningMap
+from repro.mech.coupling import ElectromagneticCoupling
+from repro.mech.sdof import SdofResonator
+
+
+class ElectromagneticGenerator(Component):
+    """Detailed electromechanical generator between coil nodes ``p`` and ``n``.
+
+    Parameters
+    ----------
+    mass, damping_mech:
+        Mechanical SDOF constants (kg, N.s/m).
+    stiffness:
+        Initial spring constant (N/m); assign :attr:`stiffness` to retune
+        mid-simulation (the tuning actuator does exactly that).
+    coupling:
+        Transduction constants (theta, coil R and L).
+    acceleration:
+        Base acceleration waveform ``a(t)`` in m/s^2.
+    ac_accel_amplitude:
+        Acceleration amplitude used as the stimulus in AC analysis.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        p: str,
+        n: str,
+        mass: float,
+        stiffness: float,
+        damping_mech: float,
+        coupling: ElectromagneticCoupling,
+        acceleration: Callable[[float], float],
+        ac_accel_amplitude: float = 0.0,
+    ):
+        super().__init__(name, (p, n))
+        if mass <= 0.0 or stiffness <= 0.0 or damping_mech < 0.0:
+            raise ModelError("generator: need mass, stiffness > 0 and damping >= 0")
+        self.mass = mass
+        self.stiffness = stiffness
+        self.damping_mech = damping_mech
+        self.coupling = coupling
+        self.acceleration = acceleration
+        self.ac_accel_amplitude = ac_accel_amplitude
+        self._didt_prev = 0.0
+        self._vdot_prev = 0.0
+
+    def reset(self) -> None:
+        """Clear companion-model history (start of a new transient)."""
+        self._didt_prev = 0.0
+        self._vdot_prev = 0.0
+
+    def n_extras(self) -> int:
+        return 3  # [i_coil, z, v]
+
+    def stamp(self, st: Stamps) -> None:
+        p, n = self.node_idx
+        ki, kz, kv = self.extra_idx
+        theta = self.coupling.theta
+        rc = self.coupling.coil_resistance
+        lc = self.coupling.coil_inductance
+        m, k, c = self.mass, self.stiffness, self.damping_mech
+
+        # KCL: branch current i flows from p through the generator to n.
+        st.add_G(p, ki, 1.0)
+        st.add_G(n, ki, -1.0)
+
+        if st.mode == MODE_DC:
+            # Static equilibrium: v = 0, coil purely resistive.
+            st.add_G(ki, p, 1.0)
+            st.add_G(ki, n, -1.0)
+            st.add_G(ki, ki, -rc)
+            st.add_G(ki, kv, -theta)
+            st.add_G(kz, kv, 1.0)  # v = 0
+            st.add_G(kv, kv, c)
+            st.add_G(kv, kz, k)
+            st.add_G(kv, ki, -theta)
+            st.add_b(kv, -m * self.acceleration(st.t))
+            return
+
+        dt = st.dt
+        trap = st.method == METHOD_TRAP
+        alpha = 2.0 / dt if trap else 1.0 / dt
+
+        # Coil branch: v_p - v_n - (rc + alpha*lc) i - theta v = b_i
+        st.add_G(ki, p, 1.0)
+        st.add_G(ki, n, -1.0)
+        st.add_G(ki, ki, -(rc + alpha * lc))
+        st.add_G(ki, kv, -theta)
+        b_i = -lc * (alpha * st.v_prev(ki) + (self._didt_prev if trap else 0.0))
+        st.add_b(ki, b_i)
+
+        # Kinematics: z - (1/alpha) v = z_prev (+ v_prev/alpha for trap)
+        st.add_G(kz, kz, 1.0)
+        st.add_G(kz, kv, -1.0 / alpha)
+        rhs_z = st.v_prev(kz)
+        if trap:
+            rhs_z += st.v_prev(kv) / alpha
+        st.add_b(kz, rhs_z)
+
+        # Dynamics: (m*alpha + c) v + k z - theta i = m*alpha*v_prev
+        #           (+ m*vdot_prev for trap) - m a(t)
+        st.add_G(kv, kv, m * alpha + c)
+        st.add_G(kv, kz, k)
+        st.add_G(kv, ki, -theta)
+        rhs_v = m * alpha * st.v_prev(kv) - m * self.acceleration(st.t)
+        if trap:
+            rhs_v += m * self._vdot_prev
+        st.add_b(kv, rhs_v)
+
+    def update_state(self, x, x_prev, dt, method) -> None:
+        ki, kz, kv = self.extra_idx
+        if method == METHOD_TRAP:
+            self._didt_prev = 2.0 * (x[ki] - x_prev[ki]) / dt - self._didt_prev
+            self._vdot_prev = 2.0 * (x[kv] - x_prev[kv]) / dt - self._vdot_prev
+
+    def stamp_ac(self, G, b, omega, x_op) -> None:
+        p, n = self.node_idx
+        ki, kz, kv = self.extra_idx
+        theta = self.coupling.theta
+        rc = self.coupling.coil_resistance
+        lc = self.coupling.coil_inductance
+        if p >= 0:
+            G[p, ki] += 1.0
+            G[ki, p] += 1.0
+        if n >= 0:
+            G[n, ki] += -1.0
+            G[ki, n] += -1.0
+        G[ki, ki] += -(rc + 1j * omega * lc)
+        G[ki, kv] += -theta
+        G[kz, kz] += 1j * omega
+        G[kz, kv] += -1.0
+        G[kv, kv] += 1j * omega * self.mass + self.damping_mech
+        G[kv, kz] += self.stiffness
+        G[kv, ki] += -theta
+        b[kv] += -self.mass * self.ac_accel_amplitude
+
+    # -- probes --------------------------------------------------------------
+
+    def coil_current(self, x: np.ndarray) -> float:
+        """Coil branch current (A), positive flowing p -> n internally."""
+        return float(x[self.extra_idx[0]])
+
+    def displacement(self, x: np.ndarray) -> float:
+        """Relative proof-mass displacement z (m)."""
+        return float(x[self.extra_idx[1]])
+
+    def velocity(self, x: np.ndarray) -> float:
+        """Relative proof-mass velocity (m/s)."""
+        return float(x[self.extra_idx[2]])
+
+
+class TunableMicrogenerator:
+    """Facade over the tunable generator: tuning map + actuator + envelope.
+
+    This is the object the system model manipulates: the controller asks
+    the actuator to move, which changes :attr:`position`, which retunes the
+    resonance seen by both the envelope and detailed representations.
+    """
+
+    def __init__(
+        self,
+        tuning_map: TuningMap,
+        coupling: ElectromagneticCoupling,
+        actuator: Optional[LinearActuator] = None,
+        rectifier: Optional[RectifierEnvelope] = None,
+        source_resistance: Optional[float] = None,
+        mech_efficiency: float = 1.0,
+    ):
+        self.tuning_map = tuning_map
+        self.coupling = coupling
+        self.actuator = actuator or LinearActuator(
+            max_steps=tuning_map.n_positions - 1, steps_per_position=1
+        )
+        self.envelope = EnvelopeHarvester(
+            tuning_map,
+            coupling,
+            rectifier=rectifier,
+            source_resistance=source_resistance,
+            mech_efficiency=mech_efficiency,
+        )
+
+    @property
+    def position(self) -> float:
+        """Current actuator position in tuning-map units."""
+        return self.actuator.position
+
+    def resonant_frequency(self) -> float:
+        """Present resonant frequency (Hz)."""
+        return self.tuning_map.resonant_frequency(self.position)
+
+    def charging_power(self, frequency_hz: float, accel: float, store_voltage: float) -> float:
+        """Envelope charging power at the current position (W)."""
+        return self.envelope.charging_power(
+            frequency_hz, accel, self.position, store_voltage
+        )
+
+    def detailed_component(
+        self,
+        acceleration: Callable[[float], float],
+        name: str = "GEN",
+        coil_p: str = "coil_p",
+        coil_n: str = "coil_n",
+        ac_accel_amplitude: float = 0.0,
+    ) -> ElectromagneticGenerator:
+        """Instantiate the detailed MNA component at the current tuning.
+
+        The component's ``stiffness`` is a snapshot; co-simulations that
+        retune mid-run should assign ``component.stiffness =
+        micro.tuning_map.stiffness(micro.position)`` after actuator moves
+        (the detailed backend wires this up automatically).
+
+        The viscous damping handed to the component is the resonator's
+        *total* (mechanical + calibrated average electrical) coefficient:
+        the bridge only conducts near the EMF crest, so the instantaneous
+        coil reaction alone would leave the detailed model far less damped
+        than the calibrated envelope.  Folding the calibrated average into
+        the viscous term keeps one amplitude story across both backends
+        (the residual coil feedback adds a few percent on top).
+        """
+        resonator = self.tuning_map.resonator
+        return ElectromagneticGenerator(
+            name,
+            coil_p,
+            coil_n,
+            mass=resonator.mass,
+            stiffness=self.tuning_map.stiffness(self.position),
+            damping_mech=resonator.damping_mech + resonator.damping_elec,
+            coupling=self.coupling,
+            acceleration=acceleration,
+            ac_accel_amplitude=ac_accel_amplitude,
+        )

@@ -1,0 +1,88 @@
+"""Supercapacitor energy bookkeeping for the envelope model.
+
+The detailed model represents the 0.55 F supercapacitor as a circuit
+element (:class:`repro.analog.components.Supercapacitor`); the envelope
+model instead tracks stored *energy* directly and converts to voltage via
+``E = C V^2 / 2``.  Deposits taper to zero as the voltage approaches the
+rectifier's open-circuit ceiling (handled by the caller) and are hard
+clamped at :attr:`v_max`; draws floor at zero.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.units import capacitor_energy, capacitor_voltage
+
+
+class EnergyStore:
+    """A capacitor tracked in the energy domain."""
+
+    def __init__(self, capacitance: float = 0.55, v_init: float = 2.5, v_max: float = 3.6):
+        if capacitance <= 0.0:
+            raise ModelError("storage: capacitance must be > 0")
+        if v_init < 0.0:
+            raise ModelError("storage: initial voltage must be >= 0")
+        if v_max <= 0.0 or v_max < v_init:
+            raise ModelError("storage: need v_max >= v_init > 0")
+        self.capacitance = capacitance
+        self.v_max = v_max
+        self._energy = capacitor_energy(capacitance, v_init)
+        self.total_deposited = 0.0
+        self.total_drawn = 0.0
+        self.clipped_energy = 0.0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def energy(self) -> float:
+        """Stored energy in joules."""
+        return self._energy
+
+    @property
+    def voltage(self) -> float:
+        """Terminal voltage in volts."""
+        return capacitor_voltage(self.capacitance, self._energy)
+
+    @property
+    def energy_max(self) -> float:
+        """Energy at the hard voltage clamp."""
+        return capacitor_energy(self.capacitance, self.v_max)
+
+    def headroom(self) -> float:
+        """Energy that can still be deposited before hitting the clamp."""
+        return max(self.energy_max - self._energy, 0.0)
+
+    # -- transfers -----------------------------------------------------------
+
+    def deposit(self, energy_j: float) -> float:
+        """Add harvested energy; returns the amount actually stored."""
+        if energy_j < 0.0:
+            raise ModelError("deposit: energy must be >= 0 (use draw)")
+        stored = min(energy_j, self.headroom())
+        self._energy += stored
+        self.total_deposited += stored
+        self.clipped_energy += energy_j - stored
+        return stored
+
+    def draw(self, energy_j: float) -> float:
+        """Remove consumed energy; returns the amount actually supplied."""
+        if energy_j < 0.0:
+            raise ModelError("draw: energy must be >= 0 (use deposit)")
+        supplied = min(energy_j, self._energy)
+        self._energy -= supplied
+        self.total_drawn += supplied
+        return supplied
+
+    def can_supply(self, energy_j: float) -> bool:
+        """Whether a draw of ``energy_j`` would be fully covered."""
+        return self._energy >= energy_j
+
+    def energy_above(self, voltage: float) -> float:
+        """Stored energy in excess of what ``voltage`` represents (>= 0)."""
+        return max(self._energy - capacitor_energy(self.capacitance, voltage), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EnergyStore(C={self.capacitance:g} F, V={self.voltage:.3f} V, "
+            f"E={self._energy:.4f} J)"
+        )

@@ -1,0 +1,125 @@
+"""Actuator position to resonant frequency mapping.
+
+The microcontroller's coarse tuning (Algorithm 2) relies on a pre-obtained
+look-up table from measured vibration frequency to the 8-bit actuator
+position that retunes the generator onto it.  :class:`TuningMap` is the
+physical ground truth behind that table: position -> travel fraction ->
+magnet gap -> added stiffness -> resonant frequency, built on
+:class:`repro.mech.magnetics.MagneticTuner`.
+
+Positions may be fractional: the fine-grain tuning algorithm moves the
+actuator by single motor steps, which can be a sub-position quantum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ModelError
+from repro.mech.magnetics import MagneticTuner
+from repro.mech.sdof import SdofResonator
+
+
+class TuningMap:
+    """Monotone position -> resonant frequency map over an 8-bit travel.
+
+    Parameters
+    ----------
+    resonator:
+        The *untuned* resonator (magnet fully retracted adds the gap_max
+        stiffness, so the untuned natural frequency sits below the lowest
+        mapped frequency).
+    tuner:
+        Magnetic tuning mechanism.
+    n_positions:
+        Number of discrete LUT positions (paper: 8-bit => 256).
+    """
+
+    def __init__(
+        self,
+        resonator: SdofResonator,
+        tuner: MagneticTuner,
+        n_positions: int = 256,
+    ):
+        if n_positions < 2:
+            raise ModelError("need at least 2 positions")
+        self.resonator = resonator
+        self.tuner = tuner
+        self.n_positions = n_positions
+
+    # -- forward map --------------------------------------------------------
+
+    def travel_fraction(self, position: float) -> float:
+        """Normalised travel in [0, 1] for a (possibly fractional) position."""
+        if not 0.0 <= position <= self.n_positions - 1:
+            raise ModelError(
+                f"position {position!r} outside [0, {self.n_positions - 1}]"
+            )
+        return position / (self.n_positions - 1)
+
+    def stiffness(self, position: float) -> float:
+        """Total spring constant (base + magnetic) at ``position`` (N/m)."""
+        k_add = self.tuner.stiffness_from_travel(self.travel_fraction(position))
+        return self.resonator.stiffness + k_add
+
+    def resonant_frequency(self, position: float) -> float:
+        """Resonant frequency in Hz at ``position``."""
+        return math.sqrt(self.stiffness(position) / self.resonator.mass) / (
+            2.0 * math.pi
+        )
+
+    def resonator_at(self, position: float) -> SdofResonator:
+        """The retuned resonator at ``position``."""
+        return self.resonator.with_stiffness(self.stiffness(position))
+
+    def frequency_range(self) -> Tuple[float, float]:
+        """(lowest, highest) mappable resonant frequency in Hz."""
+        return (
+            self.resonant_frequency(0),
+            self.resonant_frequency(self.n_positions - 1),
+        )
+
+    # -- inverse map -----------------------------------------------------------
+
+    def position_for_frequency(self, frequency_hz: float) -> int:
+        """Integer position whose resonance is closest to ``frequency_hz``.
+
+        Out-of-range frequencies clamp to the nearest end of the travel --
+        the behaviour of the paper's LUT, which can only command reachable
+        positions.
+        """
+        f_low, f_high = self.frequency_range()
+        if frequency_hz <= f_low:
+            return 0
+        if frequency_hz >= f_high:
+            return self.n_positions - 1
+        lo, hi = 0, self.n_positions - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.resonant_frequency(mid) < frequency_hz:
+                lo = mid
+            else:
+                hi = mid
+        f_lo = self.resonant_frequency(lo)
+        f_hi = self.resonant_frequency(hi)
+        return lo if abs(f_lo - frequency_hz) <= abs(f_hi - frequency_hz) else hi
+
+    def build_lut(self, f_min: float, f_max: float, n_entries: int = 256) -> "List[int]":
+        """Pre-compute the MCU's frequency->position table.
+
+        Entry ``i`` covers measured frequency
+        ``f_min + i (f_max - f_min) / (n_entries - 1)`` -- the quantised
+        table the PIC stores in program memory (Algorithm 1, step 10).
+        """
+        if not f_min < f_max:
+            raise ModelError("need f_min < f_max")
+        step = (f_max - f_min) / (n_entries - 1)
+        return [
+            self.position_for_frequency(f_min + i * step) for i in range(n_entries)
+        ]
+
+    def frequency_resolution(self) -> float:
+        """Worst-case frequency change of a single position step (Hz)."""
+        freqs = [self.resonant_frequency(p) for p in range(self.n_positions)]
+        return max(b - a for a, b in zip(freqs, freqs[1:]))

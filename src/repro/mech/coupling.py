@@ -1,0 +1,89 @@
+"""Electromagnetic transduction between the mechanical and electrical sides.
+
+The coil/magnet arrangement of the paper's microgenerator is characterised
+by a single transduction constant ``theta`` (V.s/m == N/A):
+
+- EMF induced in the coil: ``e = theta * z_dot``
+- Reaction force on the mass: ``F = -theta * i``
+
+With a coil resistance ``R_c`` and a resistive load ``R_L``, the electrical
+damping coefficient is ``c_e = theta^2 / (R_c + R_L)`` (coil inductance is
+negligible at tens of Hz), from which the electrical damping *ratio* used
+by :class:`repro.mech.sdof.SdofResonator` follows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ElectromagneticCoupling:
+    """Transducer constants of the coil/magnet assembly.
+
+    Parameters
+    ----------
+    theta:
+        Transduction constant in V.s/m.
+    coil_resistance:
+        Coil series resistance in ohms.
+    coil_inductance:
+        Coil inductance in henries (kept for the detailed model; its
+        reactance at 60-80 Hz is negligible but the solver carries it).
+    """
+
+    theta: float
+    coil_resistance: float
+    coil_inductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.theta <= 0.0:
+            raise ModelError("coupling: theta must be > 0")
+        if self.coil_resistance <= 0.0:
+            raise ModelError("coupling: coil resistance must be > 0")
+        if self.coil_inductance < 0.0:
+            raise ModelError("coupling: coil inductance must be >= 0")
+
+    def electrical_damping(self, load_resistance: float) -> float:
+        """Damping coefficient ``c_e = theta^2 / (R_c + R_L)`` in N.s/m."""
+        if load_resistance <= 0.0:
+            raise ModelError("load resistance must be > 0")
+        return self.theta**2 / (self.coil_resistance + load_resistance)
+
+    def electrical_damping_ratio(
+        self, mass: float, omega_n: float, load_resistance: float
+    ) -> float:
+        """Damping ratio ``zeta_e = c_e / (2 m omega_n)``."""
+        if mass <= 0.0 or omega_n <= 0.0:
+            raise ModelError("mass and omega_n must be > 0")
+        return self.electrical_damping(load_resistance) / (2.0 * mass * omega_n)
+
+    def matched_load(self) -> float:
+        """Load maximising power transfer from the coil (``R_L = R_c``).
+
+        (The true optimum for a harvester also balances mechanical damping;
+        coil matching is the standard first-order choice and is what the
+        default system model uses.)
+        """
+        return self.coil_resistance
+
+    def emf_amplitude(self, velocity_amplitude: float) -> float:
+        """Open-circuit EMF peak amplitude for a velocity amplitude (V)."""
+        if velocity_amplitude < 0.0:
+            raise ModelError("velocity amplitude must be >= 0")
+        return self.theta * velocity_amplitude
+
+    def delivered_power(self, velocity_amplitude: float, load_resistance: float) -> float:
+        """Average power reaching ``R_L`` for a sinusoidal velocity (W).
+
+        ``P_L = (theta v)^2 R_L / (2 (R_c + R_L)^2)`` -- i.e. the electrical
+        damping power scaled by the resistive divider.
+        """
+        if load_resistance <= 0.0:
+            raise ModelError("load resistance must be > 0")
+        e_peak = self.emf_amplitude(velocity_amplitude)
+        total = self.coil_resistance + load_resistance
+        return 0.5 * e_peak**2 * load_resistance / total**2

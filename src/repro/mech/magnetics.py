@@ -1,0 +1,123 @@
+"""Magnetic stiffness tuning (the paper's frequency tuning mechanism).
+
+One tuning magnet sits at the cantilever tip, the other on the linear
+actuator.  Treating both as coaxial dipoles with moments ``m1``, ``m2``
+separated by a gap ``d``, the attractive axial force is
+
+    ``F(d) = 3 mu0 m1 m2 / (2 pi d^4)``
+
+and the axial force *gradient* acts as an added spring constant on the
+beam tip (Challa et al.; Zhu/Tudor/Beeby review):
+
+    ``k_add(d) = dF/dd = -6 mu0 m1 m2 / (pi d^5)`` (magnitude used)
+
+Moving the actuator magnet closer increases ``k_add`` and therefore the
+resonant frequency -- exactly the monotone position-to-frequency map the
+microcontroller's look-up table inverts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.units import MU0
+
+
+@dataclass(frozen=True)
+class MagneticTuner:
+    """Dipole pair whose gap sets the added stiffness.
+
+    Parameters
+    ----------
+    moment1, moment2:
+        Magnetic dipole moments (A.m^2) of the beam and actuator magnets.
+    gap_min, gap_max:
+        Achievable magnet gaps (m) at the two ends of the actuator travel.
+        ``gap_min`` (closest) gives the stiffest spring / highest frequency.
+    """
+
+    moment1: float
+    moment2: float
+    gap_min: float
+    gap_max: float
+
+    def __post_init__(self) -> None:
+        if self.moment1 <= 0.0 or self.moment2 <= 0.0:
+            raise ModelError("magnetic moments must be > 0")
+        if not (0.0 < self.gap_min < self.gap_max):
+            raise ModelError("need 0 < gap_min < gap_max")
+
+    def force(self, gap: float) -> float:
+        """Attractive axial force (N) at magnet gap ``gap``."""
+        self._check_gap(gap)
+        return 3.0 * MU0 * self.moment1 * self.moment2 / (2.0 * math.pi * gap**4)
+
+    def added_stiffness(self, gap: float) -> float:
+        """Effective stiffness increase (N/m) at magnet gap ``gap``."""
+        self._check_gap(gap)
+        return 6.0 * MU0 * self.moment1 * self.moment2 / (math.pi * gap**5)
+
+    def gap_for_stiffness(self, k_add: float) -> float:
+        """Invert :meth:`added_stiffness` (k_add > 0)."""
+        if k_add <= 0.0:
+            raise ModelError("added stiffness must be > 0 to invert")
+        gap = (6.0 * MU0 * self.moment1 * self.moment2 / (math.pi * k_add)) ** 0.2
+        return gap
+
+    def gap_from_travel(self, travel_fraction: float) -> float:
+        """Magnet gap for a normalised actuator travel in [0, 1].
+
+        Travel 0 = retracted (largest gap, lowest frequency); travel 1 =
+        fully advanced (smallest gap, highest frequency).
+        """
+        if not 0.0 <= travel_fraction <= 1.0:
+            raise ModelError(f"travel fraction {travel_fraction!r} outside [0, 1]")
+        return self.gap_max - travel_fraction * (self.gap_max - self.gap_min)
+
+    def stiffness_from_travel(self, travel_fraction: float) -> float:
+        """Added stiffness (N/m) for a normalised actuator travel in [0, 1]."""
+        return self.added_stiffness(self.gap_from_travel(travel_fraction))
+
+    def _check_gap(self, gap: float) -> None:
+        if gap <= 0.0:
+            raise ModelError(f"magnet gap must be > 0, got {gap!r}")
+
+    @staticmethod
+    def for_frequency_range(
+        mass: float,
+        base_stiffness: float,
+        f_low: float,
+        f_high: float,
+        gap_min: float = 4e-3,
+        gap_max: float = 12e-3,
+    ) -> "MagneticTuner":
+        """Design a tuner whose travel spans ``[f_low, f_high]`` Hz.
+
+        Chooses dipole moments (split equally) so that the added stiffness
+        at ``gap_max`` / ``gap_min`` moves the resonance of the given
+        mass/spring to ``f_low`` / ``f_high``.  ``base_stiffness`` must put
+        the untuned resonance *below* ``f_low`` (the magnets only ever
+        stiffen).
+        """
+        if not 0.0 < f_low < f_high:
+            raise ModelError("need 0 < f_low < f_high")
+        w_low = 2.0 * math.pi * f_low
+        w_high = 2.0 * math.pi * f_high
+        k_low = mass * w_low**2 - base_stiffness
+        k_high = mass * w_high**2 - base_stiffness
+        if k_low <= 0.0:
+            raise ModelError(
+                "base stiffness too high: untuned resonance must sit below f_low"
+            )
+        # k_add(gap) = C / gap^5; we can satisfy the k_high constraint exactly
+        # with C, then verify the k_low end is reachable within the travel.
+        c_high = k_high * gap_min**5
+        moment = math.sqrt(c_high * math.pi / (6.0 * MU0))
+        tuner = MagneticTuner(moment, moment, gap_min, gap_max)
+        if tuner.added_stiffness(gap_max) > k_low:
+            raise ModelError(
+                "gap_max too small: cannot reach f_low; widen the travel range"
+            )
+        return tuner

@@ -1,0 +1,124 @@
+"""Sensor node behaviour and power consumption model (paper section IV-B).
+
+Table III current draw of the eZ430-RF2500 during each transmission phase:
+
+===========  =======  =========
+Operation    Time     Current
+===========  =======  =========
+Sleep mode   --       0.5 uA
+Wake-up      1 ms     4.5 mA
+Sensing      1.5 ms   13.4 mA
+Transmission 2 ms     26.8 mA
+===========  =======  =========
+
+At the 2.8 V rail each 4.5 ms transmission moves 78.2 uC of charge;
+the paper quotes ~227 uJ per transmission and derives the equivalent
+resistances of eq. 8 (167 ohm transmitting, 5.8 Mohm sleeping).  We model
+consumption charge-based (``E = Q * V``), which reproduces the published
+energy within 4% at 2.8 V and degrades gracefully at other rail voltages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ModelError
+
+#: Rail voltage of the paper's characterisation.
+RAIL_VOLTAGE = 2.8
+
+#: Equivalent resistances of eq. 8.
+R_TRANSMIT = 167.0
+R_SLEEP = 5.8e6
+
+
+@dataclass(frozen=True)
+class TransmissionPhases:
+    """Durations (s) and currents (A) of the three active phases."""
+
+    wakeup_time: float = 1e-3
+    wakeup_current: float = 4.5e-3
+    sensing_time: float = 1.5e-3
+    sensing_current: float = 13.4e-3
+    transmit_time: float = 2e-3
+    transmit_current: float = 26.8e-3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wakeup_time",
+            "wakeup_current",
+            "sensing_time",
+            "sensing_current",
+            "transmit_time",
+            "transmit_current",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ModelError(f"transmission phases: {name} must be > 0")
+
+    @property
+    def total_time(self) -> float:
+        """Active duration of one transmission (paper: 4.5 ms)."""
+        return self.wakeup_time + self.sensing_time + self.transmit_time
+
+    @property
+    def total_charge(self) -> float:
+        """Charge moved per transmission (C)."""
+        return (
+            self.wakeup_time * self.wakeup_current
+            + self.sensing_time * self.sensing_current
+            + self.transmit_time * self.transmit_current
+        )
+
+    @property
+    def average_current(self) -> float:
+        """Mean current over the active window (A)."""
+        return self.total_charge / self.total_time
+
+
+class SensorNode:
+    """eZ430-RF2500 consumption model.
+
+    Parameters
+    ----------
+    phases:
+        Active-phase characterisation (defaults: Table III).
+    sleep_current:
+        Standby draw (defaults: Table III, 0.5 uA).
+    """
+
+    def __init__(
+        self,
+        phases: TransmissionPhases = TransmissionPhases(),
+        sleep_current: float = 0.5e-6,
+    ):
+        if sleep_current < 0.0:
+            raise ModelError("sensor node: sleep current must be >= 0")
+        self.phases = phases
+        self.sleep_current = sleep_current
+
+    def transmission_energy(self, voltage: float = RAIL_VOLTAGE) -> float:
+        """Energy (J) of one complete transmission at rail ``voltage``."""
+        if voltage < 0.0:
+            raise ModelError("voltage must be >= 0")
+        return self.phases.total_charge * voltage
+
+    def sleep_power(self, voltage: float = RAIL_VOLTAGE) -> float:
+        """Standby power (W) at rail ``voltage``."""
+        return self.sleep_current * voltage
+
+    def equivalent_resistances(self, voltage: float = RAIL_VOLTAGE) -> Tuple[float, float]:
+        """(transmitting, sleeping) equivalent resistances -- eq. 8.
+
+        The transmit value uses the *average* active current; at 2.8 V this
+        gives ~161 ohm against the paper's rounded 167 ohm.
+        """
+        if voltage <= 0.0:
+            raise ModelError("voltage must be > 0 to form a resistance")
+        r_tx = voltage / self.phases.average_current
+        r_sleep = voltage / self.sleep_current if self.sleep_current > 0 else float("inf")
+        return r_tx, r_sleep
+
+    def transmission_duration(self) -> float:
+        """Active duration of one transmission (s)."""
+        return self.phases.total_time

@@ -1,0 +1,82 @@
+"""Energy-aware transmission policy (paper Table II).
+
+The sensor node firmware adapts its transmission interval to the stored
+energy:
+
+=============================  ==============================
+Supercapacitor voltage          Wireless transmission interval
+=============================  ==============================
+Below 2.7 V                     no transmission
+Between 2.7 and 2.8 V           every 1 minute
+Above 2.8 V                     every ``fast_interval`` seconds
+=============================  ==============================
+
+``fast_interval`` is the paper's third optimisation parameter (original
+design: 5 s; search range 0.005 - 10 s).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ModelError
+
+#: Table II thresholds (V).
+V_OFF = 2.7
+V_FAST = 2.8
+#: Table II mid-band interval (s).
+MID_INTERVAL = 60.0
+
+
+class TransmissionPolicy:
+    """Voltage-banded transmission intervals."""
+
+    def __init__(
+        self,
+        fast_interval: float = 5.0,
+        mid_interval: float = MID_INTERVAL,
+        v_off: float = V_OFF,
+        v_fast: float = V_FAST,
+    ):
+        if fast_interval <= 0.0:
+            raise ModelError("policy: fast interval must be > 0")
+        if mid_interval <= 0.0:
+            raise ModelError("policy: mid interval must be > 0")
+        if not 0.0 < v_off < v_fast:
+            raise ModelError("policy: need 0 < v_off < v_fast")
+        self.fast_interval = fast_interval
+        self.mid_interval = mid_interval
+        self.v_off = v_off
+        self.v_fast = v_fast
+
+    def interval(self, voltage: float) -> Optional[float]:
+        """Transmission interval (s) at ``voltage``; ``None`` = no transmission."""
+        if voltage < self.v_off:
+            return None
+        if voltage < self.v_fast:
+            return self.mid_interval
+        return self.fast_interval
+
+    def band(self, voltage: float) -> str:
+        """Name of the active band: ``"off"``, ``"mid"`` or ``"fast"``."""
+        if voltage < self.v_off:
+            return "off"
+        if voltage < self.v_fast:
+            return "mid"
+        return "fast"
+
+    def drain_rate(self, voltage: float, energy_per_tx: float) -> float:
+        """Average transmission power draw (W) at ``voltage``.
+
+        Used by the envelope simulator, which treats periodic transmissions
+        as a continuous drain.
+        """
+        interval = self.interval(voltage)
+        if interval is None:
+            return 0.0
+        return energy_per_tx / interval
+
+    def rate(self, voltage: float) -> float:
+        """Transmissions per second at ``voltage``."""
+        interval = self.interval(voltage)
+        return 0.0 if interval is None else 1.0 / interval

@@ -1,0 +1,42 @@
+"""Global optimisers (MATLAB Optimisation Toolbox substitute).
+
+The paper maximises its fitted response surface with Simulated Annealing
+and a Genetic Algorithm; both are implemented from scratch here, plus the
+local/baseline methods a practitioner would sanity-check against:
+
+- :mod:`repro.optimize.problem` / :mod:`repro.optimize.result` -- the
+  bounded-problem and result containers.
+- :mod:`repro.optimize.annealing` -- simulated annealing with adaptive
+  step size and geometric cooling.
+- :mod:`repro.optimize.genetic` -- real-coded GA (tournament selection,
+  blend crossover, Gaussian mutation, elitism).
+- :mod:`repro.optimize.pattern` -- compass pattern search.
+- :mod:`repro.optimize.nelder_mead` -- bounded Nelder-Mead simplex.
+- :mod:`repro.optimize.multistart` -- restart wrapper for local methods.
+- :mod:`repro.optimize.baselines` -- grid and random search.
+"""
+
+from repro.optimize.annealing import simulated_annealing
+from repro.optimize.baselines import grid_search, random_search
+from repro.optimize.genetic import genetic_algorithm
+from repro.optimize.multistart import multistart
+from repro.optimize.nelder_mead import nelder_mead
+from repro.optimize.pareto import ParetoResult, nsga2, pareto_front
+from repro.optimize.pattern import pattern_search
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+
+__all__ = [
+    "OptimizationResult",
+    "ParetoResult",
+    "Problem",
+    "genetic_algorithm",
+    "grid_search",
+    "multistart",
+    "nelder_mead",
+    "nsga2",
+    "pareto_front",
+    "pattern_search",
+    "random_search",
+    "simulated_annealing",
+]

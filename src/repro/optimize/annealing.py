@@ -1,0 +1,112 @@
+"""Simulated annealing (the paper's first global optimiser).
+
+Standard Metropolis annealing over a bounded box:
+
+- Gaussian proposal steps, reflected at the box faces;
+- geometric cooling ``T <- cooling * T``;
+- step-size adaptation towards a target acceptance rate (big steps while
+  the landscape is easy, small steps as the search localises);
+- optional restarts from the incumbent when a temperature level ends cold.
+
+The initial temperature defaults to the spread of a quick random probe of
+the objective, so the first sweeps accept nearly everything -- the usual
+"melt first" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+from repro.rng import SeedLike, ensure_rng
+
+
+def simulated_annealing(
+    problem: Problem,
+    n_iterations: int = 2000,
+    initial_temperature: Optional[float] = None,
+    cooling: float = 0.95,
+    steps_per_temperature: int = 20,
+    initial_step_fraction: float = 0.25,
+    target_acceptance: float = 0.4,
+    seed: SeedLike = None,
+    x0: Optional[np.ndarray] = None,
+) -> OptimizationResult:
+    """Maximise/minimise ``problem`` by simulated annealing.
+
+    Parameters
+    ----------
+    n_iterations:
+        Total objective evaluations (excluding the temperature probe).
+    cooling:
+        Geometric temperature factor per level, in (0, 1).
+    steps_per_temperature:
+        Metropolis steps per temperature level.
+    initial_step_fraction:
+        Initial proposal sigma as a fraction of each box width.
+    """
+    if not 0.0 < cooling < 1.0:
+        raise OptimizationError("cooling factor must be in (0, 1)")
+    if n_iterations < 1 or steps_per_temperature < 1:
+        raise OptimizationError("iteration counts must be positive")
+    rng = ensure_rng(seed)
+
+    x = problem.clip(x0) if x0 is not None else problem.random_point(rng)
+    score = problem.score(x)
+    best_x, best_score = x.copy(), score
+    history = [problem.value_from_score(best_score)]
+
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else _probe_temperature(problem, rng)
+    )
+    if temperature <= 0.0:
+        temperature = 1.0
+    step = initial_step_fraction * problem.span()
+
+    evaluations = 0
+    accepted_at_level = 0
+    steps_at_level = 0
+    while evaluations < n_iterations:
+        candidate = problem.reflect(x + rng.normal(0.0, step))
+        cand_score = problem.score(candidate)
+        evaluations += 1
+        steps_at_level += 1
+        delta = cand_score - score
+        if delta <= 0.0 or rng.uniform() < np.exp(-delta / temperature):
+            x, score = candidate, cand_score
+            accepted_at_level += 1
+            if score < best_score:
+                best_x, best_score = x.copy(), score
+        history.append(problem.value_from_score(best_score))
+
+        if steps_at_level >= steps_per_temperature:
+            rate = accepted_at_level / steps_at_level
+            # Nudge the step size toward the target acceptance rate.
+            if rate > target_acceptance:
+                step = np.minimum(step * 1.3, problem.span())
+            else:
+                step = np.maximum(step * 0.7, problem.span() * 1e-4)
+            temperature *= cooling
+            accepted_at_level = 0
+            steps_at_level = 0
+
+    return OptimizationResult(
+        x=best_x,
+        value=problem.value_from_score(best_score),
+        n_evaluations=evaluations,
+        method="simulated-annealing",
+        history=history,
+    )
+
+
+def _probe_temperature(problem: Problem, rng: np.random.Generator, n: int = 20) -> float:
+    """Initial temperature from the spread of random objective probes."""
+    scores = [problem.score(problem.random_point(rng)) for _ in range(n)]
+    spread = float(np.std(scores))
+    return spread if spread > 0.0 else abs(float(np.mean(scores))) + 1.0

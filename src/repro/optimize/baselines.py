@@ -1,0 +1,67 @@
+"""Naive baselines: grid search and random search.
+
+These bracket what the global optimisers must beat (grid search at the
+paper's 3 levels per axis is 27 evaluations and can only find coded corner
+or centre points).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+from repro.rng import SeedLike, ensure_rng
+
+
+def grid_search(problem: Problem, n_levels: int = 5) -> OptimizationResult:
+    """Exhaustive search over an ``n_levels^k`` grid of the box."""
+    if n_levels < 2:
+        raise OptimizationError("need at least 2 levels per axis")
+    axes = [
+        np.linspace(lo, hi, n_levels) for lo, hi in problem.bounds
+    ]
+    best_x, best_score = None, np.inf
+    history = []
+    evaluations = 0
+    for point in product(*axes):
+        x = np.array(point)
+        score = problem.score(x)
+        evaluations += 1
+        if score < best_score:
+            best_x, best_score = x, score
+        history.append(problem.value_from_score(best_score))
+    return OptimizationResult(
+        x=best_x,
+        value=problem.value_from_score(best_score),
+        n_evaluations=evaluations,
+        method=f"grid-search({n_levels}^{problem.k})",
+        history=history,
+    )
+
+
+def random_search(
+    problem: Problem, n_evaluations: int = 200, seed: SeedLike = None
+) -> OptimizationResult:
+    """Uniform random sampling of the box."""
+    if n_evaluations < 1:
+        raise OptimizationError("need at least one evaluation")
+    rng = ensure_rng(seed)
+    best_x, best_score = None, np.inf
+    history = []
+    for _ in range(n_evaluations):
+        x = problem.random_point(rng)
+        score = problem.score(x)
+        if score < best_score:
+            best_x, best_score = x, score
+        history.append(problem.value_from_score(best_score))
+    return OptimizationResult(
+        x=best_x,
+        value=problem.value_from_score(best_score),
+        n_evaluations=n_evaluations,
+        method="random-search",
+        history=history,
+    )

@@ -1,0 +1,51 @@
+"""Multistart wrapper: run a local optimiser from several random starts."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+from repro.rng import SeedLike, ensure_rng
+
+
+def multistart(
+    problem: Problem,
+    local_method: Callable[..., OptimizationResult],
+    n_starts: int = 8,
+    seed: SeedLike = None,
+    **method_kwargs,
+) -> OptimizationResult:
+    """Best-of-``n_starts`` runs of ``local_method`` from random points.
+
+    The local method must accept ``x0`` and ``seed`` keyword arguments
+    (all of this package's local methods do).
+    """
+    if n_starts < 1:
+        raise OptimizationError("need at least one start")
+    rng = ensure_rng(seed)
+    best: Optional[OptimizationResult] = None
+    total_evaluations = 0
+    history = []
+    better = max if problem.maximize else min
+    for i in range(n_starts):
+        x0 = problem.random_point(rng)
+        result = local_method(
+            problem, x0=x0, seed=rng, **method_kwargs
+        )
+        total_evaluations += result.n_evaluations
+        history.extend(result.history)
+        if best is None or better(result.value, best.value) == result.value:
+            best = result
+    assert best is not None
+    return OptimizationResult(
+        x=best.x,
+        value=best.value,
+        n_evaluations=total_evaluations,
+        method=f"multistart({best.method}, {n_starts})",
+        history=history,
+        converged=best.converged,
+    )

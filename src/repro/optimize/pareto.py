@@ -1,0 +1,212 @@
+"""Multi-objective optimisation: NSGA-II and Pareto utilities.
+
+The paper optimises a single objective (transmissions per hour), but its
+own discussion exposes a trade-off: draining the storage for throughput
+leaves no reserve for vibration droughts.  This module provides the
+standard tooling to study such trade-offs:
+
+- :func:`pareto_front` / :func:`non_dominated_sort` -- dominance analysis
+  of a finished evaluation set;
+- :func:`nsga2` -- the classic elitist multi-objective GA (fast
+  non-dominated sorting + crowding distance), real-coded with the same
+  variation operators as :mod:`repro.optimize.genetic`.
+
+All objectives are **maximised**; negate any objective to minimise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.rng import SeedLike, ensure_rng
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (maximising)."""
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+def non_dominated_sort(objectives: np.ndarray) -> List[np.ndarray]:
+    """Fast non-dominated sorting (Deb et al.).
+
+    Returns a list of index arrays, front 0 first (the Pareto set).
+    """
+    objs = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n = objs.shape[0]
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=int)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objs[i], objs[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objs[j], objs[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[np.ndarray] = []
+    current = np.where(domination_count == 0)[0]
+    while len(current):
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current = np.array(sorted(set(nxt)), dtype=int)
+    return fronts
+
+
+def pareto_front(objectives: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated points of an evaluation set."""
+    return non_dominated_sort(objectives)[0]
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of each point within one front (larger = lonelier)."""
+    objs = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n, m = objs.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(objs[:, k])
+        span = objs[order[-1], k] - objs[order[0], k]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        for idx in range(1, n - 1):
+            distance[order[idx]] += (
+                objs[order[idx + 1], k] - objs[order[idx - 1], k]
+            ) / span
+    return distance
+
+
+@dataclass
+class ParetoResult:
+    """Outcome of a multi-objective run."""
+
+    points: np.ndarray  # decision vectors of the final front, (n, k)
+    objectives: np.ndarray  # objective vectors of the final front, (n, m)
+    n_evaluations: int
+    method: str = "nsga2"
+
+    def knee_point(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The front member closest (normalised) to the ideal point."""
+        objs = self.objectives
+        ideal = objs.max(axis=0)
+        nadir = objs.min(axis=0)
+        span = np.where(ideal > nadir, ideal - nadir, 1.0)
+        scaled = (ideal - objs) / span
+        idx = int(np.argmin(np.linalg.norm(scaled, axis=1)))
+        return self.points[idx], self.objectives[idx]
+
+    def sorted_by(self, objective_index: int) -> "ParetoResult":
+        """A copy with the front ordered along one objective."""
+        order = np.argsort(self.objectives[:, objective_index])
+        return ParetoResult(
+            self.points[order], self.objectives[order], self.n_evaluations,
+            self.method,
+        )
+
+
+def nsga2(
+    objectives: Callable[[np.ndarray], Sequence[float]],
+    bounds: Sequence[Tuple[float, float]],
+    population_size: int = 40,
+    n_generations: int = 40,
+    crossover_rate: float = 0.9,
+    blend_alpha: float = 0.5,
+    mutation_rate: float = 0.15,
+    mutation_sigma_fraction: float = 0.1,
+    seed: SeedLike = None,
+) -> ParetoResult:
+    """Maximise several objectives with NSGA-II.
+
+    Parameters
+    ----------
+    objectives:
+        Callable returning the objective vector (all maximised) for a
+        decision vector.
+    bounds:
+        Box bounds per decision variable.
+    """
+    if population_size < 4 or population_size % 2:
+        raise OptimizationError("population must be even and >= 4")
+    for lo, hi in bounds:
+        if not lo < hi:
+            raise OptimizationError(f"bad bound ({lo}, {hi})")
+    rng = ensure_rng(seed)
+    lower = np.array([lo for lo, _ in bounds])
+    upper = np.array([hi for _, hi in bounds])
+    span = upper - lower
+    sigma = mutation_sigma_fraction * span
+    k = len(bounds)
+
+    def evaluate(pop: np.ndarray) -> np.ndarray:
+        return np.array([list(objectives(ind)) for ind in pop], dtype=float)
+
+    population = rng.uniform(lower, upper, size=(population_size, k))
+    objs = evaluate(population)
+    evaluations = population_size
+
+    for _ in range(n_generations):
+        fronts = non_dominated_sort(objs)
+        rank = np.empty(len(population), dtype=int)
+        crowd = np.empty(len(population))
+        for r, front in enumerate(fronts):
+            rank[front] = r
+            crowd[front] = crowding_distance(objs[front])
+
+        def binary_tournament() -> np.ndarray:
+            i, j = rng.choice(len(population), size=2, replace=False)
+            if rank[i] < rank[j] or (rank[i] == rank[j] and crowd[i] > crowd[j]):
+                return population[i]
+            return population[j]
+
+        children = []
+        while len(children) < population_size:
+            p1, p2 = binary_tournament(), binary_tournament()
+            if rng.uniform() < crossover_rate:
+                low = np.minimum(p1, p2)
+                high = np.maximum(p1, p2)
+                width = high - low
+                child = rng.uniform(low - blend_alpha * width, high + blend_alpha * width)
+            else:
+                child = p1.copy()
+            mask = rng.uniform(size=k) < mutation_rate
+            if np.any(mask):
+                child = child + mask * rng.normal(0.0, sigma)
+            children.append(np.clip(child, lower, upper))
+        children = np.array(children)
+        child_objs = evaluate(children)
+        evaluations += population_size
+
+        # Elitist environmental selection over parents + children.
+        combined = np.vstack([population, children])
+        combined_objs = np.vstack([objs, child_objs])
+        fronts = non_dominated_sort(combined_objs)
+        selected: List[int] = []
+        for front in fronts:
+            if len(selected) + len(front) <= population_size:
+                selected.extend(front.tolist())
+            else:
+                crowd_front = crowding_distance(combined_objs[front])
+                order = np.argsort(-crowd_front)
+                need = population_size - len(selected)
+                selected.extend(front[order[:need]].tolist())
+                break
+        population = combined[selected]
+        objs = combined_objs[selected]
+
+    final_front = pareto_front(objs)
+    return ParetoResult(
+        points=population[final_front].copy(),
+        objectives=objs[final_front].copy(),
+        n_evaluations=evaluations,
+    )

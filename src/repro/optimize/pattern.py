@@ -1,0 +1,78 @@
+"""Compass pattern search (derivative-free local method).
+
+Polls the 2k axis directions around the incumbent; on success the step may
+expand, on a full failed poll it contracts.  Terminates when the step
+drops below ``tol`` (relative to the box width) or the evaluation budget
+runs out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.problem import Problem
+from repro.optimize.result import OptimizationResult
+from repro.rng import SeedLike, ensure_rng
+
+
+def pattern_search(
+    problem: Problem,
+    x0: Optional[np.ndarray] = None,
+    initial_step_fraction: float = 0.25,
+    expansion: float = 2.0,
+    contraction: float = 0.5,
+    tol: float = 1e-6,
+    max_evaluations: int = 5000,
+    seed: SeedLike = None,
+) -> OptimizationResult:
+    """Maximise/minimise ``problem`` by compass search."""
+    if not 0.0 < contraction < 1.0 <= expansion:
+        raise OptimizationError("need 0 < contraction < 1 <= expansion")
+    rng = ensure_rng(seed)
+    x = problem.clip(x0) if x0 is not None else problem.random_point(rng)
+    score = problem.score(x)
+    evaluations = 1
+    history = [problem.value_from_score(score)]
+    step = initial_step_fraction * problem.span()
+    min_step = tol * problem.span()
+    converged = False
+
+    while evaluations < max_evaluations:
+        improved = False
+        for i in range(problem.k):
+            for sign in (1.0, -1.0):
+                candidate = x.copy()
+                candidate[i] += sign * step[i]
+                candidate = problem.clip(candidate)
+                if np.allclose(candidate, x):
+                    continue
+                cand_score = problem.score(candidate)
+                evaluations += 1
+                if cand_score < score:
+                    x, score = candidate, cand_score
+                    improved = True
+                    break
+                if evaluations >= max_evaluations:
+                    break
+            if improved or evaluations >= max_evaluations:
+                break
+        history.append(problem.value_from_score(score))
+        if improved:
+            step = np.minimum(step * expansion, problem.span())
+        else:
+            step = step * contraction
+            if np.all(step < min_step):
+                converged = True
+                break
+
+    return OptimizationResult(
+        x=x,
+        value=problem.value_from_score(score),
+        n_evaluations=evaluations,
+        method="pattern-search",
+        history=history,
+        converged=converged,
+    )

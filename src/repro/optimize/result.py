@@ -1,0 +1,36 @@
+"""Optimisation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimiser run.
+
+    ``value`` is in the user's objective scale (maximisation problems
+    report the maximum found).  ``history`` records the best-so-far value
+    after each evaluation, for convergence plots.
+    """
+
+    x: np.ndarray
+    value: float
+    n_evaluations: int
+    method: str
+    history: List[float] = field(default_factory=list)
+    converged: bool = True
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+
+    def summary(self) -> str:
+        """One-line report."""
+        coords = ", ".join(f"{v:.4g}" for v in self.x)
+        return (
+            f"{self.method}: value={self.value:.6g} at [{coords}] "
+            f"({self.n_evaluations} evaluations)"
+        )

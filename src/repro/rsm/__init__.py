@@ -1,0 +1,38 @@
+"""Response surface methodology (paper section II).
+
+- :mod:`repro.rsm.coding` -- natural <-> coded variable transforms
+  (eq. 3) and the :class:`~repro.rsm.coding.ParameterSpace` container.
+- :mod:`repro.rsm.basis` -- polynomial term bases (linear, interaction,
+  pure quadratic, full quadratic as in eq. 4, cubic).
+- :mod:`repro.rsm.regression` -- least-squares fitting (eqs. 5-7).
+- :mod:`repro.rsm.model` -- the fitted :class:`~repro.rsm.model.ResponseSurface`.
+- :mod:`repro.rsm.diagnostics` -- R^2, PRESS, VIF and residual summaries
+  (the goodness-of-fit assessment the paper omits for space).
+- :mod:`repro.rsm.anova` -- ANOVA decomposition of the fit.
+- :mod:`repro.rsm.crossval` -- leave-one-out cross-validation.
+"""
+
+from repro.rsm.anova import AnovaTable, anova
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import CodedTransform, Parameter, ParameterSpace
+from repro.rsm.crossval import kfold_rmse, loocv_rmse
+from repro.rsm.diagnostics import FitDiagnostics, diagnostics
+from repro.rsm.model import ResponseSurface, fit_response_surface
+from repro.rsm.stepwise import backward_elimination, forward_selection
+
+__all__ = [
+    "AnovaTable",
+    "CodedTransform",
+    "FitDiagnostics",
+    "Parameter",
+    "ParameterSpace",
+    "PolynomialBasis",
+    "ResponseSurface",
+    "anova",
+    "backward_elimination",
+    "diagnostics",
+    "fit_response_surface",
+    "forward_selection",
+    "kfold_rmse",
+    "loocv_rmse",
+]

@@ -1,0 +1,111 @@
+"""Polynomial term bases for response-surface models.
+
+The paper's eq. (4) is the full quadratic basis
+
+    ``y = b0 + sum(bi xi) + sum(bii xi^2) + sum(bij xi xj)``
+
+with terms ordered intercept, linear, pure quadratic, interactions.  The
+library also offers the smaller bases standard RSM practice screens with
+and a cubic extension.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DesignError
+
+KINDS = ("linear", "interaction", "pure_quadratic", "quadratic", "cubic")
+
+
+class PolynomialBasis:
+    """A fixed family of polynomial terms over ``k`` variables.
+
+    Parameters
+    ----------
+    k:
+        Number of design variables.
+    kind:
+        One of ``linear`` (intercept + linear), ``interaction`` (+ two-way
+        products), ``pure_quadratic`` (+ squares, no products),
+        ``quadratic`` (eq. 4: + squares + products) or ``cubic``
+        (+ cubes and x_i^2 x_j terms).
+    """
+
+    def __init__(self, k: int, kind: str = "quadratic"):
+        if k < 1:
+            raise DesignError("basis: need at least one variable")
+        if kind not in KINDS:
+            raise DesignError(f"unknown basis kind {kind!r}; choose from {KINDS}")
+        self.k = k
+        self.kind = kind
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        """Number of coefficients in the basis."""
+        k = self.k
+        pairs = k * (k - 1) // 2
+        if self.kind == "linear":
+            return 1 + k
+        if self.kind == "interaction":
+            return 1 + k + pairs
+        if self.kind == "pure_quadratic":
+            return 1 + 2 * k
+        if self.kind == "quadratic":
+            return 1 + 2 * k + pairs
+        # cubic: quadratic + cubes + x_i^2 x_j (i != j)
+        return 1 + 2 * k + pairs + k + k * (k - 1)
+
+    def term_names(self, symbols: Sequence[str] = ()) -> List[str]:
+        """Human-readable term labels (default symbols x1..xk)."""
+        syms = list(symbols) if symbols else [f"x{i + 1}" for i in range(self.k)]
+        if len(syms) != self.k:
+            raise DesignError("wrong number of symbols")
+        names = ["1"]
+        names += syms
+        if self.kind in ("pure_quadratic", "quadratic", "cubic"):
+            names += [f"{s}^2" for s in syms]
+        if self.kind in ("interaction", "quadratic", "cubic"):
+            names += [f"{a}*{b}" for a, b in combinations(syms, 2)]
+        if self.kind == "cubic":
+            names += [f"{s}^3" for s in syms]
+            names += [
+                f"{syms[i]}^2*{syms[j]}"
+                for i in range(self.k)
+                for j in range(self.k)
+                if i != j
+            ]
+        return names
+
+    # -- expansion -----------------------------------------------------------
+
+    def expand(self, points: np.ndarray) -> np.ndarray:
+        """Expand coded points (n, k) into the design matrix (n, p)."""
+        X = np.atleast_2d(np.asarray(points, dtype=float))
+        if X.shape[1] != self.k:
+            raise DesignError(
+                f"points have {X.shape[1]} columns, basis expects {self.k}"
+            )
+        cols = [np.ones(X.shape[0])]
+        cols += [X[:, i] for i in range(self.k)]
+        if self.kind in ("pure_quadratic", "quadratic", "cubic"):
+            cols += [X[:, i] ** 2 for i in range(self.k)]
+        if self.kind in ("interaction", "quadratic", "cubic"):
+            cols += [X[:, i] * X[:, j] for i, j in combinations(range(self.k), 2)]
+        if self.kind == "cubic":
+            cols += [X[:, i] ** 3 for i in range(self.k)]
+            cols += [
+                X[:, i] ** 2 * X[:, j]
+                for i in range(self.k)
+                for j in range(self.k)
+                if i != j
+            ]
+        return np.column_stack(cols)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PolynomialBasis(k={self.k}, kind={self.kind!r}, p={self.n_terms})"

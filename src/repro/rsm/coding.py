@@ -1,0 +1,148 @@
+"""Coded design variables (paper eq. 3) and the parameter space.
+
+RSM regression operates on dimensionless *coded* variables so that
+coefficients are comparable across parameters with wildly different units
+(hertz vs seconds here).  The standard affine coding maps the range
+``[a_min, a_max]`` onto ``[-1, +1]``:
+
+    ``x = (a - (a_max + a_min)/2) / ((a_max - a_min)/2)``
+
+Note: the paper's eq. (3) prints ``(a_max + a_min)/2`` in the denominator
+as well; that cannot reproduce its own Table V coded levels of
+[-1, 0, +1] (e.g. the watchdog range 60-600 s would code 600 s as +0.82),
+so we implement the standard half-*range* denominator, which does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One design parameter with its natural range.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. ``"clock_hz"``).
+    low, high:
+        Natural-unit range bounds (Table V).
+    coded_symbol:
+        Display symbol (the paper uses x1, x2, x3).
+    unit:
+        Natural unit for reports.
+    """
+
+    name: str
+    low: float
+    high: float
+    coded_symbol: str = "x"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise DesignError(f"parameter {self.name!r}: need low < high")
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the natural range."""
+        return 0.5 * (self.high + self.low)
+
+    @property
+    def half_range(self) -> float:
+        """Half-width of the natural range."""
+        return 0.5 * (self.high - self.low)
+
+    def to_coded(self, natural: float) -> float:
+        """Natural value -> coded value (range maps to [-1, 1])."""
+        return (natural - self.center) / self.half_range
+
+    def to_natural(self, coded: float) -> float:
+        """Coded value -> natural value."""
+        return self.center + coded * self.half_range
+
+    def contains(self, natural: float, tol: float = 1e-9) -> bool:
+        """Whether a natural value lies within the range (with tolerance)."""
+        span = self.high - self.low
+        return self.low - tol * span <= natural <= self.high + tol * span
+
+
+class CodedTransform:
+    """Vectorised natural <-> coded mapping over several parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise DesignError("need at least one parameter")
+        self.parameters = list(parameters)
+        self._centers = np.array([p.center for p in self.parameters])
+        self._half_ranges = np.array([p.half_range for p in self.parameters])
+
+    @property
+    def k(self) -> int:
+        """Number of parameters."""
+        return len(self.parameters)
+
+    def to_coded(self, natural: np.ndarray) -> np.ndarray:
+        """Map natural rows to coded rows (accepts 1-D or 2-D arrays)."""
+        arr = np.asarray(natural, dtype=float)
+        return (arr - self._centers) / self._half_ranges
+
+    def to_natural(self, coded: np.ndarray) -> np.ndarray:
+        """Map coded rows to natural rows (accepts 1-D or 2-D arrays)."""
+        arr = np.asarray(coded, dtype=float)
+        return self._centers + arr * self._half_ranges
+
+
+class ParameterSpace(CodedTransform):
+    """A named, bounded design space (the paper's Table V).
+
+    Extends :class:`CodedTransform` with bounds handling and grids, which
+    is all the DOE generators need.
+    """
+
+    def names(self) -> List[str]:
+        """Parameter names in order."""
+        return [p.name for p in self.parameters]
+
+    def bounds_natural(self) -> List[Tuple[float, float]]:
+        """Natural (low, high) per parameter."""
+        return [(p.low, p.high) for p in self.parameters]
+
+    def bounds_coded(self) -> List[Tuple[float, float]]:
+        """Coded bounds: always (-1, 1)."""
+        return [(-1.0, 1.0)] * self.k
+
+    def clip_coded(self, coded: np.ndarray) -> np.ndarray:
+        """Clamp coded rows into the [-1, 1] box."""
+        return np.clip(np.asarray(coded, dtype=float), -1.0, 1.0)
+
+    def contains(self, natural: Sequence[float]) -> bool:
+        """Whether a natural point lies inside the box."""
+        return all(
+            p.contains(v) for p, v in zip(self.parameters, natural)
+        )
+
+    def levels_coded(self, n_levels: int = 3) -> np.ndarray:
+        """Evenly spaced coded levels (3 levels -> [-1, 0, 1])."""
+        if n_levels < 2:
+            raise DesignError("need at least two levels")
+        return np.linspace(-1.0, 1.0, n_levels)
+
+    def grid_coded(self, n_levels: int = 3) -> np.ndarray:
+        """Full-factorial coded grid, shape (n_levels^k, k)."""
+        levels = self.levels_coded(n_levels)
+        mesh = np.meshgrid(*[levels] * self.k, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+    def parameter(self, name: str) -> Parameter:
+        """Look a parameter up by name."""
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise DesignError(f"no parameter named {name!r}")

@@ -1,0 +1,62 @@
+"""Cross-validation of response-surface fits.
+
+``loocv_rmse`` uses the closed-form leave-one-out identity
+``e_(i) = e_i / (1 - h_ii)`` (no refitting); ``kfold_rmse`` refits on
+explicit folds for models where the identity does not apply or when the
+user wants grouped folds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.rng import SeedLike, ensure_rng
+from repro.rsm.regression import ols
+
+
+def loocv_rmse(X: np.ndarray, y: np.ndarray) -> float:
+    """Leave-one-out RMSE via the hat-matrix identity."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    fit = ols(X, y)
+    ones_minus_h = 1.0 - fit.leverage
+    mask = ones_minus_h > 1e-12
+    if not np.any(mask):
+        raise FitError("every design point is saturated; LOOCV undefined")
+    errs = fit.residuals[mask] / ones_minus_h[mask]
+    return float(np.sqrt(np.mean(errs**2)))
+
+
+def kfold_rmse(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    seed: SeedLike = None,
+) -> float:
+    """K-fold cross-validated RMSE (refits per fold).
+
+    Folds are random but seedable.  Requires every training split to keep
+    at least as many rows as model terms.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    n, p = X.shape
+    if n_folds < 2 or n_folds > n:
+        raise FitError(f"need 2 <= n_folds <= {n}")
+    rng = ensure_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    errors = []
+    for fold in folds:
+        train = np.setdiff1d(order, fold)
+        if len(train) < p:
+            raise FitError(
+                f"fold leaves {len(train)} rows for {p} terms; reduce folds"
+            )
+        fit = ols(X[train], y[train])
+        pred = X[fold] @ fit.coefficients
+        errors.extend((y[fold] - pred) ** 2)
+    return float(np.sqrt(np.mean(errors)))

@@ -1,0 +1,104 @@
+"""Goodness-of-fit diagnostics (the assessment the paper omits).
+
+Computed from the raw OLS results:
+
+- ``r2`` / ``adj_r2`` -- explained variance (adjusted for model size).
+- ``press`` / ``press_rmse`` -- leave-one-out prediction error computed
+  from leverages (``e_i / (1 - h_ii)``), the standard RSM adequacy check.
+- ``vif`` -- variance inflation factors of the non-intercept terms
+  (collinearity of the design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.rsm.regression import OlsFit, ols
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Summary statistics of a least-squares fit."""
+
+    n: int
+    p: int
+    r2: float
+    adj_r2: float
+    rmse: float
+    press: float
+    press_rmse: float
+    max_leverage: float
+    vif: Optional[np.ndarray]
+
+    def rows(self) -> List[str]:
+        """Readable report lines."""
+        lines = [
+            f"n = {self.n}, p = {self.p}",
+            f"R^2 = {self.r2:.4f}, adj R^2 = {self.adj_r2:.4f}",
+            f"RMSE = {self.rmse:.4g}, PRESS RMSE = {self.press_rmse:.4g}",
+            f"max leverage = {self.max_leverage:.3f}",
+        ]
+        if self.vif is not None and len(self.vif):
+            lines.append(f"max VIF = {float(np.max(self.vif)):.2f}")
+        return lines
+
+
+def diagnostics(X: np.ndarray, y: np.ndarray, fit: Optional[OlsFit] = None) -> FitDiagnostics:
+    """Compute :class:`FitDiagnostics` for a fitted design matrix."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    result = fit or ols(X, y)
+    n, p = X.shape
+    ss_total = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - result.sse / ss_total if ss_total > 0 else 1.0
+    adj_r2 = (
+        1.0 - (1.0 - r2) * (n - 1) / (n - p) if n > p and ss_total > 0 else r2
+    )
+    ones_minus_h = 1.0 - result.leverage
+    # Saturated points (h == 1) predict themselves exactly; exclude them
+    # from PRESS rather than dividing by zero.
+    mask = ones_minus_h > 1e-12
+    press_terms = (result.residuals[mask] / ones_minus_h[mask]) ** 2
+    press = float(np.sum(press_terms))
+    press_rmse = float(np.sqrt(press / max(np.sum(mask), 1)))
+    rmse = float(np.sqrt(result.sse / n))
+    vif = _vif(X)
+    return FitDiagnostics(
+        n=n,
+        p=p,
+        r2=r2,
+        adj_r2=adj_r2,
+        rmse=rmse,
+        press=press,
+        press_rmse=press_rmse,
+        max_leverage=float(np.max(result.leverage)),
+        vif=vif,
+    )
+
+
+def _vif(X: np.ndarray) -> Optional[np.ndarray]:
+    """Variance inflation factors of the non-intercept columns."""
+    n, p = X.shape
+    if p < 3 or n <= p:
+        return None
+    vifs = []
+    for j in range(1, p):
+        others = np.delete(X, j, axis=1)
+        target = X[:, j]
+        try:
+            beta, _, _, _ = np.linalg.lstsq(others, target, rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely fails
+            return None
+        resid = target - others @ beta
+        ss_res = float(resid @ resid)
+        ss_tot = float(np.sum((target - np.mean(target)) ** 2))
+        if ss_tot <= 0 or ss_res <= 0:
+            vifs.append(float("inf"))
+        else:
+            r2_j = 1.0 - ss_res / ss_tot
+            vifs.append(1.0 / (1.0 - r2_j) if r2_j < 1.0 else float("inf"))
+    return np.asarray(vifs)

@@ -1,0 +1,141 @@
+"""The fitted response surface (paper eq. 4 / eq. 9).
+
+:class:`ResponseSurface` couples a polynomial basis with fitted
+coefficients over *coded* variables, optionally remembering the
+:class:`~repro.rsm.coding.ParameterSpace` so predictions accept natural
+units directly.  ``to_string()`` renders the model in the exact shape of
+the paper's eq. (9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import ParameterSpace
+from repro.rsm.regression import OlsFit, ols
+
+
+class ResponseSurface:
+    """A polynomial model of one response over coded design variables."""
+
+    def __init__(
+        self,
+        basis: PolynomialBasis,
+        coefficients: np.ndarray,
+        space: Optional[ParameterSpace] = None,
+        fit: Optional[OlsFit] = None,
+    ):
+        coefficients = np.asarray(coefficients, dtype=float).ravel()
+        if len(coefficients) != basis.n_terms:
+            raise FitError(
+                f"{len(coefficients)} coefficients for a {basis.n_terms}-term basis"
+            )
+        self.basis = basis
+        self.coefficients = coefficients
+        self.space = space
+        self.fit = fit
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict_coded(self, points: np.ndarray) -> np.ndarray:
+        """Predict at coded points (n, k) or a single point (k,)."""
+        arr = np.atleast_2d(np.asarray(points, dtype=float))
+        values = self.basis.expand(arr) @ self.coefficients
+        return values if np.ndim(points) > 1 else float(values[0])
+
+    def predict_natural(self, points: np.ndarray) -> np.ndarray:
+        """Predict at natural-unit points (requires a parameter space)."""
+        if self.space is None:
+            raise FitError("model was fitted without a parameter space")
+        return self.predict_coded(self.space.to_coded(points))
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`predict_coded`."""
+        return self.predict_coded(points)
+
+    # -- structure -----------------------------------------------------------
+
+    def gradient_coded(self, point: Sequence[float], h: float = 1e-6) -> np.ndarray:
+        """Numerical gradient at a coded point (central differences)."""
+        x = np.asarray(point, dtype=float)
+        grad = np.zeros_like(x)
+        for i in range(len(x)):
+            e = np.zeros_like(x)
+            e[i] = h
+            grad[i] = (self.predict_coded(x + e) - self.predict_coded(x - e)) / (
+                2.0 * h
+            )
+        return grad
+
+    def quadratic_parts(self) -> "tuple[float, np.ndarray, np.ndarray]":
+        """Decompose a quadratic model as ``b0 + b.x + x.B.x``.
+
+        Returns (intercept, linear vector, symmetric quadratic matrix).
+        Only valid for the ``quadratic`` basis kind.
+        """
+        if self.basis.kind != "quadratic":
+            raise FitError("quadratic_parts requires the full quadratic basis")
+        k = self.basis.k
+        c = self.coefficients
+        b0 = float(c[0])
+        b = np.array(c[1 : 1 + k])
+        B = np.zeros((k, k))
+        for i in range(k):
+            B[i, i] = c[1 + k + i]
+        idx = 1 + 2 * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                B[i, j] = B[j, i] = c[idx] / 2.0
+                idx += 1
+        return b0, b, B
+
+    def stationary_point(self) -> np.ndarray:
+        """Coded stationary point of a quadratic model (``-B^-1 b / 2``).
+
+        May lie outside the [-1, 1] box (then the optimum is on the
+        boundary -- exactly why the paper uses global optimisers).
+        """
+        _, b, B = self.quadratic_parts()
+        try:
+            return np.linalg.solve(2.0 * B, -b)
+        except np.linalg.LinAlgError as exc:
+            raise FitError(f"quadratic part is singular: {exc}") from exc
+
+    def to_string(self, symbols: Sequence[str] = (), digits: int = 2) -> str:
+        """Render the model like the paper's eq. (9)."""
+        names = self.basis.term_names(symbols)
+        parts = [f"{self.coefficients[0]:.{digits}f}"]
+        for coef, name in zip(self.coefficients[1:], names[1:]):
+            sign = "-" if coef < 0 else "+"
+            parts.append(f"{sign} {abs(coef):.{digits}f}*{name}")
+        return " ".join(parts)
+
+
+def fit_response_surface(
+    points_coded: np.ndarray,
+    responses: np.ndarray,
+    kind: str = "quadratic",
+    space: Optional[ParameterSpace] = None,
+) -> ResponseSurface:
+    """Fit a polynomial response surface to coded design points.
+
+    Parameters
+    ----------
+    points_coded:
+        (n, k) coded design points.
+    responses:
+        n observed responses.
+    kind:
+        Basis kind (see :class:`~repro.rsm.basis.PolynomialBasis`).
+    space:
+        Optional parameter space enabling natural-unit prediction.
+    """
+    pts = np.atleast_2d(np.asarray(points_coded, dtype=float))
+    basis = PolynomialBasis(pts.shape[1], kind)
+    X = basis.expand(pts)
+    fit = ols(X, np.asarray(responses, dtype=float))
+    return ResponseSurface(basis, fit.coefficients, space=space, fit=fit)

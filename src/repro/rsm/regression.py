@@ -1,0 +1,100 @@
+"""Least-squares regression core (paper eqs. 5-7).
+
+Solves ``min ||y - X beta||^2`` via QR (``numpy.linalg.lstsq``), which is
+numerically safer than forming the normal equations of eq. (7) directly,
+and exposes the quantities diagnostics need (hat diagonal, coefficient
+covariance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FitError
+
+
+@dataclass
+class OlsFit:
+    """Raw ordinary-least-squares results."""
+
+    coefficients: np.ndarray
+    residuals: np.ndarray
+    fitted: np.ndarray
+    sse: float
+    dof: int  # residual degrees of freedom (n - p)
+    sigma2: float  # residual variance estimate (SSE / dof; 0 if dof == 0)
+    leverage: np.ndarray  # hat-matrix diagonal
+    cov: Optional[np.ndarray]  # coefficient covariance (None if dof == 0)
+
+
+def ols(X: np.ndarray, y: np.ndarray, rcond: float = 1e-10) -> OlsFit:
+    """Fit ``y ~ X beta`` by least squares.
+
+    Raises
+    ------
+    FitError
+        If there are fewer runs than coefficients or the design matrix is
+        rank deficient (a DOE that cannot support the model).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    n, p = X.shape
+    if len(y) != n:
+        raise FitError(f"X has {n} rows but y has {len(y)} values")
+    if n < p:
+        raise FitError(
+            f"{n} runs cannot identify {p} coefficients; enlarge the design"
+        )
+    rank = np.linalg.matrix_rank(X, tol=rcond * max(X.shape) * np.abs(X).max())
+    if rank < p:
+        raise FitError(
+            f"design matrix is rank deficient (rank {rank} < {p} terms); "
+            "the DOE does not support this model"
+        )
+    beta, _, _, _ = np.linalg.lstsq(X, y, rcond=rcond)
+    fitted = X @ beta
+    residuals = y - fitted
+    sse = float(residuals @ residuals)
+    dof = n - p
+    sigma2 = sse / dof if dof > 0 else 0.0
+
+    # Hat diagonal via the thin QR factor: h_ii = ||Q_i||^2.
+    q, _ = np.linalg.qr(X)
+    leverage = np.sum(q * q, axis=1)
+
+    cov = None
+    if dof > 0:
+        xtx_inv = np.linalg.inv(X.T @ X)
+        cov = sigma2 * xtx_inv
+    return OlsFit(
+        coefficients=beta,
+        residuals=residuals,
+        fitted=fitted,
+        sse=sse,
+        dof=dof,
+        sigma2=sigma2,
+        leverage=leverage,
+        cov=cov,
+    )
+
+
+def information_matrix(X: np.ndarray) -> np.ndarray:
+    """The DOE "information matrix" ``X'X`` (paper section II-B)."""
+    X = np.asarray(X, dtype=float)
+    return X.T @ X
+
+
+def d_criterion(X: np.ndarray) -> float:
+    """``det(X'X)`` -- the quantity D-optimal designs maximise."""
+    return float(np.linalg.det(information_matrix(X)))
+
+
+def log_d_criterion(X: np.ndarray) -> float:
+    """``log det(X'X)`` (slogdet; -inf for singular designs)."""
+    sign, logdet = np.linalg.slogdet(information_matrix(X))
+    if sign <= 0:
+        return float("-inf")
+    return float(logdet)

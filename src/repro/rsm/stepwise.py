@@ -1,0 +1,162 @@
+"""Stepwise term selection for response-surface models.
+
+A saturated quadratic fitted to a minimum-size D-optimal design (the
+paper's setup) has zero residual degrees of freedom: every coefficient is
+"significant" by construction.  When runs are cheap enough to afford a few
+extra, dropping negligible terms buys predictive robustness.  This module
+implements the two classic greedy searches over the term set:
+
+- :func:`backward_elimination` -- start saturated, repeatedly drop the
+  term whose removal improves the selection criterion most;
+- :func:`forward_selection` -- start from the intercept, repeatedly add
+  the best term.
+
+Criteria: corrected AIC (default) or BIC; both are computed from the
+Gaussian log-likelihood of the OLS residuals.  The intercept is always
+kept.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FitError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.model import ResponseSurface
+from repro.rsm.regression import ols
+
+
+def _criterion(sse: float, n: int, p: int, kind: str) -> float:
+    """Model-selection score (lower is better)."""
+    sse = max(sse, 1e-300)
+    loglik_term = n * math.log(sse / n)
+    if kind == "aic":
+        score = loglik_term + 2.0 * p
+        # small-sample correction (AICc) when it is defined
+        if n - p - 1 > 0:
+            score += 2.0 * p * (p + 1) / (n - p - 1)
+        return score
+    if kind == "bic":
+        return loglik_term + p * math.log(n)
+    raise FitError(f"unknown selection criterion {kind!r}")
+
+
+@dataclass
+class StepwiseResult:
+    """Outcome of a stepwise search."""
+
+    selected: List[int]  # column indices into the full basis expansion
+    term_names: List[str]
+    coefficients: np.ndarray
+    score: float
+    history: List[Tuple[str, float]]  # (action, score) log
+
+    def predict(self, basis: PolynomialBasis, points: np.ndarray) -> np.ndarray:
+        """Predict at coded points using only the selected terms."""
+        X = basis.expand(np.atleast_2d(points))
+        return X[:, self.selected] @ self.coefficients
+
+
+def backward_elimination(
+    points_coded: np.ndarray,
+    responses: np.ndarray,
+    kind: str = "quadratic",
+    criterion: str = "aic",
+    min_terms: int = 1,
+) -> StepwiseResult:
+    """Greedy backward search from the saturated model."""
+    pts = np.atleast_2d(np.asarray(points_coded, dtype=float))
+    y = np.asarray(responses, dtype=float).ravel()
+    basis = PolynomialBasis(pts.shape[1], kind)
+    X_full = basis.expand(pts)
+    names = basis.term_names()
+    n = len(y)
+
+    selected = list(range(X_full.shape[1]))
+    fit = ols(X_full, y)
+    score = _criterion(fit.sse, n, len(selected), criterion)
+    history = [("start", score)]
+
+    while len(selected) > max(min_terms, 1):
+        best_drop, best_score, best_fit = None, score, None
+        for term in selected:
+            if term == 0:
+                continue  # keep the intercept
+            trial = [t for t in selected if t != term]
+            try:
+                trial_fit = ols(X_full[:, trial], y)
+            except FitError:
+                continue
+            trial_score = _criterion(trial_fit.sse, n, len(trial), criterion)
+            if trial_score < best_score - 1e-12:
+                best_drop, best_score, best_fit = term, trial_score, trial_fit
+        if best_drop is None:
+            break
+        selected.remove(best_drop)
+        score = best_score
+        fit = best_fit
+        history.append((f"drop {names[best_drop]}", score))
+
+    return StepwiseResult(
+        selected=selected,
+        term_names=[names[i] for i in selected],
+        coefficients=fit.coefficients,
+        score=score,
+        history=history,
+    )
+
+
+def forward_selection(
+    points_coded: np.ndarray,
+    responses: np.ndarray,
+    kind: str = "quadratic",
+    criterion: str = "aic",
+    max_terms: Optional[int] = None,
+) -> StepwiseResult:
+    """Greedy forward search from the intercept-only model."""
+    pts = np.atleast_2d(np.asarray(points_coded, dtype=float))
+    y = np.asarray(responses, dtype=float).ravel()
+    basis = PolynomialBasis(pts.shape[1], kind)
+    X_full = basis.expand(pts)
+    names = basis.term_names()
+    n = len(y)
+    limit = X_full.shape[1] if max_terms is None else min(max_terms, X_full.shape[1])
+
+    selected = [0]
+    fit = ols(X_full[:, selected], y)
+    score = _criterion(fit.sse, n, 1, criterion)
+    history = [("start", score)]
+
+    while len(selected) < limit:
+        best_add, best_score, best_fit = None, score, None
+        for term in range(1, X_full.shape[1]):
+            if term in selected:
+                continue
+            trial = selected + [term]
+            if len(trial) > n:
+                continue
+            try:
+                trial_fit = ols(X_full[:, trial], y)
+            except FitError:
+                continue
+            trial_score = _criterion(trial_fit.sse, n, len(trial), criterion)
+            if trial_score < best_score - 1e-12:
+                best_add, best_score, best_fit = term, trial_score, trial_fit
+        if best_add is None:
+            break
+        selected.append(best_add)
+        score = best_score
+        fit = best_fit
+        history.append((f"add {names[best_add]}", score))
+
+    return StepwiseResult(
+        selected=selected,
+        term_names=[names[i] for i in selected],
+        coefficients=fit.coefficients,
+        score=score,
+        history=history,
+    )

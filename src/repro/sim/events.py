@@ -1,0 +1,83 @@
+"""Time-ordered event queue for the simulation kernel.
+
+Events are callbacks scheduled at absolute simulation times.  Ties are
+broken by insertion order (FIFO at equal times), which gives deterministic
+execution regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventQueue.schedule` and can be
+    cancelled; a cancelled event stays in the heap but is skipped when it
+    surfaces (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.9g}, seq={self.seq}{state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its handle."""
+        if time != time:  # NaN guard
+            raise SimulationError("cannot schedule an event at NaN time")
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,174 @@
+"""The mixed-signal scheduler.
+
+:class:`Simulator` runs event-driven (digital) processes from a time-ordered
+queue.  Analogue solvers participate through the :class:`AnalogHook`
+protocol: before the kernel jumps from the current time to the next event
+time it asks every hook to :meth:`~AnalogHook.advance` across the gap.  A
+hook may stop early -- e.g. on a threshold crossing it wants to report as a
+digital event -- in which case the kernel sets the clock to the reached time
+and re-enters its loop, exactly like SystemC-A's lockstep synchronisation of
+``sc_a`` solver instances with the digital kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Delay, NamedEvent, Process, WaitEvent, WaitSignal
+from repro.sim.signal import Signal
+
+
+class AnalogHook:
+    """Interface analogue solvers implement to run in lockstep with the kernel.
+
+    Subclasses override :meth:`advance`; the default implementation is a
+    no-op so purely digital simulations can mix in inert hooks.
+    """
+
+    def advance(self, t_from: float, t_to: float) -> float:
+        """Integrate the analogue system from ``t_from`` to at most ``t_to``.
+
+        Returns the time actually reached.  Returning a value smaller than
+        ``t_to`` makes the kernel re-synchronise at that time (used for
+        threshold crossings); the hook is then asked to continue from there.
+        """
+        return t_to
+
+
+class Simulator:
+    """Event-driven simulation kernel with attachable analogue solvers."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue = EventQueue()
+        self._processes: List[Process] = []
+        self._hooks: List[AnalogHook] = []
+        self._running = False
+        self._stopped = False
+
+    # -- construction -----------------------------------------------------
+
+    def add_process(self, generator: Generator, name: str = "process") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        proc._start()
+        return proc
+
+    def attach_analog(self, hook: AnalogHook) -> None:
+        """Attach an analogue solver advanced in lockstep with events.
+
+        Hooks exposing ``bind_kernel`` receive this simulator, which lets
+        them schedule notifications *at* crossing times instead of firing
+        them mid-advance (when the kernel clock still shows the old time).
+        """
+        self._hooks.append(hook)
+        bind = getattr(hook, "bind_kernel", None)
+        if callable(bind):
+            bind(self)
+
+    def signal(self, initial, name: str = "signal") -> Signal:
+        """Create a :class:`~repro.sim.signal.Signal` bound to this simulator."""
+        return Signal(initial, name=name, sim=self)
+
+    def event(self, name: str = "event") -> NamedEvent:
+        """Create a :class:`~repro.sim.process.NamedEvent`."""
+        return NamedEvent(name)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self._queue.schedule(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, current time is {self.now!r}"
+            )
+        return self._queue.schedule(time, callback)
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the currently executing callback returns."""
+        self._stopped = True
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: float = math.inf) -> float:
+        """Execute events until the queue drains or time reaches ``until``.
+
+        Returns the final simulation time.  The clock is left at ``until``
+        when the horizon is hit (even if no event sits exactly there) so
+        that analogue hooks integrate the full requested span.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                t_next = self._queue.next_time()
+                if t_next is None or t_next > until:
+                    # Integrate analogue state up to the horizon, honouring
+                    # early stops (threshold crossings may enqueue new work,
+                    # or simply need the loop to resume the integration).
+                    if self._advance_analog(until):
+                        continue
+                    self.now = max(self.now, until) if until != math.inf else self.now
+                    break
+                if t_next > self.now:
+                    if self._advance_analog(t_next):
+                        continue
+                self.now = max(self.now, t_next)
+                event = self._queue.pop()
+                if not event.cancelled:
+                    event.callback()
+        finally:
+            self._running = False
+        return self.now
+
+    def _advance_analog(self, t_target: float) -> bool:
+        """Advance hooks to ``t_target``.
+
+        Returns ``True`` if a hook stopped early (the kernel should
+        re-examine its queue at the reached time).
+        """
+        if not self._hooks or t_target == math.inf or t_target <= self.now:
+            if t_target != math.inf and t_target > self.now and not self._hooks:
+                pass
+            return False
+        stopped_early = False
+        reached = t_target
+        for hook in self._hooks:
+            t = hook.advance(self.now, reached)
+            if t < reached - 1e-15:
+                reached = t
+                stopped_early = True
+        self.now = reached
+        return stopped_early
+
+    # -- conveniences ---------------------------------------------------------
+
+    @staticmethod
+    def delay(duration: float) -> Delay:
+        """Build a ``Delay`` wait request (for readability inside processes)."""
+        return Delay(duration)
+
+    @staticmethod
+    def wait_signal(*signals: Signal) -> WaitSignal:
+        """Build a ``WaitSignal`` wait request."""
+        return WaitSignal(*signals)
+
+    @staticmethod
+    def wait_event(event: NamedEvent) -> WaitEvent:
+        """Build a ``WaitEvent`` wait request."""
+        return WaitEvent(event)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Simulator(now={self.now:.9g}, pending={len(self._queue)})"

@@ -1,0 +1,55 @@
+"""Hierarchical modules (``sc_module`` substitute).
+
+Modules give system models a named hierarchy: each module knows its parent,
+its children and its simulator, and offers a ``process`` helper that
+registers generator methods with hierarchical names (useful when tracing a
+full system with dozens of processes).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.signal import Signal
+
+
+class Module:
+    """Base class for hierarchical simulation models.
+
+    Subclasses typically create sub-modules and signals in ``__init__`` and
+    register their behaviour with :meth:`process`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["Module"] = None):
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children: List[Module] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def full_name(self) -> str:
+        """Dot-separated hierarchical name (``top.harvester.actuator``)."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.full_name}.{self.name}"
+
+    def process(self, generator: Generator, name: str = "proc") -> Process:
+        """Register a generator as a process named under this module."""
+        return self.sim.add_process(generator, name=f"{self.full_name}.{name}")
+
+    def signal(self, initial, name: str = "signal") -> Signal:
+        """Create a signal named under this module."""
+        return Signal(initial, name=f"{self.full_name}.{name}", sim=self.sim)
+
+    def walk(self):
+        """Yield this module and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.full_name!r})"

@@ -1,0 +1,151 @@
+"""Coroutine processes for the simulation kernel.
+
+A process is a Python generator that yields *wait requests*; the kernel
+resumes it when the request is satisfied.  This mirrors SystemC thread
+processes suspending on ``wait(...)``:
+
+- ``yield Delay(seconds)`` -- resume after a fixed simulated delay.
+- ``yield WaitSignal(sig)`` -- resume on the next value change of ``sig``.
+- ``yield WaitEvent(evt)`` -- resume when the named event is notified.
+
+A process may also ``return`` (StopIteration) to terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Union
+
+from repro.errors import SimulationError
+
+
+class Delay:
+    """Wait request: suspend for ``duration`` seconds of simulated time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0.0:
+            raise SimulationError(f"negative delay: {duration!r}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Delay({self.duration:.9g})"
+
+
+class WaitSignal:
+    """Wait request: suspend until any of the given signals changes value."""
+
+    __slots__ = ("signals",)
+
+    def __init__(self, *signals):
+        if not signals:
+            raise SimulationError("WaitSignal needs at least one signal")
+        self.signals = signals
+
+
+class WaitEvent:
+    """Wait request: suspend until the given :class:`NamedEvent` is notified."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "NamedEvent"):
+        self.event = event
+
+
+WaitRequest = Union[Delay, WaitSignal, WaitEvent]
+
+
+class NamedEvent:
+    """A SystemC-style notification event processes can wait on.
+
+    Unlike :class:`repro.sim.events.Event` (a scheduled callback), a
+    ``NamedEvent`` has no intrinsic time: it fires whenever some process or
+    model calls :meth:`notify`.
+    """
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self._waiters: list[Process] = []
+
+    def notify(self) -> None:
+        """Wake every process currently waiting on this event."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NamedEvent({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A running coroutine bound to a :class:`~repro.sim.kernel.Simulator`.
+
+    Users normally create processes with
+    :meth:`repro.sim.kernel.Simulator.add_process`; the class itself drives
+    the generator, interprets the yielded wait requests and tracks
+    completion.
+    """
+
+    def __init__(self, sim, generator: Generator, name: str = "process"):
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self.finished = False
+        self._pending_event = None  # scheduled Delay event (for cancellation)
+        self._watched_signals: tuple = ()
+
+    # -- kernel interface ---------------------------------------------------
+
+    def _start(self) -> None:
+        """Schedule the first resumption at the current simulation time."""
+        self._pending_event = self._sim._queue.schedule(self._sim.now, self._resume)
+
+    def _resume(self) -> None:
+        """Advance the generator to its next wait request."""
+        if self.finished:
+            return
+        self._detach()
+        try:
+            request = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return
+        self._handle(request)
+
+    def _handle(self, request: WaitRequest) -> None:
+        if isinstance(request, Delay):
+            self._pending_event = self._sim._queue.schedule(
+                self._sim.now + request.duration, self._resume
+            )
+        elif isinstance(request, WaitSignal):
+            self._watched_signals = request.signals
+            for sig in request.signals:
+                sig._add_waiter(self)
+        elif isinstance(request, WaitEvent):
+            request.event._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {request!r}; expected a wait request"
+            )
+
+    def _detach(self) -> None:
+        """Drop any outstanding wait registration before resuming."""
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        for sig in self._watched_signals:
+            sig._remove_waiter(self)
+        self._watched_signals = ()
+
+    def kill(self) -> None:
+        """Terminate the process without resuming it again."""
+        self._detach()
+        self.finished = True
+        self._gen.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "finished" if self.finished else "active"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,100 @@
+"""Typed signals with change notification (``sc_signal`` substitute).
+
+A :class:`Signal` holds a value; writing a *different* value wakes every
+process waiting on it and invokes registered callbacks.  Writes take effect
+immediately (the kernel has no delta cycles; the controller models in this
+library never need them, and immediate semantics keep traces easy to read).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A named, observable value.
+
+    Parameters
+    ----------
+    initial:
+        Starting value.
+    name:
+        Identifier used in traces and VCD dumps.
+    sim:
+        Owning simulator; required only when traces need timestamps or when
+        callbacks must observe simulation time.
+    """
+
+    def __init__(self, initial: T, name: str = "signal", sim=None):
+        self._value = initial
+        self.name = name
+        self._sim = sim
+        self._waiters: list = []
+        self._callbacks: list[Callable[[T, T], None]] = []
+
+    # -- value access --------------------------------------------------------
+
+    @property
+    def value(self) -> T:
+        """Current value."""
+        return self._value
+
+    def read(self) -> T:
+        """Alias of :attr:`value` mirroring SystemC's ``sig.read()``."""
+        return self._value
+
+    def write(self, new_value: T) -> None:
+        """Set the value; notify observers only if it actually changed."""
+        old = self._value
+        if new_value == old:
+            return
+        self._value = new_value
+        for callback in list(self._callbacks):
+            callback(old, new_value)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume()
+
+    def set(self, new_value: T) -> None:
+        """Alias of :meth:`write`."""
+        self.write(new_value)
+
+    # -- observation ---------------------------------------------------------
+
+    def on_change(self, callback: Callable[[T, T], None]) -> None:
+        """Register ``callback(old, new)`` to run on every value change."""
+        self._callbacks.append(callback)
+
+    def posedge(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` for rising edges of a boolean/integer signal."""
+
+        def _edge(old: T, new: T) -> None:
+            if new and not old:
+                callback()
+
+        self._callbacks.append(_edge)
+
+    def negedge(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` for falling edges of a boolean/integer signal."""
+
+        def _edge(old: T, new: T) -> None:
+            if old and not new:
+                callback()
+
+        self._callbacks.append(_edge)
+
+    # -- kernel interface ------------------------------------------------------
+
+    def _add_waiter(self, proc) -> None:
+        self._waiters.append(proc)
+
+    def _remove_waiter(self, proc) -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Signal({self.name!r}={self._value!r})"

@@ -1,0 +1,145 @@
+"""Waveform recording.
+
+:class:`Trace` stores (time, value) samples of one quantity;
+:class:`TraceSet` groups traces from a simulation run and exports them to
+CSV for the figure-regeneration benches (Fig. 5 of the paper is produced
+from such a trace of the supercapacitor voltage).
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Trace:
+    """Time-stamped samples of one scalar quantity.
+
+    Samples must be appended in non-decreasing time order.  Equal-time
+    appends overwrite the previous sample, which keeps step-discontinuities
+    representable without zero-width artefacts.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Record ``value`` at ``time`` (monotone non-decreasing times)."""
+        if self._times and time < self._times[-1]:
+            raise SimulationError(
+                f"trace {self.name!r}: time went backwards "
+                f"({time!r} < {self._times[-1]!r})"
+            )
+        if self._times and time == self._times[-1]:
+            self._values[-1] = value
+            return
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as an array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as an array."""
+        return np.asarray(self._values, dtype=float)
+
+    def at(self, time: float) -> float:
+        """Zero-order-hold lookup: value of the last sample at or before ``time``."""
+        if not self._times:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return self._values[0]
+        return self._values[idx]
+
+    def interp(self, time: float) -> float:
+        """Linear interpolation at ``time`` (clamped at the ends)."""
+        if not self._times:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        return float(np.interp(time, self._times, self._values))
+
+    def resample(self, times: Sequence[float]) -> np.ndarray:
+        """Linearly interpolate the trace onto the given time grid."""
+        if not self._times:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        return np.interp(np.asarray(times, dtype=float), self._times, self._values)
+
+    def min(self) -> float:
+        """Smallest recorded value."""
+        return float(np.min(self.values))
+
+    def max(self) -> float:
+        """Largest recorded value."""
+        return float(np.max(self.values))
+
+    def mean(self) -> float:
+        """Time-weighted mean value (trapezoidal; falls back to sample mean)."""
+        t, v = self.times, self.values
+        if len(t) < 2 or t[-1] == t[0]:
+            return float(np.mean(v))
+        return float(np.trapezoid(v, t) / (t[-1] - t[0]))
+
+    def time_above(self, threshold: float) -> float:
+        """Total time the (linearly interpolated) trace spends above ``threshold``."""
+        t, v = self.times, self.values
+        if len(t) < 2:
+            return 0.0
+        total = 0.0
+        for i in range(len(t) - 1):
+            t0, t1, v0, v1 = t[i], t[i + 1], v[i], v[i + 1]
+            dt = t1 - t0
+            if dt <= 0.0:
+                continue
+            if v0 > threshold and v1 > threshold:
+                total += dt
+            elif (v0 > threshold) != (v1 > threshold) and v1 != v0:
+                frac_above = abs(max(v0, v1) - threshold) / abs(v1 - v0)
+                total += dt * frac_above
+        return total
+
+
+class TraceSet:
+    """A named collection of traces with shared CSV export."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, Trace] = {}
+
+    def trace(self, name: str) -> Trace:
+        """Return the trace called ``name``, creating it on first use."""
+        if name not in self._traces:
+            self._traces[name] = Trace(name)
+        return self._traces[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __getitem__(self, name: str) -> Trace:
+        return self._traces[name]
+
+    def names(self) -> List[str]:
+        """Names of all traces, sorted."""
+        return sorted(self._traces)
+
+    def to_csv(self, times: Sequence[float]) -> str:
+        """Resample every trace onto ``times`` and render a CSV string."""
+        names = self.names()
+        buf = io.StringIO()
+        buf.write("time," + ",".join(names) + "\n")
+        columns = [self._traces[n].resample(times) for n in names]
+        for i, t in enumerate(times):
+            row = ",".join(f"{col[i]:.9g}" for col in columns)
+            buf.write(f"{t:.9g},{row}\n")
+        return buf.getvalue()

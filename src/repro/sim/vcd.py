@@ -1,0 +1,112 @@
+"""Minimal VCD (Value Change Dump) writer for digital signals.
+
+Lets users inspect controller behaviour in standard waveform viewers
+(GTKWave etc.).  Only the subset of VCD needed for scalar integer, real and
+boolean signals is implemented.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.signal import Signal
+
+_IDENT_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short printable-ASCII identifier code for the ``index``-th variable."""
+    chars = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, len(_IDENT_ALPHABET))
+        chars.append(_IDENT_ALPHABET[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Collects signal changes and renders a VCD document.
+
+    Parameters
+    ----------
+    timescale_seconds:
+        Simulation-time quantum of one VCD tick (default 1 microsecond).
+    """
+
+    def __init__(self, timescale_seconds: float = 1e-6):
+        if timescale_seconds <= 0.0:
+            raise SimulationError("timescale must be positive")
+        self.timescale = timescale_seconds
+        self._vars: List[Tuple[str, str, str]] = []  # (name, kind, ident)
+        self._changes: List[Tuple[int, str, object]] = []  # (tick, ident, value)
+        self._idents: Dict[str, str] = {}
+        self._sealed = False
+
+    def watch(self, signal: Signal, sim, kind: str = "real") -> None:
+        """Record every change of ``signal`` (kinds: ``real``, ``wire``, ``integer``)."""
+        if kind not in ("real", "wire", "integer"):
+            raise SimulationError(f"unsupported VCD var kind {kind!r}")
+        ident = _identifier(len(self._vars))
+        self._vars.append((signal.name, kind, ident))
+        self._idents[signal.name] = ident
+        self._record(sim.now if sim else 0.0, ident, signal.value)
+
+        def _on_change(old, new, _ident=ident):
+            self._record(sim.now, _ident, new)
+
+        signal.on_change(_on_change)
+
+    def record_value(self, time: float, name: str, value, kind: str = "real") -> None:
+        """Manually record a value change for a variable not bound to a Signal."""
+        if name not in self._idents:
+            ident = _identifier(len(self._vars))
+            self._vars.append((name, kind, ident))
+            self._idents[name] = ident
+        self._record(time, self._idents[name], value)
+
+    def _record(self, time: float, ident: str, value) -> None:
+        tick = int(round(time / self.timescale))
+        self._changes.append((tick, ident, value))
+
+    def render(self, date: str = "repro simulation") -> str:
+        """Produce the VCD document as a string."""
+        buf = io.StringIO()
+        buf.write(f"$date {date} $end\n")
+        buf.write("$version repro.sim.vcd $end\n")
+        exponent = round(_log10(self.timescale))
+        unit = {0: "s", -3: "ms", -6: "us", -9: "ns"}.get(exponent)
+        if unit is None:
+            unit = "s"
+            scale = self.timescale
+        else:
+            scale = 1
+        buf.write(f"$timescale {scale} {unit} $end\n")
+        buf.write("$scope module top $end\n")
+        for name, kind, ident in self._vars:
+            width = 64 if kind in ("real", "integer") else 1
+            safe = name.replace(" ", "_")
+            buf.write(f"$var {kind} {width} {ident} {safe} $end\n")
+        buf.write("$upscope $end\n$enddefinitions $end\n")
+        last_tick: Optional[int] = None
+        for tick, ident, value in sorted(self._changes, key=lambda c: c[0]):
+            if tick != last_tick:
+                buf.write(f"#{tick}\n")
+                last_tick = tick
+            buf.write(_format_change(ident, value))
+        return buf.getvalue()
+
+
+def _format_change(ident: str, value) -> str:
+    if isinstance(value, bool):
+        return f"{int(value)}{ident}\n"
+    if isinstance(value, int):
+        return f"b{value:b} {ident}\n"
+    return f"r{float(value):.9g} {ident}\n"
+
+
+def _log10(x: float) -> float:
+    import math
+
+    return math.log10(x)

@@ -1,0 +1,123 @@
+"""Simulation results and the energy audit.
+
+:class:`EnergyBreakdown` tracks where every joule went; its
+:meth:`~EnergyBreakdown.imbalance` must be ~0 for any correct backend
+(property-tested).  :class:`SystemResult` is what a run returns: the
+figure of merit (transmission count), traces for the Fig. 5-style plots,
+the per-session tuning log and the audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.control.session import SessionResult
+from repro.sim.trace import TraceSet
+from repro.system.config import SystemConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by source and sink over a run."""
+
+    initial_stored: float = 0.0
+    final_stored: float = 0.0
+    harvested: float = 0.0
+    clipped: float = 0.0  # harvest rejected at the storage voltage clamp
+    node_tx: float = 0.0
+    node_sleep: float = 0.0
+    mcu_sleep: float = 0.0
+    mcu_active: float = 0.0
+    accelerometer: float = 0.0
+    actuator: float = 0.0
+    shortfall: float = 0.0  # demanded but unavailable (store empty)
+
+    @property
+    def consumed(self) -> float:
+        """Total energy drawn from the store."""
+        return (
+            self.node_tx
+            + self.node_sleep
+            + self.mcu_sleep
+            + self.mcu_active
+            + self.accelerometer
+            + self.actuator
+            - self.shortfall
+        )
+
+    @property
+    def tuning_overhead(self) -> float:
+        """Energy spent on the tuning subsystem (MCU active + peripherals)."""
+        return self.mcu_active + self.accelerometer + self.actuator
+
+    def imbalance(self) -> float:
+        """Energy-conservation residual; ~0 for a correct simulation."""
+        return (
+            self.initial_stored + self.harvested - self.consumed - self.final_stored
+        )
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """(label, joules) rows for reports."""
+        return [
+            ("initial stored", self.initial_stored),
+            ("harvested", self.harvested),
+            ("clipped at clamp", self.clipped),
+            ("node transmissions", self.node_tx),
+            ("node sleep", self.node_sleep),
+            ("MCU sleep", self.mcu_sleep),
+            ("MCU active", self.mcu_active),
+            ("accelerometer", self.accelerometer),
+            ("actuator", self.actuator),
+            ("final stored", self.final_stored),
+        ]
+
+
+@dataclass
+class TuningEvent:
+    """One watchdog wake-up and what its session did."""
+
+    time: float
+    result: SessionResult
+    duration: float
+    energy: float
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one system simulation."""
+
+    config: SystemConfig
+    horizon: float
+    transmissions: int
+    breakdown: EnergyBreakdown
+    traces: TraceSet = field(default_factory=TraceSet)
+    tuning_events: List[TuningEvent] = field(default_factory=list)
+    final_voltage: float = 0.0
+    final_position: float = 0.0
+
+    @property
+    def transmissions_per_hour(self) -> float:
+        """Figure of merit normalised to one hour."""
+        if self.horizon <= 0.0:
+            return 0.0
+        return self.transmissions * 3600.0 / self.horizon
+
+    def retune_count(self) -> int:
+        """Number of wake-ups that actually moved the actuator."""
+        return sum(1 for ev in self.tuning_events if ev.result.retuned)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"config: {self.config.describe()}",
+            f"horizon: {self.horizon:.0f} s",
+            f"transmissions: {self.transmissions}",
+            f"retunes: {self.retune_count()} of {len(self.tuning_events)} wake-ups",
+            f"final supercap voltage: {self.final_voltage:.3f} V",
+            "energy (mJ):",
+        ]
+        for label, joules in self.breakdown.rows():
+            lines.append(f"  {label:<22s} {joules * 1e3:10.2f}")
+        lines.append(f"  imbalance              {self.breakdown.imbalance() * 1e3:10.5f}")
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Physical constants and unit-conversion helpers.
+
+The library stores every quantity internally in SI base units (seconds,
+hertz, volts, amperes, watts, joules, metres, kilograms).  The helpers in
+this module convert the mixed engineering units used throughout the paper
+(milli-g acceleration, milliseconds, milliamps, megahertz...) to and from SI
+so that unit mistakes are caught at the boundary rather than deep inside a
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard gravity in m/s^2 (used for the paper's "60mg" acceleration level).
+G0 = 9.80665
+
+#: Boltzmann constant (J/K); used by the diode model's thermal voltage.
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Vacuum permeability (H/m); used by the magnetic tuning-force model.
+MU0 = 4.0e-7 * math.pi
+
+
+def thermal_voltage(temperature_kelvin: float = 300.15) -> float:
+    """Diode thermal voltage ``kT/q`` at the given temperature (default 27 C)."""
+    return BOLTZMANN * temperature_kelvin / ELEMENTARY_CHARGE
+
+
+def mg_to_mps2(milli_g: float) -> float:
+    """Convert acceleration from milli-g to m/s^2 (60 mg -> 0.588 m/s^2)."""
+    return milli_g * 1e-3 * G0
+
+
+def mps2_to_mg(mps2: float) -> float:
+    """Convert acceleration from m/s^2 to milli-g."""
+    return mps2 / (1e-3 * G0)
+
+
+def hz_to_rad(frequency_hz: float) -> float:
+    """Convert a frequency in Hz to angular frequency in rad/s."""
+    return 2.0 * math.pi * frequency_hz
+
+
+def rad_to_hz(omega: float) -> float:
+    """Convert an angular frequency in rad/s to Hz."""
+    return omega / (2.0 * math.pi)
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours to seconds."""
+    return value * 3600.0
+
+
+def mA(value: float) -> float:  # noqa: N802 - unit symbol capitalisation is intentional
+    """Milliamps to amps."""
+    return value * 1e-3
+
+
+def uA(value: float) -> float:  # noqa: N802
+    """Microamps to amps."""
+    return value * 1e-6
+
+
+def mW(value: float) -> float:  # noqa: N802
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def uW(value: float) -> float:  # noqa: N802
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def mJ(value: float) -> float:  # noqa: N802
+    """Millijoules to joules."""
+    return value * 1e-3
+
+
+def uJ(value: float) -> float:  # noqa: N802
+    """Microjoules to joules."""
+    return value * 1e-6
+
+
+def MHz(value: float) -> float:  # noqa: N802
+    """Megahertz to hertz."""
+    return value * 1e6
+
+
+def kHz(value: float) -> float:  # noqa: N802
+    """Kilohertz to hertz."""
+    return value * 1e3
+
+
+def capacitor_energy(capacitance: float, voltage: float) -> float:
+    """Energy (J) stored in a capacitor: ``E = C V^2 / 2``."""
+    return 0.5 * capacitance * voltage * voltage
+
+
+def capacitor_voltage(capacitance: float, energy: float) -> float:
+    """Voltage across a capacitor holding ``energy`` joules (inverse of above)."""
+    if energy <= 0.0:
+        return 0.0
+    return math.sqrt(2.0 * energy / capacitance)

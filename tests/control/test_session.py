@@ -1,0 +1,186 @@
+"""Tuning session logic tests against a scripted fake backend.
+
+The fake backend implements a perfect little world: a true input
+frequency, an exact position->frequency map, and deterministic phase
+readings -- so each branch of Algorithms 1-3 can be pinned precisely.
+"""
+
+import pytest
+
+from repro.control.commands import (
+    CheckEnergy,
+    GetCurrentPosition,
+    MeasureFrequency,
+    MeasurePhase,
+    MoveActuatorTo,
+    Settle,
+    StepActuator,
+)
+from repro.control.runner import ControllerBackend, run_session
+from repro.control.session import tuning_session
+from repro.digital.lut import FrequencyLut
+from repro.errors import ModelError, SimulationError
+
+
+class FakeBackend(ControllerBackend):
+    """Linear map world: position p has resonance (60 + p * 20/255) Hz."""
+
+    def __init__(self, f_input=69.0, position=0, voltage=2.9, phase_gain=1e-3):
+        self.f_input = f_input
+        self.position = float(position)
+        self.voltage = voltage
+        self.phase_gain = phase_gain  # seconds of phase per Hz of detune
+        self.commands = []
+        self.settle_time = 0.0
+
+    def resonance(self):
+        return 60.0 + self.position * 20.0 / 255.0
+
+    def check_energy(self, cmd):
+        self.commands.append(cmd)
+        return self.voltage >= cmd.threshold
+
+    def measure_frequency(self, cmd):
+        self.commands.append(cmd)
+        return self.f_input
+
+    def get_position(self, cmd):
+        self.commands.append(cmd)
+        return int(round(self.position))
+
+    def move_actuator_to(self, cmd):
+        self.commands.append(cmd)
+        moved = abs(cmd.position - self.position)
+        self.position = float(cmd.position)
+        return int(moved)
+
+    def step_actuator(self, cmd):
+        self.commands.append(cmd)
+        new = min(max(self.position + cmd.direction, 0.0), 255.0)
+        moved = abs(new - self.position)
+        self.position = new
+        return int(moved)
+
+    def settle(self, cmd):
+        self.commands.append(cmd)
+        self.settle_time += cmd.duration
+
+    def measure_phase(self, cmd):
+        self.commands.append(cmd)
+        # positive when resonance sits above the input (MeasurePhase doc).
+        return self.phase_gain * (self.resonance() - self.f_input)
+
+
+def _lut():
+    # Perfect LUT for the fake world's linear map.
+    positions = []
+    for i in range(256):
+        f = 58.0 + i * (82.0 - 58.0) / 255.0
+        p = round((f - 60.0) * 255.0 / 20.0)
+        positions.append(min(max(p, 0), 255))
+    return FrequencyLut(58.0, 82.0, positions)
+
+
+def test_low_energy_skips_everything():
+    backend = FakeBackend(voltage=2.4)
+    result = run_session(tuning_session(_lut()), backend)
+    assert result.skipped_low_energy
+    assert result.measured_frequency is None
+    assert len(backend.commands) == 1
+    assert isinstance(backend.commands[0], CheckEnergy)
+
+
+def test_already_tuned_goes_back_to_sleep():
+    backend = FakeBackend(f_input=69.0)
+    backend.position = float(_lut().lookup(69.0))
+    result = run_session(tuning_session(_lut()), backend)
+    assert not result.retuned
+    assert result.coarse_iterations == 0
+    assert result.fine_steps == 0
+    # No actuator commands issued.
+    assert not any(
+        isinstance(c, (MoveActuatorTo, StepActuator)) for c in backend.commands
+    )
+
+
+def test_coarse_tuning_moves_to_lut_optimum():
+    backend = FakeBackend(f_input=69.0, position=0)
+    result = run_session(tuning_session(_lut()), backend)
+    assert result.retuned
+    assert result.coarse_iterations == 1
+    assert result.optimum_position == _lut().lookup(69.0)
+    assert int(round(backend.position)) == pytest.approx(result.optimum_position, abs=1)
+    # Settle waited 5 s at least once (Algorithm 2, step 4).
+    assert backend.settle_time >= 5.0
+
+
+def test_fine_tuning_runs_when_phase_large():
+    # Make each position step worth lots of phase so the initial residual
+    # detune after coarse tuning exceeds the threshold.
+    backend = FakeBackend(f_input=69.03, position=0, phase_gain=5e-2)
+    result = run_session(tuning_session(_lut()), backend)
+    assert result.retuned
+    assert result.fine_steps >= 1
+
+
+def test_fine_tuning_converges_or_reverts():
+    backend = FakeBackend(f_input=69.03, position=0, phase_gain=5e-3)
+    result = run_session(tuning_session(_lut(), max_fine_steps=8), backend)
+    final_detune = abs(backend.resonance() - 69.03)
+    # The best achievable is within one actuator quantum (20/255 Hz).
+    assert final_detune <= 20.0 / 255.0 + 1e-9
+
+
+def test_phase_below_threshold_skips_fine_steps():
+    backend = FakeBackend(f_input=69.0, position=0, phase_gain=1e-7)
+    result = run_session(tuning_session(_lut()), backend)
+    assert result.retuned
+    assert result.fine_converged
+    assert result.fine_steps == 0
+
+
+def test_fine_step_direction_reduces_detune():
+    # Start exactly one position below optimum with phase above threshold:
+    # resonance below input -> negative phase -> step direction +1.
+    lut = _lut()
+    opt = lut.lookup(69.0)
+    backend = FakeBackend(f_input=69.0, position=opt - 2, phase_gain=5e-3)
+    session = tuning_session(lut, position_tolerance=0)
+    result = run_session(session, backend)
+    assert abs(backend.resonance() - 69.0) <= 20.0 / 255.0
+
+
+def test_max_fine_steps_guard():
+    backend = FakeBackend(f_input=69.04, position=0, phase_gain=1.0)
+    # Impossible threshold: the loop must stop at the guard.
+    result = run_session(
+        tuning_session(_lut(), phase_threshold=1e-12, max_fine_steps=3), backend
+    )
+    assert result.fine_steps <= 4  # 3 + possible revert step
+    assert not result.fine_converged
+
+
+def test_session_parameter_validation():
+    with pytest.raises(ModelError):
+        next(tuning_session(_lut(), phase_threshold=0.0))
+    with pytest.raises(ModelError):
+        next(tuning_session(_lut(), position_tolerance=-1))
+
+
+def test_runner_rejects_non_result_generator():
+    def bogus():
+        yield CheckEnergy()
+        return 42  # not a SessionResult
+
+    backend = FakeBackend()
+    with pytest.raises(SimulationError):
+        run_session(bogus(), backend)
+
+
+def test_command_validation():
+    with pytest.raises(ModelError):
+        MoveActuatorTo(position=300)
+    with pytest.raises(ModelError):
+        StepActuator(direction=2)
+    with pytest.raises(ModelError):
+        Settle(duration=-1.0)

@@ -1,0 +1,156 @@
+"""Extension modules: multi-objective trade-off, sensitivity, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiobjective import (
+    MultiObjectiveSimulation,
+    explore_tradeoff,
+)
+from repro.core.objective import SimulationObjective
+from repro.core.sensitivity import morris_screening, robustness_study
+from repro.system.config import ORIGINAL_DESIGN
+
+
+def _fast_objective(seed=0, horizon=1800.0):
+    # Long enough that the node reaches the fast band (the trade-off and
+    # the x3 sensitivity only exist once transmissions are energy-bound).
+    return SimulationObjective(seed=seed, horizon=horizon)
+
+
+class TestMultiObjective:
+    def test_evaluation_returns_both_objectives(self):
+        sim = MultiObjectiveSimulation(objective=_fast_objective())
+        tx, energy = sim(np.zeros(3))
+        assert tx >= 0
+        assert energy > 0  # the store never fully empties
+
+    def test_cache(self):
+        sim = MultiObjectiveSimulation(objective=_fast_objective())
+        sim(np.zeros(3))
+        sim(np.zeros(3))
+        assert sim.n_simulations == 1
+
+    def test_tradeoff_front_shape(self):
+        sim = MultiObjectiveSimulation(objective=_fast_objective(seed=2))
+        entries, result = explore_tradeoff(
+            seed=2, population_size=12, n_generations=4, simulation=sim
+        )
+        assert len(entries) >= 2
+        # Sorted ascending in transmissions; energy must then descend
+        # (mutual non-domination).
+        tx = [e.transmissions for e in entries]
+        en = [e.final_energy for e in entries]
+        assert tx == sorted(tx)
+        for a, b in zip(en, en[1:]):
+            assert b <= a + 1e-9
+
+    def test_tradeoff_spans_regimes(self):
+        sim = MultiObjectiveSimulation(objective=_fast_objective(seed=3))
+        entries, _ = explore_tradeoff(
+            seed=3, population_size=12, n_generations=4, simulation=sim
+        )
+        tx = [e.transmissions for e in entries]
+        assert max(tx) > min(tx)  # a real trade-off, not a single point
+
+
+class TestSensitivity:
+    def test_morris_ranks_tx_interval_first(self):
+        effects = morris_screening(
+            objective=_fast_objective(seed=4), n_trajectories=4, seed=4
+        )
+        by_name = {e.name: e for e in effects}
+        assert set(by_name) == {"clock_hz", "watchdog_s", "tx_interval_s"}
+        # The transmission interval dominates the response (Fig. 4 shape).
+        assert by_name["tx_interval_s"].mu_star == max(
+            e.mu_star for e in effects
+        )
+        assert all(e.mu_star >= 0 and e.sigma >= 0 for e in effects)
+
+    def test_morris_budget(self):
+        obj = _fast_objective(seed=5)
+        morris_screening(objective=obj, n_trajectories=3, seed=5)
+        # (k + 1) points per trajectory, some may collide in cache.
+        assert obj.n_simulations <= 3 * 4
+
+    def test_robustness_study_structure(self):
+        report = robustness_study(
+            ORIGINAL_DESIGN, seed=6, horizon=600.0,
+            accel_levels_mg=(45.0, 60.0),
+            f_starts=(64.0,),
+            v_inits=(2.65,),
+        )
+        assert len(report.entries) == 4
+        assert report.worst <= report.mean
+        assert report.spread() >= 0.0
+
+    def test_robustness_more_acceleration_helps(self):
+        report = robustness_study(
+            ORIGINAL_DESIGN, seed=7, horizon=1800.0,
+            accel_levels_mg=(40.0, 90.0),
+            f_starts=(), v_inits=(),
+        )
+        low, high = report.entries
+        assert high.transmissions >= low.transmissions
+
+
+class TestCli:
+    def test_simulate_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate",
+                "--clock", "4e6",
+                "--watchdog", "320",
+                "--interval", "5",
+                "--horizon", "600",
+                "--seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transmissions" in out
+
+    def test_simulate_trace_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "v.csv"
+        code = main(
+            ["simulate", "--horizon", "300", "--trace", str(trace)]
+        )
+        assert code == 0
+        lines = trace.read_text().strip().splitlines()
+        assert lines[0] == "time_s,v_store"
+        assert len(lines) > 100
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--parameter", "watchdog_s", "--points", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "watchdog_s" in out
+        assert out.count("\n") >= 5
+
+    def test_explore_and_report_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "outcome.json"
+        code = main(
+            ["explore", "--runs", "10", "--seed", "2", "--horizon", "600",
+             "--save", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        capsys.readouterr()
+        code = main(["report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table VI" in out
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["banana"])

@@ -1,0 +1,46 @@
+"""Monte Carlo environment-uncertainty analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import EnvironmentModel, MonteCarloResult, monte_carlo
+from repro.errors import ConfigError
+from repro.system.config import ORIGINAL_DESIGN, SystemConfig
+
+
+def test_environment_sampling_within_ranges():
+    env = EnvironmentModel()
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        profile, v_init = env.sample(rng)
+        assert 2.60 <= v_init <= 2.75
+        f0 = profile.frequency(0.0)
+        assert 62.0 <= f0 <= 72.0
+        # the two later segments stay inside the tunable band
+        for t in (2000.0, 3500.0):
+            assert 55.0 <= profile.frequency(t) <= 85.0
+
+
+def test_monte_carlo_distribution_statistics():
+    result = monte_carlo(ORIGINAL_DESIGN, n_samples=6, horizon=1200.0, seed=1)
+    assert result.n_samples == 6
+    assert result.quantile(0.1) <= result.quantile(0.5) <= result.quantile(0.9)
+    assert result.std >= 0.0
+    assert "tx" in result.summary()
+
+
+def test_monte_carlo_reproducible():
+    a = monte_carlo(ORIGINAL_DESIGN, n_samples=4, horizon=900.0, seed=3)
+    b = monte_carlo(ORIGINAL_DESIGN, n_samples=4, horizon=900.0, seed=3)
+    assert np.allclose(a.transmissions, b.transmissions)
+
+
+def test_monte_carlo_spreads_across_environments():
+    result = monte_carlo(ORIGINAL_DESIGN, n_samples=8, horizon=1800.0, seed=2)
+    # Different environments must actually change the outcome.
+    assert result.std > 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        monte_carlo(ORIGINAL_DESIGN, n_samples=0)

@@ -1,0 +1,102 @@
+"""Report rendering and campaign persistence edge cases."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import load_outcome, save_outcome
+from repro.core.report import design_space_sweep, format_table, series_to_csv
+from repro.errors import DesignError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.model import ResponseSurface
+from repro.system.config import paper_parameter_space
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_column_width_from_longest_cell(self):
+        text = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        header = text.splitlines()[0]
+        assert len(header) >= len("a-much-longer-cell")
+
+    def test_numeric_cells_stringified(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestSweepWithoutSpace:
+    def test_sweep_names_fall_back_to_x_symbols(self):
+        basis = PolynomialBasis(2, "quadratic")
+        model = ResponseSurface(basis, np.zeros(6))
+        sweeps = design_space_sweep(model, n_points=5)
+        assert set(sweeps) == {"x1", "x2"}
+        assert "natural" not in sweeps["x1"]
+
+
+class TestSeriesCsv:
+    def test_single_column(self):
+        csv = series_to_csv({"only": np.array([1.0, 2.0, 3.0])})
+        assert csv.splitlines() == ["only", "1", "2", "3"]
+
+
+class TestCampaignEdges:
+    def _minimal_outcome(self):
+        from repro.core.explorer import ExplorationOutcome
+        from repro.doe.design import Design
+        from repro.rsm.diagnostics import FitDiagnostics
+        from repro.system.config import ORIGINAL_DESIGN
+
+        space = paper_parameter_space()
+        pts = np.zeros((10, 3))
+        pts[:9] = np.array(
+            [
+                [-1, -1, -1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1],
+                [1, 1, -1], [1, -1, 1], [-1, 1, 1], [1, 1, 1], [0, 0, 0],
+            ]
+        )
+        basis = PolynomialBasis(3, "quadratic")
+        model = ResponseSurface(basis, np.arange(10, dtype=float), space=space)
+        diag = FitDiagnostics(
+            n=10, p=10, r2=1.0, adj_r2=1.0, rmse=0.0, press=0.0,
+            press_rmse=0.0, max_leverage=1.0, vif=None,
+        )
+        return ExplorationOutcome(
+            space=space,
+            design=Design(pts, space=space, name="mini"),
+            responses=np.arange(10, dtype=float),
+            model=model,
+            fit_diagnostics=diag,
+            original_config=ORIGINAL_DESIGN,
+            original_transmissions=400.0,
+            optima=[],
+        )
+
+    def test_roundtrip_without_optima(self, tmp_path):
+        outcome = self._minimal_outcome()
+        path = tmp_path / "o.json"
+        save_outcome(outcome, path)
+        loaded = load_outcome(path)
+        assert loaded.optima == []
+        assert loaded.original_transmissions == 400.0
+
+    def test_load_rejects_bad_design_shape(self, tmp_path):
+        outcome = self._minimal_outcome()
+        path = tmp_path / "o.json"
+        save_outcome(outcome, path)
+        raw = json.loads(path.read_text())
+        raw["design"]["points"] = [[0.0, 0.0]]  # wrong width
+        path.write_text(json.dumps(raw))
+        with pytest.raises(DesignError):
+            load_outcome(path)
+
+    def test_saved_json_is_human_readable(self, tmp_path):
+        outcome = self._minimal_outcome()
+        path = tmp_path / "o.json"
+        save_outcome(outcome, path)
+        raw = json.loads(path.read_text())
+        assert set(raw) >= {"design", "responses", "model", "original"}

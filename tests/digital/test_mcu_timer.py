@@ -1,0 +1,192 @@
+"""MCU, timer quantisation, watchdog and LUT tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.digital.lut import FrequencyLut
+from repro.digital.mcu import Microcontroller
+from repro.digital.power_model import (
+    MCU_COARSE_ENERGY,
+    MCU_COARSE_TIME,
+    REFERENCE_CLOCK_HZ,
+    AccelerometerPower,
+    McuPowerModel,
+)
+from repro.digital.timer import TimerCounter
+from repro.digital.watchdog import WatchdogTimer
+from repro.errors import ModelError
+
+
+class TestPowerModel:
+    def test_reference_clock_matches_table_iv(self):
+        pm = McuPowerModel()
+        assert pm.active_power(REFERENCE_CLOCK_HZ) == pytest.approx(5.0e-3)
+
+    def test_power_scales_linearly_with_clock(self):
+        pm = McuPowerModel()
+        p8 = pm.active_power(8e6)
+        p125k = pm.active_power(125e3)
+        assert p8 > pm.active_power(4e6) > p125k
+        assert p125k > pm.p_static
+
+    def test_scaling_and_equivalent_resistance(self):
+        pm = McuPowerModel()
+        assert pm.scaling(4e6) == pytest.approx(1.0)
+        r = pm.equivalent_resistance(4e6)
+        assert r == pytest.approx(2.8**2 / 5.0e-3)  # ~1.57 kohm vs paper 1.38 k
+
+    def test_accelerometer_energy_matches_table_iv(self):
+        acc = AccelerometerPower()
+        assert acc.energy_per_measurement() == pytest.approx(2.02e-3, rel=0.01)
+        assert acc.equivalent_resistance() == pytest.approx(594.0, rel=0.2)
+
+
+class TestTimer:
+    def test_tick(self):
+        t = TimerCounter(1e6)
+        assert t.tick == 1e-6
+
+    def test_counts_and_overflows(self):
+        t = TimerCounter(8e6, width_bits=16)
+        counts = t.counts_for_period(1 / 65.0)
+        assert counts == round(8e6 / 65.0)
+        assert t.overflows_for_period(1 / 65.0) == counts >> 16
+
+    def test_measurement_unbiased_at_high_clock(self):
+        t = TimerCounter(8e6, jitter_seconds=0.0)
+        rng = np.random.default_rng(1)
+        measurements = [t.measure_frequency(65.0, 8, rng) for _ in range(200)]
+        assert np.mean(measurements) == pytest.approx(65.0, abs=0.01)
+
+    def test_noise_grows_as_clock_drops(self):
+        rng = np.random.default_rng(2)
+        stds = []
+        for clock in (8e6, 125e3, 2e3):
+            t = TimerCounter(clock, jitter_seconds=0.0)
+            vals = [t.measure_frequency(65.0, 8, rng) for _ in range(300)]
+            stds.append(np.std(vals))
+        assert stds[0] < stds[1] < stds[2]
+
+    def test_predicted_std_matches_empirical(self):
+        t = TimerCounter(5e3, jitter_seconds=0.0)  # exaggerated quantisation
+        rng = np.random.default_rng(3)
+        vals = [t.measure_frequency(65.0, 8, rng) for _ in range(2000)]
+        assert np.std(vals) == pytest.approx(t.frequency_std(65.0, 8), rel=0.25)
+
+    def test_interval_measurement_quantises(self):
+        t = TimerCounter(1e4, jitter_seconds=0.0)  # 100 us ticks
+        rng = np.random.default_rng(4)
+        measured = t.measure_interval(250e-6, rng)
+        assert min(abs(measured - 200e-6), abs(measured - 300e-6)) < 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TimerCounter(0.0)
+        t = TimerCounter(1e6)
+        with pytest.raises(ModelError):
+            t.measure_period(-1.0)
+        with pytest.raises(ModelError):
+            t.measure_frequency(0.0)
+
+
+class TestMicrocontroller:
+    def test_coarse_measurement_duration_matches_table_iv(self):
+        # 8 cycles at 65 Hz + calc tail at 4 MHz ~ 149 ms (Table IV).
+        mcu = Microcontroller(4e6)
+        m = mcu.measure_frequency(65.0, rng=np.random.default_rng(0))
+        assert m.duration == pytest.approx(MCU_COARSE_TIME, rel=0.01)
+        assert m.mcu_energy == pytest.approx(MCU_COARSE_ENERGY, rel=0.01)
+
+    def test_fine_measurement_duration_matches_table_iv(self):
+        mcu = Microcontroller(4e6)
+        m = mcu.measure_phase(200e-6, rng=np.random.default_rng(0))
+        assert m.duration == pytest.approx(325e-3, rel=0.01)
+        assert m.peripheral_energy == pytest.approx(2.02e-3, rel=0.01)
+
+    def test_low_clock_takes_longer_but_less_power(self):
+        slow = Microcontroller(125e3)
+        fast = Microcontroller(8e6)
+        rng = np.random.default_rng(0)
+        m_slow = slow.measure_frequency(65.0, rng)
+        m_fast = fast.measure_frequency(65.0, rng)
+        assert m_slow.duration > m_fast.duration
+        # Energy: fast clock burns more despite the shorter run.
+        assert m_fast.mcu_energy > m_slow.mcu_energy
+
+    def test_phase_measurement_keeps_sign(self):
+        mcu = Microcontroller(8e6)
+        rng = np.random.default_rng(0)
+        assert mcu.measure_phase(300e-6, rng).value >= 0
+        assert mcu.measure_phase(-300e-6, rng).value <= 0
+
+    def test_busy_and_sleep(self):
+        mcu = Microcontroller(4e6)
+        m = mcu.busy(0.1)
+        assert m.mcu_energy == pytest.approx(0.1 * 5.0e-3)
+        assert mcu.sleep_power() == pytest.approx(2.8e-6)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Microcontroller(0.0)
+        mcu = Microcontroller(4e6)
+        with pytest.raises(ModelError):
+            mcu.busy(-1.0)
+
+
+class TestWatchdog:
+    def test_first_wakeup_one_period_in(self):
+        wd = WatchdogTimer(320.0)
+        assert wd.next_wakeup(0.0) == pytest.approx(320.0)
+
+    def test_no_drift(self):
+        wd = WatchdogTimer(60.0)
+        t = 0.0
+        for i in range(1, 11):
+            t = wd.next_wakeup(t)
+            assert t == pytest.approx(60.0 * i)
+
+    def test_skips_missed_wakeups(self):
+        wd = WatchdogTimer(60.0)
+        assert wd.next_wakeup(130.0) == pytest.approx(180.0)
+
+    def test_wakeups_until(self):
+        wd = WatchdogTimer(320.0)
+        assert wd.wakeups_until(3600.0) == 11
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WatchdogTimer(0.0)
+
+
+class TestFrequencyLut:
+    def test_lookup_clamps(self):
+        lut = FrequencyLut(60.0, 80.0, list(range(0, 256)))
+        assert lut.lookup(10.0) == 0
+        assert lut.lookup(100.0) == 255
+
+    def test_lookup_quantises(self):
+        lut = FrequencyLut(60.0, 80.0, list(range(0, 256)))
+        idx = lut.lookup(70.0)
+        assert idx == round((70.0 - 60.0) / 20.0 * 255)
+
+    def test_frequency_step(self):
+        lut = FrequencyLut(58.0, 82.0, [0] * 256)
+        assert lut.frequency_step == pytest.approx(24.0 / 255)
+
+    def test_from_tuning_map_consistency(self):
+        from repro.system.components import paper_tuning_map
+
+        tm = paper_tuning_map()
+        lut = FrequencyLut.from_tuning_map(tm, 58.0, 82.0)
+        pos = lut.lookup(69.0)
+        assert tm.resonant_frequency(pos) == pytest.approx(69.0, abs=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FrequencyLut(80.0, 60.0, [0, 1])
+        with pytest.raises(ModelError):
+            FrequencyLut(60.0, 80.0, [0])
+        with pytest.raises(ModelError):
+            FrequencyLut(60.0, 80.0, [0, 300])

@@ -1,0 +1,44 @@
+"""Design augmentation tests."""
+
+import numpy as np
+import pytest
+
+from repro.doe.augment import augment_d_optimal
+from repro.doe.doptimal import d_optimal
+from repro.errors import DesignError
+
+
+def test_augmentation_keeps_existing_runs():
+    base = d_optimal(3, 10, seed=0)
+    augmented = augment_d_optimal(base, 4, seed=0)
+    assert augmented.n_runs == 14
+    assert np.allclose(augmented.points[:10], base.points)
+
+
+def test_augmentation_improves_information():
+    base = d_optimal(3, 10, seed=1)
+    augmented = augment_d_optimal(base, 4, seed=1)
+    assert augmented.log_d_criterion() > base.log_d_criterion()
+
+
+def test_augmented_design_gains_residual_dof():
+    base = d_optimal(3, 10, seed=2)  # saturated for the quadratic
+    augmented = augment_d_optimal(base, 3, seed=2)
+    X = augmented.model_matrix("quadratic")
+    assert X.shape[0] - X.shape[1] == 3  # residual degrees of freedom
+
+
+def test_augmentation_close_to_fresh_design():
+    # 10 + 5 augmented should not be much worse than a fresh 15-run design.
+    base = d_optimal(3, 10, seed=3)
+    augmented = augment_d_optimal(base, 5, seed=3)
+    fresh = d_optimal(3, 15, seed=3)
+    assert augmented.log_d_criterion() > fresh.log_d_criterion() - 2.0
+
+
+def test_validation():
+    base = d_optimal(3, 10, seed=4)
+    with pytest.raises(DesignError):
+        augment_d_optimal(base, 0)
+    with pytest.raises(DesignError):
+        augment_d_optimal(base, 2, candidates=np.zeros((5, 2)))

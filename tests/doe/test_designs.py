@@ -1,0 +1,141 @@
+"""Classical designs: factorial, CCD, Box-Behnken, LHS."""
+
+import numpy as np
+import pytest
+
+from repro.doe.bbd import box_behnken
+from repro.doe.ccd import central_composite
+from repro.doe.design import Design
+from repro.doe.factorial import (
+    fractional_factorial,
+    full_factorial,
+    two_level_factorial,
+)
+from repro.doe.lhs import latin_hypercube
+from repro.errors import DesignError
+
+
+class TestFactorial:
+    def test_paper_reference_27_runs(self):
+        d = full_factorial(3, 3)
+        assert d.n_runs == 27
+        assert d.supports_model("quadratic")
+
+    def test_two_level_corners(self):
+        d = two_level_factorial(3)
+        assert d.n_runs == 8
+        assert np.all(np.abs(d.points) == 1.0)
+
+    def test_levels_are_even(self):
+        d = full_factorial(2, 5)
+        assert set(np.unique(d.points)) == {-1.0, -0.5, 0.0, 0.5, 1.0}
+
+    def test_two_level_cannot_fit_quadratic(self):
+        d = two_level_factorial(3)
+        assert not d.supports_model("quadratic")
+        assert d.supports_model("interaction")
+
+    def test_fractional_half_fraction(self):
+        d = fractional_factorial(3, ["d=abc"])
+        assert d.n_runs == 8 and d.k == 4
+        # defining relation: column d equals product of a, b, c
+        prod = d.points[:, 0] * d.points[:, 1] * d.points[:, 2]
+        assert np.allclose(prod, d.points[:, 3])
+
+    def test_fractional_validation(self):
+        with pytest.raises(DesignError):
+            fractional_factorial(3, ["d=xyz"])
+        with pytest.raises(DesignError):
+            fractional_factorial(3, ["a=bc"])
+        with pytest.raises(DesignError):
+            fractional_factorial(3, ["bad generator"])
+
+
+class TestCcd:
+    def test_structure(self):
+        d = central_composite(3, n_center=2)
+        assert d.n_runs == 8 + 6 + 2
+        assert d.supports_model("quadratic")
+
+    def test_face_centered_stays_in_box(self):
+        d = central_composite(4, alpha="face")
+        assert np.max(np.abs(d.points)) <= 1.0
+
+    def test_star_points_on_axes(self):
+        d = central_composite(2, n_center=0)
+        stars = d.points[4:]
+        for row in stars:
+            assert np.sum(row != 0.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            central_composite(1)
+        with pytest.raises(DesignError):
+            central_composite(3, alpha="banana")
+
+
+class TestBbd:
+    def test_structure_k3(self):
+        d = box_behnken(3, n_center=3)
+        assert d.n_runs == 12 + 3
+        assert d.supports_model("quadratic")
+
+    def test_no_corners(self):
+        d = box_behnken(3, n_center=0)
+        # every run has at least one coordinate at 0
+        assert np.all(np.min(np.abs(d.points), axis=1) == 0.0)
+
+    def test_requires_three_factors(self):
+        with pytest.raises(DesignError):
+            box_behnken(2)
+
+
+class TestLhs:
+    def test_stratification(self):
+        d = latin_hypercube(3, 10, seed=0)
+        assert d.n_runs == 10
+        for j in range(3):
+            bins = np.floor((d.points[:, j] + 1.0) / 2.0 * 10).astype(int)
+            bins = np.clip(bins, 0, 9)
+            assert len(set(bins)) == 10  # one sample per stratum
+
+    def test_maximin_improves_min_distance(self):
+        def min_dist(d):
+            pts = d.points
+            diffs = pts[:, None, :] - pts[None, :, :]
+            dist = np.sqrt((diffs**2).sum(axis=2))
+            np.fill_diagonal(dist, np.inf)
+            return dist.min()
+
+        plain = latin_hypercube(2, 12, seed=3, criterion="none")
+        opt = latin_hypercube(2, 12, seed=3, criterion="maximin", n_restarts=50)
+        assert min_dist(opt) >= min_dist(plain) * 0.9  # usually strictly better
+
+    def test_seed_reproducible(self):
+        a = latin_hypercube(3, 8, seed=42)
+        b = latin_hypercube(3, 8, seed=42)
+        assert np.allclose(a.points, b.points)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            latin_hypercube(3, 1)
+        with pytest.raises(DesignError):
+            latin_hypercube(3, 5, criterion="banana")
+
+
+class TestDesignContainer:
+    def test_natural_points_require_space(self):
+        d = Design(np.zeros((3, 2)))
+        with pytest.raises(DesignError):
+            d.natural_points()
+
+    def test_out_of_box_rejected(self):
+        with pytest.raises(DesignError):
+            Design(np.array([[1.5, 0.0]]))
+
+    def test_append_and_unique(self):
+        a = Design(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        b = Design(np.array([[0.0, 0.0], [-1.0, 1.0]]))
+        merged = a.append(b)
+        assert merged.n_runs == 4
+        assert merged.unique().n_runs == 3

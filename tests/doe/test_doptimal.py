@@ -1,0 +1,105 @@
+"""D-optimal design construction and efficiency criteria."""
+
+import numpy as np
+import pytest
+
+from repro.doe.candidates import grid_candidates, random_candidates
+from repro.doe.criteria import (
+    a_efficiency,
+    d_efficiency,
+    g_efficiency,
+    i_criterion,
+    prediction_variance,
+)
+from repro.doe.design import Design
+from repro.doe.doptimal import d_optimal
+from repro.doe.factorial import full_factorial
+from repro.errors import DesignError
+
+
+def test_paper_design_ten_runs_supports_quadratic():
+    d = d_optimal(3, 10, seed=0)
+    assert d.n_runs == 10
+    assert d.supports_model("quadratic")
+    assert np.isfinite(d.log_d_criterion("quadratic"))
+
+
+def test_candidates_default_three_level_grid():
+    cand = grid_candidates(3)
+    assert cand.shape == (27, 3)
+    assert set(np.unique(cand)) == {-1.0, 0.0, 1.0}
+
+
+def test_doptimal_beats_random_selection():
+    rng = np.random.default_rng(0)
+    cand = grid_candidates(3)
+    best_random = -np.inf
+    for _ in range(50):
+        idx = rng.choice(27, size=10, replace=False)
+        d = Design(cand[idx])
+        best_random = max(best_random, d.log_d_criterion("quadratic"))
+    opt = d_optimal(3, 10, seed=1)
+    assert opt.log_d_criterion("quadratic") >= best_random - 1e-9
+
+
+def test_coordinate_exchange_matches_fedorov_quality():
+    fed = d_optimal(3, 10, method="fedorov", seed=2)
+    coord = d_optimal(3, 10, method="coordinate", seed=2)
+    lf = fed.log_d_criterion("quadratic")
+    lc = coord.log_d_criterion("quadratic")
+    assert lc >= lf - 1.0  # same ballpark
+
+
+def test_d_efficiency_of_optimal_close_to_factorial():
+    # Per-run efficiency of the 10-run D-optimal design should be close to
+    # (or better than) the 27-run factorial's: that is the point of the
+    # paper's "10 simulations instead of 27".
+    opt = d_optimal(3, 10, seed=3)
+    fact = full_factorial(3, 3)
+    assert d_efficiency(opt) > 0.65 * d_efficiency(fact)
+
+
+def test_more_runs_never_hurt_log_det():
+    d10 = d_optimal(3, 10, seed=4)
+    d15 = d_optimal(3, 15, seed=4)
+    assert d15.log_d_criterion() > d10.log_d_criterion()
+
+
+def test_min_runs_enforced():
+    with pytest.raises(DesignError):
+        d_optimal(3, 9)  # quadratic in 3 vars needs 10 coefficients
+
+
+def test_bad_method_and_candidates():
+    with pytest.raises(DesignError):
+        d_optimal(3, 10, method="banana")
+    with pytest.raises(DesignError):
+        d_optimal(3, 10, candidates=np.zeros((5, 2)))
+
+
+def test_random_candidates_shape_and_range():
+    cand = random_candidates(3, 100, seed=0)
+    assert cand.shape == (100, 3)
+    assert np.all(np.abs(cand) <= 1.0)
+
+
+class TestCriteria:
+    def test_efficiencies_in_unit_interval_for_factorial(self):
+        d = full_factorial(3, 3)
+        for eff in (d_efficiency(d), a_efficiency(d), g_efficiency(d)):
+            assert 0.0 < eff <= 1.05
+
+    def test_prediction_variance_center_vs_corner(self):
+        d = full_factorial(3, 3)
+        spv = prediction_variance(d, np.array([[0, 0, 0], [1, 1, 1]]))
+        assert spv[0] < spv[1]  # corners predict worse
+
+    def test_i_criterion_smaller_for_larger_design(self):
+        small = d_optimal(3, 10, seed=5)
+        big = full_factorial(3, 3)
+        assert i_criterion(big) < i_criterion(small) * 1.5
+
+    def test_singular_design_zero_efficiency(self):
+        d = Design(np.zeros((12, 3)))
+        assert d_efficiency(d) == 0.0
+        assert a_efficiency(d) == 0.0

@@ -1,0 +1,81 @@
+"""Harvester characterisation sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.harvester.characterization import (
+    harvest_map,
+    power_frequency_curve,
+    power_voltage_curve,
+    resonance_bandwidth,
+    tuning_curve,
+)
+from repro.system.components import paper_microgenerator
+from repro.units import mg_to_mps2
+
+ACCEL = mg_to_mps2(60.0)
+
+
+@pytest.fixture
+def micro():
+    m = paper_microgenerator()
+    m.actuator.steps = m.actuator.steps_for_position(
+        m.tuning_map.position_for_frequency(64.0)
+    )
+    return m
+
+
+def test_power_frequency_curve_peaks_at_resonance(micro):
+    freqs, powers = power_frequency_curve(micro, ACCEL, 2.65)
+    f_peak = freqs[int(np.argmax(powers))]
+    f_r = micro.resonant_frequency()
+    assert f_peak == pytest.approx(f_r, abs=0.2)
+    # Sharp resonance: edges of the +-3 Hz window deliver nothing.
+    assert powers[0] == 0.0 and powers[-1] == 0.0
+    assert np.max(powers) > 100e-6
+
+
+def test_tuning_curve_monotone(micro):
+    positions, freqs = tuning_curve(micro)
+    assert np.all(np.diff(freqs) > 0)
+    assert freqs[0] == pytest.approx(60.0, abs=1.0)
+    assert freqs[-1] == pytest.approx(80.0, abs=0.1)
+
+
+def test_power_voltage_curve_tapers_to_ceiling(micro):
+    pos = micro.position
+    volts, powers = power_voltage_curve(micro, 64.0, ACCEL, position=pos)
+    ceiling = micro.envelope.ceiling_voltage(64.0, ACCEL, pos)
+    # Power hits zero at/above the ceiling and is positive well below it.
+    assert powers[volts > ceiling].sum() == 0.0 if np.any(volts > ceiling) else True
+    assert powers[np.argmin(np.abs(volts - 2.0))] > 0.0
+    # Mechanical cap: the low-voltage plateau is flat (limited region).
+    low = powers[(volts > 1.0) & (volts < 2.0)]
+    assert np.ptp(low) / np.max(low) < 0.35
+
+
+def test_harvest_map_ridge_follows_lut(micro):
+    freqs, poss, surface = harvest_map(
+        micro, ACCEL, 2.65,
+        frequencies=np.linspace(62.0, 76.0, 15),
+        positions=np.linspace(0, 255, 52),
+    )
+    for i, f in enumerate(freqs):
+        best_pos = poss[int(np.argmax(surface[i]))]
+        lut_pos = micro.tuning_map.position_for_frequency(f)
+        assert best_pos == pytest.approx(lut_pos, abs=6.0)
+
+
+def test_resonance_bandwidth_subhertz(micro):
+    bw = resonance_bandwidth(micro, ACCEL, 2.65, position=micro.position)
+    # The delivered-power peak is sub-hertz wide: the paper's rationale
+    # for 8-bit tuning resolution.
+    assert 0.0 < bw < 1.5
+
+
+def test_validation(micro):
+    with pytest.raises(ModelError):
+        tuning_curve(micro, n_points=1)
+    with pytest.raises(ModelError):
+        resonance_bandwidth(micro, ACCEL, 2.65, position=0, level=2.0)

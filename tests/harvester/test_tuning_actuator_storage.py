@@ -1,0 +1,165 @@
+"""Tuning map, actuator and storage unit tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.harvester.actuator import E_START, E_STEP, LinearActuator, T_STEP
+from repro.harvester.storage import EnergyStore
+from repro.harvester.tuning_map import TuningMap
+from repro.system.components import paper_resonator, paper_tuner
+
+
+@pytest.fixture
+def tuning_map():
+    res = paper_resonator()
+    return TuningMap(res, paper_tuner(res), n_positions=256)
+
+
+class TestTuningMap:
+    def test_frequency_range_spans_design(self, tuning_map):
+        f_low, f_high = tuning_map.frequency_range()
+        assert f_low <= 60.0
+        assert f_high == pytest.approx(80.0, rel=1e-6)
+
+    def test_monotone_in_position(self, tuning_map):
+        freqs = [tuning_map.resonant_frequency(p) for p in range(0, 256, 16)]
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))
+
+    def test_inverse_lookup_accuracy(self, tuning_map):
+        for f in (62.0, 64.0, 69.0, 74.0, 79.0):
+            pos = tuning_map.position_for_frequency(f)
+            f_back = tuning_map.resonant_frequency(pos)
+            assert abs(f_back - f) <= tuning_map.frequency_resolution()
+
+    def test_out_of_range_clamps(self, tuning_map):
+        assert tuning_map.position_for_frequency(10.0) == 0
+        assert tuning_map.position_for_frequency(500.0) == 255
+
+    def test_fractional_positions_interpolate(self, tuning_map):
+        f_int = tuning_map.resonant_frequency(100)
+        f_half = tuning_map.resonant_frequency(100.5)
+        f_next = tuning_map.resonant_frequency(101)
+        assert f_int < f_half < f_next
+
+    def test_build_lut_entries_valid(self, tuning_map):
+        lut = tuning_map.build_lut(58.0, 82.0, 256)
+        assert len(lut) == 256
+        assert all(0 <= p <= 255 for p in lut)
+        assert lut[0] == 0 and lut[-1] == 255
+
+    def test_position_bounds(self, tuning_map):
+        with pytest.raises(ModelError):
+            tuning_map.resonant_frequency(-1)
+        with pytest.raises(ModelError):
+            tuning_map.resonant_frequency(256)
+
+
+class TestActuator:
+    def test_table_iv_single_step(self):
+        move = LinearActuator.move_cost(1)
+        assert move.duration == pytest.approx(5e-3)
+        assert move.energy == pytest.approx(4.06e-3, rel=1e-6)
+
+    def test_table_iv_hundred_steps(self):
+        move = LinearActuator.move_cost(100)
+        assert move.duration == pytest.approx(0.5)
+        assert move.energy == pytest.approx(203e-3, rel=0.01)
+
+    def test_move_to_position_and_back(self):
+        act = LinearActuator(max_steps=255)
+        m1 = act.move_to_position(100)
+        assert m1.steps == 100
+        assert act.position == 100
+        m2 = act.move_to_position(60)
+        assert m2.steps == 40
+        assert act.position == 60
+        assert act.total_steps_moved == 140
+
+    def test_travel_clamping(self):
+        act = LinearActuator(max_steps=255)
+        act.move_steps(300)
+        assert act.steps == 255
+        act.move_steps(-999)
+        assert act.steps == 0
+
+    def test_zero_move_is_free(self):
+        act = LinearActuator()
+        m = act.move_steps(0)
+        assert m.energy == 0.0 and m.duration == 0.0
+        assert act.total_moves == 0
+
+    def test_energy_accumulates(self):
+        act = LinearActuator()
+        act.move_steps(10)
+        act.move_steps(-10)
+        expected = 2 * (10 * E_STEP + E_START)
+        assert act.total_energy == pytest.approx(expected)
+
+    def test_steps_per_position_scaling(self):
+        act = LinearActuator(max_steps=510, steps_per_position=2)
+        act.move_to_position(100)
+        assert act.steps == 200
+        assert act.position == 100
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LinearActuator(max_steps=0)
+        with pytest.raises(ModelError):
+            LinearActuator(initial_steps=500)
+        with pytest.raises(ModelError):
+            LinearActuator.move_cost(-1)
+
+
+class TestEnergyStore:
+    def test_voltage_energy_roundtrip(self):
+        store = EnergyStore(capacitance=0.55, v_init=2.8)
+        assert store.voltage == pytest.approx(2.8)
+        assert store.energy == pytest.approx(0.5 * 0.55 * 2.8**2)
+
+    def test_deposit_and_draw(self):
+        store = EnergyStore(capacitance=1.0, v_init=1.0)
+        store.deposit(0.5)
+        assert store.energy == pytest.approx(1.0)
+        supplied = store.draw(0.25)
+        assert supplied == 0.25
+        assert store.energy == pytest.approx(0.75)
+
+    def test_deposit_clamps_at_vmax(self):
+        store = EnergyStore(capacitance=1.0, v_init=1.0, v_max=1.1)
+        stored = store.deposit(10.0)
+        assert store.voltage == pytest.approx(1.1)
+        assert stored == pytest.approx(store.energy_max - 0.5)
+        assert store.clipped_energy == pytest.approx(10.0 - stored)
+
+    def test_draw_floors_at_zero(self):
+        store = EnergyStore(capacitance=1.0, v_init=0.1)
+        supplied = store.draw(1.0)
+        assert supplied == pytest.approx(0.005)
+        assert store.voltage == 0.0
+
+    def test_can_supply(self):
+        store = EnergyStore(capacitance=1.0, v_init=1.0)
+        assert store.can_supply(0.4)
+        assert not store.can_supply(0.6)
+
+    def test_energy_above(self):
+        store = EnergyStore(capacitance=0.55, v_init=2.8)
+        assert store.energy_above(2.7) == pytest.approx(
+            0.5 * 0.55 * (2.8**2 - 2.7**2)
+        )
+        assert store.energy_above(3.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            EnergyStore(capacitance=0.0)
+        with pytest.raises(ModelError):
+            EnergyStore(v_init=-1.0)
+        with pytest.raises(ModelError):
+            EnergyStore(v_init=3.0, v_max=2.0)
+        store = EnergyStore()
+        with pytest.raises(ModelError):
+            store.deposit(-1.0)
+        with pytest.raises(ModelError):
+            store.draw(-1.0)

@@ -1,0 +1,120 @@
+"""Magnetic tuner and cantilever beam models."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mech.cantilever import CantileverBeam
+from repro.mech.coupling import ElectromagneticCoupling
+from repro.mech.magnetics import MagneticTuner
+
+
+class TestMagneticTuner:
+    def test_force_inverse_fourth_power(self):
+        t = MagneticTuner(1.0, 1.0, 0.005, 0.02)
+        assert t.force(0.01) / t.force(0.02) == pytest.approx(16.0)
+
+    def test_stiffness_inverse_fifth_power(self):
+        t = MagneticTuner(1.0, 1.0, 0.005, 0.02)
+        assert t.added_stiffness(0.01) / t.added_stiffness(0.02) == pytest.approx(32.0)
+
+    def test_gap_stiffness_roundtrip(self):
+        t = MagneticTuner(2.0, 3.0, 0.005, 0.02)
+        k = t.added_stiffness(0.012)
+        assert t.gap_for_stiffness(k) == pytest.approx(0.012, rel=1e-9)
+
+    def test_travel_mapping_monotone(self):
+        t = MagneticTuner(1.0, 1.0, 0.01, 0.013)
+        ks = [t.stiffness_from_travel(f / 10) for f in range(11)]
+        assert all(b > a for a, b in zip(ks, ks[1:]))
+
+    def test_travel_bounds(self):
+        t = MagneticTuner(1.0, 1.0, 0.01, 0.013)
+        with pytest.raises(ModelError):
+            t.gap_from_travel(1.5)
+        with pytest.raises(ModelError):
+            t.added_stiffness(0.0)
+
+    def test_design_for_frequency_range(self):
+        m, f0 = 0.05, 50.0
+        k0 = m * (2 * math.pi * f0) ** 2
+        t = MagneticTuner.for_frequency_range(m, k0, 60.0, 80.0, 0.010, 0.013)
+        f_high = math.sqrt((k0 + t.stiffness_from_travel(1.0)) / m) / (2 * math.pi)
+        f_low = math.sqrt((k0 + t.stiffness_from_travel(0.0)) / m) / (2 * math.pi)
+        assert f_high == pytest.approx(80.0, rel=1e-6)
+        assert f_low <= 60.0  # travel reaches below the band bottom
+
+    def test_design_rejects_too_stiff_base(self):
+        m = 0.05
+        k0 = m * (2 * math.pi * 70.0) ** 2  # untuned already above f_low
+        with pytest.raises(ModelError):
+            MagneticTuner.for_frequency_range(m, k0, 60.0, 80.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MagneticTuner(0.0, 1.0, 0.01, 0.02)
+        with pytest.raises(ModelError):
+            MagneticTuner(1.0, 1.0, 0.02, 0.01)
+
+
+class TestCantilever:
+    def test_textbook_formulas(self):
+        beam = CantileverBeam(
+            length=30e-3,
+            width=10e-3,
+            thickness=1e-3,
+            youngs_modulus=200e9,
+            density=7850.0,
+            tip_mass=0.01,
+        )
+        I = 10e-3 * (1e-3) ** 3 / 12
+        assert beam.moment_of_inertia == pytest.approx(I)
+        assert beam.stiffness == pytest.approx(3 * 200e9 * I / 30e-3**3)
+        assert beam.beam_mass == pytest.approx(7850 * 30e-3 * 10e-3 * 1e-3)
+        assert beam.effective_mass == pytest.approx(0.01 + 33 / 140 * beam.beam_mass)
+
+    def test_design_for_target_frequency(self):
+        beam = CantileverBeam.for_frequency(64.0, tip_mass=0.05)
+        assert beam.natural_frequency == pytest.approx(64.0, rel=1e-6)
+
+    def test_to_resonator(self):
+        beam = CantileverBeam.for_frequency(70.0, tip_mass=0.02)
+        res = beam.to_resonator(zeta_mech=0.005, zeta_elec=0.01)
+        assert res.natural_frequency == pytest.approx(70.0, rel=1e-6)
+        assert res.zeta_total == pytest.approx(0.015)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CantileverBeam(0.0, 1e-2, 1e-3, 200e9, 7850, 0.01)
+        with pytest.raises(ModelError):
+            CantileverBeam(3e-2, 1e-2, 1e-3, 200e9, 7850, -0.01)
+
+
+class TestCoupling:
+    def test_electrical_damping_formula(self):
+        c = ElectromagneticCoupling(theta=50.0, coil_resistance=1000.0)
+        assert c.electrical_damping(1000.0) == pytest.approx(50.0**2 / 2000.0)
+
+    def test_damping_ratio(self):
+        c = ElectromagneticCoupling(theta=50.0, coil_resistance=1000.0)
+        zeta = c.electrical_damping_ratio(0.05, 400.0, 1000.0)
+        assert zeta == pytest.approx(50.0**2 / 2000.0 / (2 * 0.05 * 400.0))
+
+    def test_matched_load_and_power(self):
+        c = ElectromagneticCoupling(theta=10.0, coil_resistance=500.0)
+        assert c.matched_load() == 500.0
+        v = 0.1
+        # matched load receives e^2/(8 R_c)
+        assert c.delivered_power(v, 500.0) == pytest.approx((10 * v) ** 2 / (8 * 500))
+
+    def test_emf(self):
+        c = ElectromagneticCoupling(theta=44.0, coil_resistance=1000.0)
+        assert c.emf_amplitude(0.1) == pytest.approx(4.4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ElectromagneticCoupling(theta=0.0, coil_resistance=100.0)
+        c = ElectromagneticCoupling(theta=1.0, coil_resistance=100.0)
+        with pytest.raises(ModelError):
+            c.electrical_damping(0.0)

@@ -1,0 +1,102 @@
+"""SDOF resonator theory checks against closed forms."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mech.sdof import SdofResonator
+
+
+@pytest.fixture
+def resonator():
+    # 50 g, 64 Hz, Q ~ 41.7
+    m = 0.05
+    k = m * (2 * math.pi * 64.0) ** 2
+    return SdofResonator(mass=m, stiffness=k, zeta_mech=0.004, zeta_elec=0.008)
+
+
+def test_natural_frequency(resonator):
+    assert resonator.natural_frequency == pytest.approx(64.0)
+    assert resonator.omega_n == pytest.approx(2 * math.pi * 64.0)
+
+
+def test_quality_factor(resonator):
+    assert resonator.quality_factor == pytest.approx(1.0 / (2 * 0.012))
+
+
+def test_damping_coefficients(resonator):
+    c_m = resonator.damping_mech
+    c_e = resonator.damping_elec
+    assert c_e / c_m == pytest.approx(2.0)  # zeta ratio
+    assert c_m == pytest.approx(2 * 0.05 * resonator.omega_n * 0.004)
+
+
+def test_displacement_peaks_at_resonance(resonator):
+    A = 0.5886
+    z_res = resonator.displacement_amplitude(64.0, A)
+    assert z_res > resonator.displacement_amplitude(63.0, A)
+    assert z_res > resonator.displacement_amplitude(65.0, A)
+    # closed form at resonance: A / (2 zeta wn^2)
+    expected = A / (2 * 0.012 * resonator.omega_n**2)
+    assert z_res == pytest.approx(expected, rel=1e-9)
+
+
+def test_resonant_power_closed_form(resonator):
+    A = 0.5886
+    p_formula = resonator.resonant_power(A)
+    p_direct = resonator.electrical_power(64.0, A)
+    assert p_formula == pytest.approx(p_direct, rel=1e-9)
+
+
+def test_power_ratio_detuning_penalty(resonator):
+    # 5 Hz detune at Q~42 should cost >95% of the output (the paper's
+    # motivation for tuning).
+    ratio = resonator.power_ratio(69.0)
+    assert ratio < 0.05
+    assert resonator.power_ratio(64.0) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_power_ratio_monotone_in_detune(resonator):
+    ratios = [resonator.power_ratio(64.0 + d) for d in (0.0, 0.5, 1.0, 2.0, 5.0)]
+    assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_phase_crosses_quarter_period_at_resonance(resonator):
+    assert resonator.phase_lag(64.0) == pytest.approx(-math.pi / 2, abs=1e-9)
+    assert resonator.phase_difference_seconds(64.0) == pytest.approx(0.0, abs=1e-12)
+    # below resonance the phase error is positive, above negative
+    assert resonator.phase_difference_seconds(63.0) > 0
+    assert resonator.phase_difference_seconds(65.0) < 0
+
+
+def test_phase_difference_scale(resonator):
+    # Near resonance: dt ~= delta_f / (zeta_T f_n) / (2 pi f)
+    delta = 0.05
+    dt = resonator.phase_difference_seconds(64.0 - delta)
+    approx = delta / (0.012 * 64.0) / (2 * math.pi * 64.0)
+    assert dt == pytest.approx(approx, rel=0.05)
+
+
+def test_half_power_bandwidth(resonator):
+    bw = resonator.half_power_bandwidth()
+    assert bw == pytest.approx(64.0 / resonator.quality_factor)
+    # power at fn +- bw/2 should be roughly half
+    assert resonator.power_ratio(64.0 + bw / 2) == pytest.approx(0.5, abs=0.1)
+
+
+def test_with_stiffness_retunes(resonator):
+    stiffer = resonator.with_stiffness(resonator.stiffness * 4.0)
+    assert stiffer.natural_frequency == pytest.approx(128.0)
+    assert stiffer.zeta_mech == resonator.zeta_mech
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        SdofResonator(mass=0.0, stiffness=1.0, zeta_mech=0.01)
+    with pytest.raises(ModelError):
+        SdofResonator(mass=1.0, stiffness=-1.0, zeta_mech=0.01)
+    with pytest.raises(ModelError):
+        SdofResonator(mass=1.0, stiffness=1.0, zeta_mech=0.0)
+    with pytest.raises(ModelError):
+        SdofResonator(mass=1.0, stiffness=1.0, zeta_mech=0.01, zeta_elec=-0.1)

@@ -1,0 +1,120 @@
+"""Multi-objective machinery: dominance, sorting, crowding, NSGA-II."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.pareto import (
+    ParetoResult,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    nsga2,
+    pareto_front,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        assert dominates(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = np.array([2.0, 0.0]), np.array([0.0, 2.0])
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestSorting:
+    def test_two_fronts(self):
+        objs = np.array([[2, 2], [1, 1], [3, 0], [0, 3], [0, 0]])
+        fronts = non_dominated_sort(objs)
+        assert set(fronts[0]) == {0, 2, 3}
+        assert set(fronts[1]) == {1}
+        assert set(fronts[2]) == {4}
+
+    def test_pareto_front_of_convex_cloud(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        front = pareto_front(pts)
+        # No front member may be dominated by any cloud member.
+        for i in front:
+            assert not any(dominates(pts[j], pts[i]) for j in range(len(pts)))
+
+    def test_fronts_partition_everything(self):
+        rng = np.random.default_rng(1)
+        objs = rng.normal(size=(50, 3))
+        fronts = non_dominated_sort(objs)
+        combined = np.concatenate(fronts)
+        assert sorted(combined.tolist()) == list(range(50))
+
+
+class TestCrowding:
+    def test_extremes_are_infinite(self):
+        objs = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        crowd = crowding_distance(objs)
+        assert np.isinf(crowd[0]) and np.isinf(crowd[3])
+        assert np.isfinite(crowd[1]) and np.isfinite(crowd[2])
+
+    def test_lonelier_point_scores_higher(self):
+        objs = np.array([[0.0, 4.0], [0.9, 3.1], [1.0, 3.0], [4.0, 0.0]])
+        crowd = crowding_distance(objs)
+        # point 1 and 2 are nearly coincident; both extremes infinite.
+        assert crowd[1] <= crowd[2] * 2  # both small relative to extremes
+
+    def test_tiny_front(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0]]))))
+
+
+class TestNsga2:
+    def test_recovers_concave_front(self):
+        # maximise (x, 1-x^2) over x in [0,1]: front is the curve itself.
+        def objs(x):
+            return [float(x[0]), float(1.0 - x[0] ** 2)]
+
+        res = nsga2(objs, [(0.0, 1.0)], population_size=30, n_generations=30, seed=2)
+        assert len(res.points) >= 10
+        # Every front member lies near the analytic curve.
+        f1 = res.objectives[:, 0]
+        f2 = res.objectives[:, 1]
+        assert np.allclose(f2, 1.0 - f1**2, atol=1e-6)
+        # The front spans most of the trade-off.
+        assert f1.max() - f1.min() > 0.5
+
+    def test_front_members_mutually_nondominated(self):
+        def objs(x):
+            return [float(x[0]), float(-x[0] + x[1] * 0.1)]
+
+        res = nsga2(objs, [(0, 1), (0, 1)], population_size=20, n_generations=10, seed=3)
+        for i in range(len(res.objectives)):
+            for j in range(len(res.objectives)):
+                assert not dominates(res.objectives[i], res.objectives[j]) or i == j
+
+    def test_knee_point_balances(self):
+        objs = np.array([[1.0, 0.0], [0.7, 0.7], [0.0, 1.0]])
+        res = ParetoResult(points=np.zeros((3, 1)), objectives=objs, n_evaluations=0)
+        _, knee = res.knee_point()
+        assert np.allclose(knee, [0.7, 0.7])
+
+    def test_sorted_by(self):
+        objs = np.array([[3.0, 0.0], [1.0, 2.0], [2.0, 1.0]])
+        res = ParetoResult(points=np.arange(3).reshape(3, 1).astype(float),
+                           objectives=objs, n_evaluations=0)
+        ordered = res.sorted_by(0)
+        assert list(ordered.objectives[:, 0]) == [1.0, 2.0, 3.0]
+
+    def test_seed_reproducible(self):
+        def objs(x):
+            return [float(x[0]), float(1 - x[0])]
+
+        a = nsga2(objs, [(0, 1)], population_size=10, n_generations=5, seed=4)
+        b = nsga2(objs, [(0, 1)], population_size=10, n_generations=5, seed=4)
+        assert np.allclose(a.objectives, b.objectives)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            nsga2(lambda x: [0.0], [(0, 1)], population_size=3)
+        with pytest.raises(OptimizationError):
+            nsga2(lambda x: [0.0], [(1, 0)])

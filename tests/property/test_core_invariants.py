@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harvester.actuator import LinearActuator
+from repro.harvester.storage import EnergyStore
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import Parameter
+from repro.sim.events import EventQueue
+from repro.sim.trace import Trace
+from repro.units import capacitor_energy, capacitor_voltage
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestCapacitorEnergy:
+    @given(st.floats(1e-3, 10.0), st.floats(0.0, 10.0))
+    def test_voltage_energy_roundtrip(self, c, v):
+        assert capacitor_voltage(c, capacitor_energy(c, v)) == pytest.approx(v, abs=1e-9)
+
+    @given(st.floats(1e-3, 10.0), st.floats(-5.0, 0.0))
+    def test_nonpositive_energy_gives_zero_voltage(self, c, e):
+        assert capacitor_voltage(c, e) == 0.0
+
+
+class TestEnergyStoreInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(0.0, 0.5)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_energy_never_negative_never_above_max(self, ops):
+        store = EnergyStore(capacitance=0.55, v_init=2.0, v_max=3.0)
+        for is_deposit, amount in ops:
+            if is_deposit:
+                store.deposit(amount)
+            else:
+                store.draw(amount)
+            assert 0.0 <= store.energy <= store.energy_max + 1e-12
+            assert 0.0 <= store.voltage <= store.v_max + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.floats(0.0, 0.5)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_ledger_balances(self, ops):
+        store = EnergyStore(capacitance=0.55, v_init=2.0, v_max=3.0)
+        e0 = store.energy
+        for is_deposit, amount in ops:
+            if is_deposit:
+                store.deposit(amount)
+            else:
+                store.draw(amount)
+        assert store.energy == pytest.approx(
+            e0 + store.total_deposited - store.total_drawn, abs=1e-9
+        )
+
+
+class TestActuatorInvariants:
+    @given(st.lists(st.integers(-300, 300), min_size=1, max_size=40))
+    def test_position_always_in_travel(self, moves):
+        act = LinearActuator(max_steps=255)
+        for delta in moves:
+            act.move_steps(delta)
+            assert 0 <= act.steps <= 255
+
+    @given(st.lists(st.integers(-300, 300), min_size=1, max_size=40))
+    def test_energy_monotone_nondecreasing(self, moves):
+        act = LinearActuator(max_steps=255)
+        last = 0.0
+        for delta in moves:
+            act.move_steps(delta)
+            assert act.total_energy >= last
+            last = act.total_energy
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_move_to_position_is_exact(self, start, target):
+        act = LinearActuator(max_steps=255, initial_steps=start)
+        act.move_to_position(target)
+        assert act.steps == target
+
+
+class TestCodingInvariants:
+    # Width is kept within ~6 orders of magnitude of the offset: beyond
+    # that the affine transform loses the coded component to float
+    # cancellation (an inherent representation limit, not a code bug).
+    @given(
+        st.floats(-1e3, 1e3),
+        st.floats(1e-3, 1e3),
+        st.floats(-1.0, 1.0),
+    )
+    def test_roundtrip_natural_coded(self, low, width, coded):
+        p = Parameter("p", low, low + width)
+        natural = p.to_natural(coded)
+        assert p.to_coded(natural) == pytest.approx(coded, abs=1e-6)
+
+    @given(st.floats(-1e3, 1e3), st.floats(1e-3, 1e3))
+    def test_endpoints_map_to_unit(self, low, width):
+        p = Parameter("p", low, low + width)
+        assert p.to_coded(p.low) == pytest.approx(-1.0, abs=1e-9)
+        assert p.to_coded(p.high) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestBasisInvariants:
+    @given(
+        st.integers(1, 4),
+        st.sampled_from(["linear", "interaction", "pure_quadratic", "quadratic", "cubic"]),
+    )
+    def test_expand_width_matches_n_terms(self, k, kind):
+        basis = PolynomialBasis(k, kind)
+        X = basis.expand(np.zeros((3, k)))
+        assert X.shape == (3, basis.n_terms)
+        assert len(basis.term_names()) == basis.n_terms
+
+    @given(
+        st.integers(1, 4),
+        st.lists(st.floats(-1, 1), min_size=1, max_size=4),
+    )
+    def test_expansion_at_origin_is_intercept_only(self, k, point):
+        basis = PolynomialBasis(k, "quadratic")
+        X = basis.expand(np.zeros((1, k)))
+        assert X[0, 0] == 1.0
+        assert np.all(X[0, 1:] == 0.0)
+
+
+class TestEventQueueInvariants:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+    def test_pops_in_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.schedule(t, lambda: None)
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+    def test_cancelled_events_never_surface(self, times):
+        q = EventQueue()
+        handles = [q.schedule(t, lambda: None) for t in times]
+        for h in handles[::2]:
+            h.cancel()
+        remaining = []
+        while q.next_time() is not None:
+            remaining.append(q.pop())
+        assert len(remaining) == len(handles[1::2])
+        assert all(not ev.cancelled for ev in remaining)
+
+
+class TestTraceInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(-10, 10)),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_interp_within_value_range(self, samples):
+        tr = Trace("x")
+        for t, v in sorted(samples, key=lambda s: s[0]):
+            tr.append(t, v)
+        lo, hi = tr.min(), tr.max()
+        for q in np.linspace(tr.times[0], tr.times[-1], 7):
+            assert lo - 1e-9 <= tr.interp(q) <= hi + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.floats(-10, 10)),
+            min_size=2,
+            max_size=30,
+        ),
+        st.floats(-12, 12),
+    )
+    def test_time_above_bounded_by_span(self, samples, threshold):
+        tr = Trace("x")
+        for t, v in sorted(samples, key=lambda s: s[0]):
+            tr.append(t, v)
+        span = tr.times[-1] - tr.times[0]
+        assert 0.0 <= tr.time_above(threshold) <= span + 1e-9

@@ -1,0 +1,151 @@
+"""Property-based tests on the physical-domain models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mech.magnetics import MagneticTuner
+from repro.mech.sdof import SdofResonator
+from repro.node.policy import TransmissionPolicy
+from repro.optimize.pareto import dominates, non_dominated_sort
+from repro.system.components import paper_microgenerator
+from repro.units import mg_to_mps2
+
+
+class TestResonatorProperties:
+    @given(
+        st.floats(0.01, 1.0),   # mass
+        st.floats(30.0, 120.0),  # natural frequency
+        st.floats(0.002, 0.05),  # zeta
+        st.floats(0.1, 2.0),     # acceleration amplitude
+    )
+    @settings(max_examples=40)
+    def test_power_peaks_at_resonance(self, m, f_n, zeta, accel):
+        k = m * (2 * np.pi * f_n) ** 2
+        res = SdofResonator(m, k, zeta_mech=zeta / 2, zeta_elec=zeta / 2)
+        p_res = res.electrical_power(f_n, accel)
+        for detune in (0.97, 1.03):
+            assert res.electrical_power(f_n * detune, accel) <= p_res * 1.001
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(30.0, 120.0),
+        st.floats(0.002, 0.05),
+    )
+    @settings(max_examples=40)
+    def test_phase_sign_flips_across_resonance(self, m, f_n, zeta):
+        k = m * (2 * np.pi * f_n) ** 2
+        res = SdofResonator(m, k, zeta_mech=zeta)
+        assert res.phase_difference_seconds(f_n * 0.99) > 0
+        assert res.phase_difference_seconds(f_n * 1.01) < 0
+
+    @given(st.floats(0.1, 2.0), st.floats(0.5, 4.0))
+    @settings(max_examples=30)
+    def test_power_scales_with_acceleration_squared(self, a1, ratio):
+        res = SdofResonator(0.05, 0.05 * (2 * np.pi * 64.0) ** 2, 0.004, 0.008)
+        p1 = res.resonant_power(a1)
+        p2 = res.resonant_power(a1 * ratio)
+        assert p2 == pytest.approx(p1 * ratio**2, rel=1e-9)
+
+
+class TestTunerProperties:
+    @given(
+        st.floats(0.1, 10.0),   # moment
+        st.floats(0.004, 0.02),  # gap_min
+        st.floats(1.2, 3.0),     # gap ratio
+    )
+    @settings(max_examples=40)
+    def test_stiffness_monotone_decreasing_in_gap(self, moment, gmin, ratio):
+        t = MagneticTuner(moment, moment, gmin, gmin * ratio)
+        gaps = np.linspace(gmin, gmin * ratio, 9)
+        ks = [t.added_stiffness(g) for g in gaps]
+        assert all(a > b for a, b in zip(ks, ks[1:]))
+
+    @given(st.floats(0.1, 10.0), st.floats(0.004, 0.02))
+    @settings(max_examples=40)
+    def test_gap_stiffness_inversion(self, moment, gap):
+        t = MagneticTuner(moment, moment, 0.001, 0.1)
+        k = t.added_stiffness(gap)
+        assert t.gap_for_stiffness(k) == pytest.approx(gap, rel=1e-9)
+
+
+class TestPolicyProperties:
+    @given(
+        st.floats(0.005, 10.0),
+        st.lists(st.floats(2.0, 3.5), min_size=2, max_size=20),
+    )
+    @settings(max_examples=40)
+    def test_rate_monotone_in_voltage(self, interval, voltages):
+        policy = TransmissionPolicy(fast_interval=interval)
+        for v_lo, v_hi in zip(sorted(voltages), sorted(voltages)[1:]):
+            assert policy.rate(v_lo) <= policy.rate(v_hi) + 1e-12
+
+    @given(st.floats(0.005, 10.0), st.floats(0.0, 4.0))
+    @settings(max_examples=40)
+    def test_band_and_interval_consistent(self, interval, v):
+        policy = TransmissionPolicy(fast_interval=interval)
+        band = policy.band(v)
+        i = policy.interval(v)
+        if band == "off":
+            assert i is None
+        elif band == "mid":
+            assert i == policy.mid_interval
+        else:
+            assert i == interval
+
+
+class TestHarvestProperties:
+    @given(st.floats(2.0, 3.4), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_charging_power_nonnegative_everywhere(self, v, pos):
+        micro = paper_microgenerator()
+        accel = mg_to_mps2(60.0)
+        for f in (60.0, 64.0, 69.0, 74.0, 80.0):
+            assert micro.envelope.charging_power(f, accel, pos, v) >= 0.0
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_tuned_position_never_worse_than_random(self, pos):
+        micro = paper_microgenerator()
+        accel = mg_to_mps2(60.0)
+        f = 67.0
+        opt = micro.tuning_map.position_for_frequency(f)
+        p_opt = micro.envelope.charging_power(f, accel, opt, 2.65)
+        p_other = micro.envelope.charging_power(f, accel, pos, 2.65)
+        assert p_opt >= p_other - 1e-12
+
+
+class TestDominanceProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_front_zero_is_mutually_nondominated(self, rows):
+        objs = np.array(rows)
+        fronts = non_dominated_sort(objs)
+        front = fronts[0]
+        for i in front:
+            for j in front:
+                assert not dominates(objs[i], objs[j])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-5, 5), st.floats(-5, 5)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_later_fronts_dominated_by_earlier(self, rows):
+        objs = np.array(rows)
+        fronts = non_dominated_sort(objs)
+        for r in range(1, len(fronts)):
+            for j in fronts[r]:
+                assert any(
+                    dominates(objs[i], objs[j]) for i in fronts[r - 1]
+                )

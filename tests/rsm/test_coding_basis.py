@@ -1,0 +1,103 @@
+"""Coded transforms and polynomial bases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import CodedTransform, Parameter, ParameterSpace
+
+
+class TestParameter:
+    def test_endpoints_code_to_unit(self):
+        p = Parameter("w", 60.0, 600.0)
+        assert p.to_coded(60.0) == pytest.approx(-1.0)
+        assert p.to_coded(600.0) == pytest.approx(1.0)
+        assert p.to_coded(330.0) == pytest.approx(0.0)
+
+    def test_roundtrip(self):
+        p = Parameter("w", 0.005, 10.0)
+        for v in (0.005, 1.0, 5.0, 10.0):
+            assert p.to_natural(p.to_coded(v)) == pytest.approx(v)
+
+    def test_contains(self):
+        p = Parameter("w", 0.0, 1.0)
+        assert p.contains(0.5)
+        assert not p.contains(1.5)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            Parameter("w", 10.0, 1.0)
+
+
+class TestSpace:
+    @pytest.fixture
+    def space(self):
+        return ParameterSpace(
+            [Parameter("a", 0.0, 10.0), Parameter("b", -1.0, 3.0)]
+        )
+
+    def test_vectorised_roundtrip(self, space):
+        pts = np.array([[0.0, -1.0], [5.0, 1.0], [10.0, 3.0]])
+        assert np.allclose(space.to_natural(space.to_coded(pts)), pts)
+
+    def test_grid(self, space):
+        grid = space.grid_coded(3)
+        assert grid.shape == (9, 2)
+        assert {tuple(r) for r in grid} >= {(-1.0, -1.0), (0.0, 0.0), (1.0, 1.0)}
+
+    def test_clip(self, space):
+        clipped = space.clip_coded([[2.0, -3.0]])
+        assert np.allclose(clipped, [[1.0, -1.0]])
+
+    def test_parameter_lookup(self, space):
+        assert space.parameter("a").high == 10.0
+        with pytest.raises(DesignError):
+            space.parameter("zzz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            ParameterSpace([])
+
+
+class TestBasis:
+    def test_term_counts(self):
+        assert PolynomialBasis(3, "linear").n_terms == 4
+        assert PolynomialBasis(3, "interaction").n_terms == 7
+        assert PolynomialBasis(3, "pure_quadratic").n_terms == 7
+        assert PolynomialBasis(3, "quadratic").n_terms == 10
+        assert PolynomialBasis(2, "cubic").n_terms == 1 + 4 + 1 + 2 + 2
+
+    def test_expand_matches_names(self):
+        basis = PolynomialBasis(2, "quadratic")
+        names = basis.term_names(["u", "v"])
+        assert names == ["1", "u", "v", "u^2", "v^2", "u*v"]
+        X = basis.expand(np.array([[2.0, 3.0]]))
+        assert list(X[0]) == [1.0, 2.0, 3.0, 4.0, 9.0, 6.0]
+
+    def test_quadratic_matches_eq4_structure(self):
+        # eq (4): intercept, k linear, k quadratic, k(k-1)/2 interactions
+        basis = PolynomialBasis(3, "quadratic")
+        X = basis.expand(np.array([[1.0, -1.0, 0.5]]))
+        assert X.shape == (1, 10)
+        assert X[0, 0] == 1.0
+        assert list(X[0, 1:4]) == [1.0, -1.0, 0.5]
+        assert list(X[0, 4:7]) == [1.0, 1.0, 0.25]
+        assert list(X[0, 7:]) == [-1.0, 0.5, -0.5]
+
+    def test_cubic_terms(self):
+        basis = PolynomialBasis(2, "cubic")
+        X = basis.expand(np.array([[2.0, 3.0]]))
+        names = basis.term_names()
+        assert "x1^3" in names and "x1^2*x2" in names
+        idx = names.index("x1^3")
+        assert X[0, idx] == 8.0
+
+    def test_wrong_width_rejected(self):
+        basis = PolynomialBasis(3)
+        with pytest.raises(DesignError):
+            basis.expand(np.zeros((5, 2)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DesignError):
+            PolynomialBasis(3, "septic")

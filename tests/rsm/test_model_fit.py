@@ -1,0 +1,158 @@
+"""Response-surface fitting: exact recovery, diagnostics, ANOVA, CV."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.rsm.anova import anova
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.coding import Parameter, ParameterSpace
+from repro.rsm.crossval import kfold_rmse, loocv_rmse
+from repro.rsm.diagnostics import diagnostics
+from repro.rsm.model import ResponseSurface, fit_response_surface
+from repro.rsm.regression import d_criterion, ols
+
+
+def _true_quadratic(x):
+    # y = 3 + 2 x1 - x2 + 0.5 x1^2 + x2^2 - 1.5 x1 x2
+    return (
+        3.0 + 2.0 * x[:, 0] - x[:, 1] + 0.5 * x[:, 0] ** 2 + x[:, 1] ** 2
+        - 1.5 * x[:, 0] * x[:, 1]
+    )
+
+
+@pytest.fixture
+def grid_points():
+    lv = np.linspace(-1, 1, 3)
+    return np.array([[a, b] for a in lv for b in lv])
+
+
+def test_exact_quadratic_recovery(grid_points):
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y, kind="quadratic")
+    assert np.allclose(
+        model.coefficients, [3.0, 2.0, -1.0, 0.5, 1.0, -1.5], atol=1e-9
+    )
+
+
+def test_prediction_at_new_points(grid_points):
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y)
+    test_pts = np.array([[0.3, -0.7], [0.9, 0.2]])
+    assert np.allclose(model.predict_coded(test_pts), _true_quadratic(test_pts))
+
+
+def test_single_point_prediction_returns_scalar(grid_points):
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y)
+    val = model.predict_coded(np.array([0.1, 0.1]))
+    assert isinstance(val, float)
+
+
+def test_predict_natural_via_space(grid_points):
+    space = ParameterSpace([Parameter("a", 0, 10), Parameter("b", -5, 5)])
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y, space=space)
+    natural = space.to_natural(np.array([[0.5, 0.5]]))
+    coded_val = model.predict_coded(np.array([[0.5, 0.5]]))
+    assert np.allclose(model.predict_natural(natural), coded_val)
+
+
+def test_quadratic_parts_and_stationary_point(grid_points):
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y)
+    b0, b, B = model.quadratic_parts()
+    assert b0 == pytest.approx(3.0)
+    assert np.allclose(b, [2.0, -1.0])
+    assert np.allclose(B, [[0.5, -0.75], [-0.75, 1.0]])
+    x_star = model.stationary_point()
+    grad = model.gradient_coded(x_star)
+    assert np.allclose(grad, 0.0, atol=1e-6)
+
+
+def test_to_string_eq9_format(grid_points):
+    y = _true_quadratic(grid_points)
+    model = fit_response_surface(grid_points, y)
+    text = model.to_string(["x1", "x2"])
+    assert text.startswith("3.00")
+    assert "- 1.00*x2" in text
+    assert "x1*x2" in text
+
+
+def test_underdetermined_fit_rejected():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+    with pytest.raises(FitError):
+        fit_response_surface(pts, np.array([1.0, 2.0]), kind="quadratic")
+
+
+def test_rank_deficient_design_rejected():
+    pts = np.zeros((10, 2))  # all runs identical
+    with pytest.raises(FitError):
+        fit_response_surface(pts, np.arange(10.0), kind="linear")
+
+
+def test_noise_fit_r2_reasonable(grid_points):
+    rng = np.random.default_rng(5)
+    pts = np.repeat(grid_points, 3, axis=0)
+    y = _true_quadratic(pts) + rng.normal(0, 0.1, len(pts))
+    model = fit_response_surface(pts, y)
+    X = PolynomialBasis(2, "quadratic").expand(pts)
+    diag = diagnostics(X, y, model.fit)
+    assert diag.r2 > 0.98
+    assert diag.adj_r2 <= diag.r2
+    assert diag.press_rmse < 0.3
+
+
+def test_saturated_fit_has_unit_leverage(grid_points):
+    # 10 coefficients from 10 well-chosen points... here: 6 coefficients
+    # from 6 points in 2 variables.
+    pts = np.array(
+        [[-1, -1], [1, -1], [-1, 1], [1, 1], [0.5, 0.0], [0.0, -0.5]]
+    )
+    y = _true_quadratic(pts)
+    fit = ols(PolynomialBasis(2, "quadratic").expand(pts), y)
+    assert np.allclose(fit.leverage, 1.0, atol=1e-8)
+    assert fit.dof == 0
+
+
+def test_anova_strong_signal(grid_points):
+    rng = np.random.default_rng(6)
+    pts = np.repeat(grid_points, 3, axis=0)
+    y = _true_quadratic(pts) + rng.normal(0, 0.05, len(pts))
+    X = PolynomialBasis(2, "quadratic").expand(pts)
+    table = anova(X, y)
+    assert table.f_statistic > 100.0
+    assert table.p_value < 1e-6
+    assert table.ss_total == pytest.approx(
+        table.ss_model + table.ss_residual, rel=1e-9
+    )
+    assert "model" in table.to_string()
+
+
+def test_loocv_near_noise_level(grid_points):
+    rng = np.random.default_rng(7)
+    pts = np.repeat(grid_points, 4, axis=0)
+    noise = 0.1
+    y = _true_quadratic(pts) + rng.normal(0, noise, len(pts))
+    X = PolynomialBasis(2, "quadratic").expand(pts)
+    assert loocv_rmse(X, y) == pytest.approx(noise, rel=0.5)
+
+
+def test_kfold_cv_runs(grid_points):
+    rng = np.random.default_rng(8)
+    pts = np.repeat(grid_points, 4, axis=0)
+    y = _true_quadratic(pts) + rng.normal(0, 0.1, len(pts))
+    X = PolynomialBasis(2, "quadratic").expand(pts)
+    rmse = kfold_rmse(X, y, n_folds=4, seed=0)
+    assert 0.0 < rmse < 0.5
+
+
+def test_d_criterion_positive_for_good_design(grid_points):
+    X = PolynomialBasis(2, "quadratic").expand(grid_points)
+    assert d_criterion(X) > 0.0
+
+
+def test_coefficient_count_mismatch():
+    basis = PolynomialBasis(2, "quadratic")
+    with pytest.raises(FitError):
+        ResponseSurface(basis, np.zeros(3))

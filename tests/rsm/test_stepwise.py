@@ -1,0 +1,80 @@
+"""Stepwise term selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.rsm.basis import PolynomialBasis
+from repro.rsm.stepwise import backward_elimination, forward_selection
+
+
+def _sparse_data(noise=0.05, reps=3, seed=0):
+    """True model uses only intercept, x1 and x1*x2."""
+    rng = np.random.default_rng(seed)
+    lv = np.linspace(-1, 1, 3)
+    pts = np.array([[a, b] for a in lv for b in lv])
+    pts = np.repeat(pts, reps, axis=0)
+    y = 2.0 + 3.0 * pts[:, 0] + 1.5 * pts[:, 0] * pts[:, 1]
+    y = y + rng.normal(0, noise, len(y))
+    return pts, y
+
+
+def test_backward_drops_inactive_terms():
+    pts, y = _sparse_data()
+    result = backward_elimination(pts, y)
+    assert "1" in result.term_names
+    assert "x1" in result.term_names
+    assert "x1*x2" in result.term_names
+    # The search keeps at most one spurious term beyond the active set
+    # (greedy AICc is not an oracle, but it must prune most of the noise).
+    assert len(result.term_names) <= 4
+
+
+def test_forward_finds_same_active_set():
+    pts, y = _sparse_data()
+    result = forward_selection(pts, y)
+    assert {"1", "x1", "x1*x2"} <= set(result.term_names)
+    assert len(result.term_names) <= 5
+
+
+def test_selected_model_predicts_well():
+    pts, y = _sparse_data()
+    result = backward_elimination(pts, y)
+    basis = PolynomialBasis(2, "quadratic")
+    test_pts = np.array([[0.5, -0.5], [-0.3, 0.8]])
+    truth = 2.0 + 3.0 * test_pts[:, 0] + 1.5 * test_pts[:, 0] * test_pts[:, 1]
+    pred = result.predict(basis, test_pts)
+    assert np.allclose(pred, truth, atol=0.15)
+
+
+def test_history_scores_monotone_nonincreasing():
+    pts, y = _sparse_data()
+    for search in (backward_elimination, forward_selection):
+        result = search(pts, y)
+        scores = [s for _, s in result.history]
+        assert all(b <= a + 1e-9 for a, b in zip(scores, scores[1:]))
+
+
+def test_bic_selects_no_more_terms_than_aic():
+    pts, y = _sparse_data(noise=0.2)
+    aic = backward_elimination(pts, y, criterion="aic")
+    bic = backward_elimination(pts, y, criterion="bic")
+    assert len(bic.selected) <= len(aic.selected)
+
+
+def test_intercept_always_kept():
+    pts, y = _sparse_data()
+    result = backward_elimination(pts, y, min_terms=1)
+    assert 0 in result.selected
+
+
+def test_unknown_criterion_rejected():
+    pts, y = _sparse_data()
+    with pytest.raises(FitError):
+        backward_elimination(pts, y, criterion="banana")
+
+
+def test_forward_respects_max_terms():
+    pts, y = _sparse_data()
+    result = forward_selection(pts, y, max_terms=2)
+    assert len(result.selected) <= 2

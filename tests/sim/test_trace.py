@@ -1,0 +1,107 @@
+"""Unit tests for waveform traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace, TraceSet
+
+
+def test_append_and_arrays():
+    tr = Trace("v")
+    tr.append(0.0, 1.0)
+    tr.append(1.0, 2.0)
+    tr.append(2.0, 4.0)
+    assert len(tr) == 3
+    assert list(tr.times) == [0.0, 1.0, 2.0]
+    assert list(tr.values) == [1.0, 2.0, 4.0]
+
+
+def test_append_backwards_time_rejected():
+    tr = Trace("v")
+    tr.append(1.0, 1.0)
+    with pytest.raises(SimulationError):
+        tr.append(0.5, 2.0)
+
+
+def test_equal_time_overwrites():
+    tr = Trace("v")
+    tr.append(1.0, 1.0)
+    tr.append(1.0, 5.0)
+    assert len(tr) == 1
+    assert tr.values[0] == 5.0
+
+
+def test_zero_order_hold_lookup():
+    tr = Trace("v")
+    tr.append(0.0, 1.0)
+    tr.append(10.0, 2.0)
+    assert tr.at(5.0) == 1.0
+    assert tr.at(10.0) == 2.0
+    assert tr.at(-1.0) == 1.0
+
+
+def test_linear_interpolation():
+    tr = Trace("v")
+    tr.append(0.0, 0.0)
+    tr.append(10.0, 10.0)
+    assert tr.interp(2.5) == pytest.approx(2.5)
+    # clamped beyond the ends
+    assert tr.interp(20.0) == pytest.approx(10.0)
+
+
+def test_resample_grid():
+    tr = Trace("v")
+    tr.append(0.0, 0.0)
+    tr.append(1.0, 1.0)
+    grid = tr.resample([0.0, 0.25, 0.5, 1.0])
+    assert np.allclose(grid, [0.0, 0.25, 0.5, 1.0])
+
+
+def test_empty_trace_rejects_queries():
+    tr = Trace("v")
+    with pytest.raises(SimulationError):
+        tr.at(0.0)
+    with pytest.raises(SimulationError):
+        tr.interp(0.0)
+
+
+def test_min_max_mean():
+    tr = Trace("v")
+    for t, v in [(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]:
+        tr.append(t, v)
+    assert tr.min() == 0.0
+    assert tr.max() == 2.0
+    # trapezoidal time-weighted mean of a triangle is half the peak
+    assert tr.mean() == pytest.approx(1.0)
+
+
+def test_time_above_threshold_exact_triangle():
+    tr = Trace("v")
+    for t, v in [(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]:
+        tr.append(t, v)
+    # above 1.0 between t=0.5 and t=1.5
+    assert tr.time_above(1.0) == pytest.approx(1.0)
+    assert tr.time_above(2.5) == 0.0
+    assert tr.time_above(-1.0) == pytest.approx(2.0)
+
+
+def test_traceset_creates_and_lists():
+    ts = TraceSet()
+    ts.trace("a").append(0.0, 1.0)
+    ts.trace("b").append(0.0, 2.0)
+    assert ts.names() == ["a", "b"]
+    assert "a" in ts
+    assert ts["a"].values[0] == 1.0
+
+
+def test_traceset_csv_export():
+    ts = TraceSet()
+    for t in (0.0, 1.0):
+        ts.trace("x").append(t, t)
+        ts.trace("y").append(t, 2 * t)
+    csv = ts.to_csv([0.0, 0.5, 1.0])
+    lines = csv.strip().splitlines()
+    assert lines[0] == "time,x,y"
+    assert len(lines) == 4
+    assert lines[2].startswith("0.5,0.5,1")

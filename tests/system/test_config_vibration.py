@@ -1,0 +1,131 @@
+"""System configuration, parameter space and vibration profiles."""
+
+import pytest
+
+from repro.errors import ConfigError, ModelError
+from repro.system.config import (
+    ORIGINAL_DESIGN,
+    SystemConfig,
+    config_from_coded,
+    paper_parameter_space,
+)
+from repro.system.vibration import VibrationProfile, VibrationSegment
+from repro.units import mg_to_mps2
+
+
+class TestConfig:
+    def test_original_design_matches_table_vi(self):
+        assert ORIGINAL_DESIGN.clock_hz == 4e6
+        assert ORIGINAL_DESIGN.watchdog_s == 320.0
+        assert ORIGINAL_DESIGN.tx_interval_s == 5.0
+
+    def test_vector_roundtrip(self):
+        cfg = SystemConfig(1e6, 100.0, 2.0)
+        assert SystemConfig.from_vector(cfg.as_vector()) == cfg
+
+    def test_from_vector_length_check(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.from_vector([1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(clock_hz=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(watchdog_s=-1.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(tx_interval_s=0.0)
+
+    def test_describe(self):
+        assert "4 MHz" in ORIGINAL_DESIGN.describe()
+
+
+class TestParameterSpace:
+    def test_table_v_ranges(self):
+        space = paper_parameter_space()
+        bounds = dict(zip(space.names(), space.bounds_natural()))
+        assert bounds["clock_hz"] == (125e3, 8e6)
+        assert bounds["watchdog_s"] == (60.0, 600.0)
+        assert bounds["tx_interval_s"] == (0.005, 10.0)
+
+    def test_coded_symbols(self):
+        space = paper_parameter_space()
+        assert [p.coded_symbol for p in space.parameters] == ["x1", "x2", "x3"]
+
+    def test_coding_endpoints(self):
+        space = paper_parameter_space()
+        coded = space.to_coded([125e3, 600.0, 0.005])
+        assert coded[0] == pytest.approx(-1.0)
+        assert coded[1] == pytest.approx(1.0)
+        assert coded[2] == pytest.approx(-1.0)
+
+    def test_center_codes_to_zero(self):
+        space = paper_parameter_space()
+        center = [(125e3 + 8e6) / 2, 330.0, (0.005 + 10.0) / 2]
+        assert space.to_coded(center) == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_config_from_coded_clips(self):
+        cfg = config_from_coded([-2.0, 0.0, 2.0])
+        assert cfg.clock_hz == pytest.approx(125e3)
+        assert cfg.tx_interval_s == pytest.approx(10.0)
+
+
+class TestVibrationProfile:
+    def test_constant_profile(self):
+        p = VibrationProfile.constant(64.0, accel_mg=60.0)
+        assert p.frequency(0.0) == 64.0
+        assert p.frequency(1e6) == 64.0
+        assert p.acceleration(0.0) == pytest.approx(mg_to_mps2(60.0))
+
+    def test_paper_profile_steps(self):
+        p = VibrationProfile.paper_profile()
+        assert p.frequency(0.0) == 64.0
+        assert p.frequency(1500.0) == 69.0
+        assert p.frequency(2999.0) == 69.0
+        assert p.frequency(3000.0) == 74.0
+
+    def test_change_times(self):
+        p = VibrationProfile.paper_profile()
+        assert p.change_times(0.0, 3600.0) == [1500.0, 3000.0]
+        assert p.change_times(1600.0, 2900.0) == []
+
+    def test_frequency_span(self):
+        p = VibrationProfile.paper_profile()
+        assert p.frequency_span() == (64.0, 74.0)
+
+    def test_segment_validation(self):
+        with pytest.raises(ModelError):
+            VibrationSegment(0.0, -1.0, 0.5)
+        with pytest.raises(ModelError):
+            VibrationProfile([])
+        with pytest.raises(ModelError):
+            VibrationProfile([VibrationSegment(10.0, 64.0, 0.5)])
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ModelError):
+            VibrationProfile(
+                [VibrationSegment(0.0, 64.0, 0.5), VibrationSegment(0.0, 65.0, 0.5)]
+            )
+
+
+class TestComponentsRegistry:
+    def test_table_i_registry(self):
+        from repro.system.components import COMPONENT_REGISTRY
+
+        assert COMPONENT_REGISTRY["microcontroller"]["type"] == "PIC16F884"
+        assert COMPONENT_REGISTRY["sensor_node"]["type"] == "eZ430-RF2500"
+        assert COMPONENT_REGISTRY["accelerometer"]["make"] == "STMicroelectronics"
+        assert "Haydon" in COMPONENT_REGISTRY["linear_actuator"]["make"]
+
+    def test_paper_system_initially_tuned(self):
+        from repro.system.components import paper_system
+
+        parts = paper_system(initial_frequency=64.0)
+        f_r = parts.microgenerator.resonant_frequency()
+        assert f_r == pytest.approx(64.0, abs=0.2)
+
+    def test_paper_system_store_defaults(self):
+        from repro.system.components import paper_system
+
+        parts = paper_system()
+        assert parts.store.capacitance == pytest.approx(0.55)
+        assert parts.store.voltage == pytest.approx(2.65)

@@ -1,0 +1,74 @@
+"""Detailed (MNA) system backend: construction and node firmware."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.detailed import DetailedSimulator
+from repro.system.vibration import VibrationProfile
+
+pytestmark = pytest.mark.slow
+
+
+def _sim(v_init=2.85, interval=0.3, f=64.0, points_per_cycle=40):
+    parts = paper_system()
+    cfg = SystemConfig(clock_hz=4e6, watchdog_s=1e4, tx_interval_s=interval)
+    return DetailedSimulator(
+        cfg,
+        parts=parts,
+        profile=VibrationProfile.constant(f),
+        v_init=v_init,
+        points_per_cycle=points_per_cycle,
+    )
+
+
+def test_node_transmits_at_configured_interval():
+    sim = _sim(v_init=2.9, interval=0.25)
+    res = sim.run(1.5)
+    # ~6 transmissions in 1.5 s at 0.25 s interval (first after one interval).
+    assert 4 <= res.transmissions <= 7
+
+
+def test_node_silent_below_off_threshold():
+    sim = _sim(v_init=2.60, interval=0.25, f=74.0)  # detuned: stays low
+    res = sim.run(1.5)
+    assert res.transmissions == 0
+
+
+def test_transmission_energy_drains_storage():
+    # Duration chosen so the run ends mid-sleep (a read at the instant a
+    # burst ends would still show the ESR drop, not the stored energy).
+    burst = _sim(v_init=2.9, interval=0.1, f=74.0)  # detuned: no harvest
+    res_burst = burst.run(1.23)
+    idle = _sim(v_init=2.9, interval=1e3, f=74.0)
+    res_idle = idle.run(1.23)
+    assert res_burst.transmissions >= 8
+    assert res_burst.final_voltage < res_idle.final_voltage
+    # Each transmission draws V^2/R_tx for 4.5 ms (~235 uJ at 2.9 V).
+    dv = res_idle.final_voltage - res_burst.final_voltage
+    e_tx = 2.9**2 / 161.0 * 4.5e-3
+    expected = res_burst.transmissions * e_tx / (0.55 * 2.9)
+    assert dv == pytest.approx(expected, rel=0.25)
+
+
+def test_waveform_trace_contains_ripple():
+    sim = _sim(v_init=2.85, interval=1e3)
+    res = sim.run(0.5)
+    v = res.traces["v(vdc)"]
+    assert len(v) > 500
+    assert v.max() < 3.6 and v.min() > 2.0
+
+
+def test_run_duration_validation():
+    sim = _sim()
+    with pytest.raises(SimulationError):
+        sim.run(0.0)
+
+
+def test_supercap_voltage_probe_matches_trace():
+    sim = _sim(v_init=2.85, interval=1e3)
+    res = sim.run(0.3)
+    assert sim.supercap_voltage() == pytest.approx(
+        res.traces["v(vdc)"].values[-1], abs=1e-9
+    )

@@ -1,0 +1,105 @@
+"""Envelope simulator edge cases: clipping, ceilings, sliding at 2.7 V."""
+
+import numpy as np
+import pytest
+
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.vibration import VibrationProfile
+
+
+def _quiet_config(interval=1e3):
+    # Huge watchdog and interval: isolate the continuous energy balance.
+    return SystemConfig(clock_hz=4e6, watchdog_s=1e5, tx_interval_s=interval)
+
+
+def test_voltage_saturates_at_rectifier_ceiling():
+    parts = paper_system(v_init=2.9)
+    sim = EnvelopeSimulator(
+        _quiet_config(), parts=parts, profile=VibrationProfile.constant(64.0),
+        seed=0,
+    )
+    res = sim.run(7200.0)
+    ceiling = parts.microgenerator.envelope.ceiling_voltage(
+        64.0, VibrationProfile.constant(64.0).acceleration(0.0),
+        parts.microgenerator.position,
+    )
+    # Charging tapers to zero at the ceiling: the approach is asymptotic,
+    # so two hours land close below it but never at it.
+    assert res.final_voltage <= ceiling + 1e-6
+    assert res.final_voltage > ceiling - 0.15
+
+
+def test_store_vmax_clamp_records_clipped_energy():
+    # Force the clamp below the rectifier ceiling to exercise clipping.
+    from repro.harvester.storage import EnergyStore
+
+    parts = paper_system(v_init=2.9)
+    parts.store = EnergyStore(capacitance=0.55, v_init=2.9, v_max=2.95)
+    sim = EnvelopeSimulator(
+        _quiet_config(), parts=parts, profile=VibrationProfile.constant(64.0),
+        seed=0,
+    )
+    res = sim.run(3600.0)
+    assert res.final_voltage <= 2.95 + 1e-9
+    assert res.breakdown.clipped > 0.0
+    assert abs(res.breakdown.imbalance()) < 1e-9
+
+
+def test_sliding_at_mid_threshold_when_mid_drain_exceeds_harvest():
+    # A pathologically expensive mid band cannot happen with Table II
+    # (60 s interval), so emulate it by a tiny fast interval AND starting
+    # exactly at 2.7 with near-zero harvest: the node must not oscillate.
+    parts = paper_system(v_init=2.7, initial_frequency=64.0)
+    sim = EnvelopeSimulator(
+        SystemConfig(clock_hz=4e6, watchdog_s=1e5, tx_interval_s=0.005),
+        parts=parts,
+        profile=VibrationProfile.constant(74.0),  # detuned: harvest ~ 0
+        seed=0,
+    )
+    res = sim.run(1200.0)
+    # Mid-band drain (1/min) exceeds zero harvest: voltage decays below
+    # 2.7 and transmissions stop; energy accounting stays closed.
+    assert res.final_voltage < 2.7
+    assert abs(res.breakdown.imbalance()) < 1e-9
+
+
+def test_transmission_counts_scale_with_horizon():
+    parts = paper_system(v_init=2.85)
+    counts = []
+    for horizon in (600.0, 1200.0):
+        sim = EnvelopeSimulator(
+            _quiet_config(interval=2.0),
+            parts=paper_system(v_init=2.85),
+            profile=VibrationProfile.constant(64.0),
+            seed=0,
+            record_traces=False,
+        )
+        counts.append(sim.run(horizon).transmissions)
+    assert counts[1] == pytest.approx(2 * counts[0], rel=0.1)
+
+
+def test_traces_cover_full_horizon():
+    sim = EnvelopeSimulator(
+        _quiet_config(), parts=paper_system(),
+        profile=VibrationProfile.paper_profile(), seed=0,
+    )
+    res = sim.run(3600.0)
+    v = res.traces["v_store"]
+    assert v.times[0] == 0.0
+    assert v.times[-1] == pytest.approx(3600.0, abs=1.0)
+    freq_trace = res.traces["input_frequency"]
+    assert freq_trace.at(100.0) == 64.0
+    assert freq_trace.at(2000.0) == 69.0
+
+
+def test_wakeups_match_watchdog_schedule():
+    cfg = SystemConfig(clock_hz=4e6, watchdog_s=500.0, tx_interval_s=5.0)
+    sim = EnvelopeSimulator(
+        cfg, parts=paper_system(), profile=VibrationProfile.constant(64.0),
+        seed=0, record_traces=False,
+    )
+    res = sim.run(3600.0)
+    times = [ev.time for ev in res.tuning_events]
+    assert times == pytest.approx([500.0 * i for i in range(1, 8)], abs=1.0)
