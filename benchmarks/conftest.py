@@ -14,9 +14,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.backends import run
 from repro.core.paper import run_paper_flow
+from repro.scenario import Scenario
 from repro.system.config import ORIGINAL_DESIGN, SystemConfig
-from repro.system.envelope import simulate
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -48,10 +49,10 @@ def paper_outcome():
 @pytest.fixture(scope="session")
 def original_result():
     """One-hour reference simulation of the original design."""
-    return simulate(ORIGINAL_DESIGN, seed=BENCH_SEED)
+    return run(Scenario(config=ORIGINAL_DESIGN, seed=BENCH_SEED))
 
 
 @pytest.fixture(scope="session")
 def paper_sa_result():
     """One-hour simulation of the paper's published SA optimum."""
-    return simulate(SystemConfig(8e6, 60.0, 0.005), seed=BENCH_SEED)
+    return run(Scenario(config=SystemConfig(8e6, 60.0, 0.005), seed=BENCH_SEED))

@@ -2,7 +2,7 @@
 
 Runs the complete paper workflow in miniature (~10 seconds):
 
-1. simulate the original design for one hour,
+1. simulate the original design for one hour (one scenario, one ``run``),
 2. build a 10-run D-optimal design and simulate it,
 3. fit the quadratic response surface (eq. 9),
 4. maximise it with Simulated Annealing and a Genetic Algorithm,
@@ -11,15 +11,14 @@ Runs the complete paper workflow in miniature (~10 seconds):
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.core import paper_explorer
 from repro.core.report import render_table_vi
-from repro.system.config import ORIGINAL_DESIGN
-from repro.system.envelope import simulate
 
 
 def main() -> None:
     print("=== one simulation of the original design ===")
-    result = simulate(ORIGINAL_DESIGN, seed=1)
+    result = repro.run(repro.Scenario(seed=1))
     print(result.summary())
 
     print("\n=== full RSM-based design space exploration ===")

@@ -16,8 +16,80 @@ The library has three layers:
    of experiments (:mod:`repro.doe`), global optimisers
    (:mod:`repro.optimize`) and the end-to-end design-space-exploration
    workflow (:mod:`repro.core`), which is the paper's contribution.
+
+The curated public surface lives at the package root and is imported
+lazily (``import repro`` stays cheap)::
+
+    import repro
+
+    result = repro.run(repro.Scenario(horizon=600.0, seed=1))
+    batch = repro.BatchRunner(jobs=4).run(
+        [repro.named_scenario(n) for n in repro.scenario_names()]
+    )
 """
 
-__version__ = "1.0.0"
+import importlib
+from typing import List
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: Public name -> defining module.  Resolved on first attribute access so
+#: ``import repro`` pulls in nothing beyond this file.
+_EXPORTS = {
+    # scenarios (repro.scenario)
+    "Scenario": "repro.scenario",
+    "PartsSpec": "repro.scenario",
+    "SCENARIO_LIBRARY": "repro.scenario",
+    "named_scenario": "repro.scenario",
+    "scenario_names": "repro.scenario",
+    # backends (repro.backends)
+    "Backend": "repro.backends",
+    "run": "repro.backends",
+    "register_backend": "repro.backends",
+    "get_backend": "repro.backends",
+    "backend_names": "repro.backends",
+    # batch execution (repro.core.batch)
+    "BatchRunner": "repro.core.batch",
+    # system model (repro.system)
+    "SystemConfig": "repro.system.config",
+    "ORIGINAL_DESIGN": "repro.system.config",
+    "paper_parameter_space": "repro.system.config",
+    "SystemResult": "repro.system.result",
+    "EnergyBreakdown": "repro.system.result",
+    "VibrationProfile": "repro.system.vibration",
+    "SystemParts": "repro.system.components",
+    "paper_system": "repro.system.components",
+    # methodology (repro.core)
+    "DesignSpaceExplorer": "repro.core.explorer",
+    "ExplorationOutcome": "repro.core.explorer",
+    "SimulationObjective": "repro.core.objective",
+    "monte_carlo": "repro.core.montecarlo",
+    "robustness_study": "repro.core.sensitivity",
+    "paper_objective": "repro.core.paper",
+    "paper_explorer": "repro.core.paper",
+    "run_paper_flow": "repro.core.paper",
+    "save_outcome": "repro.core.campaign",
+    "load_outcome": "repro.core.campaign",
+    # errors
+    "ReproError": "repro.errors",
+    "ConfigError": "repro.errors",
+    "DesignError": "repro.errors",
+    "SimulationError": "repro.errors",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Resolve a public name by importing its defining module on demand."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,151 @@
+"""Pluggable simulation backends behind one ``run(scenario)`` call.
+
+The envelope and detailed simulators predate this module and keep their
+native constructors; a :class:`Backend` adapts each one to the common
+contract *scenario in, :class:`~repro.system.result.SystemResult` out*.
+Backends are looked up by name in a process-wide registry so drivers
+(:class:`~repro.core.batch.BatchRunner`, the CLI, the simulation
+objective) never hard-code a fidelity level:
+
+>>> from repro import Scenario, run
+>>> result = run(Scenario(horizon=60.0, seed=1))          # envelope
+>>> result = run(Scenario(horizon=0.5, backend="detailed", seed=1))
+
+Third parties extend the registry with :func:`register_backend`; unknown
+names fail with a :class:`~repro.errors.ConfigError` that lists what is
+available.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.scenario import Scenario
+from repro.system.result import SystemResult
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The contract every simulation backend implements."""
+
+    #: Registry name (``scenario.backend`` selects by this).
+    name: str
+
+    def simulate(self, scenario: Scenario) -> SystemResult:
+        """Run one scenario to completion and return its result."""
+        ...
+
+
+class EnvelopeBackend:
+    """The fast energy-balance simulator (hour-scale runs)."""
+
+    name = "envelope"
+
+    def simulate(self, scenario: Scenario) -> SystemResult:
+        from repro.system.envelope import EnvelopeSimulator
+
+        sim = _construct(
+            EnvelopeSimulator,
+            scenario,
+            scenario.config,
+            parts=scenario.build_parts(),
+            profile=scenario.profile,
+            seed=scenario.seed,
+            **dict(scenario.options),
+        )
+        return sim.run(scenario.horizon)
+
+
+class DetailedBackend:
+    """The cycle-accurate MNA co-simulation (seconds-scale runs)."""
+
+    name = "detailed"
+
+    def simulate(self, scenario: Scenario) -> SystemResult:
+        from repro.system.detailed import DetailedSimulator
+
+        sim = _construct(
+            DetailedSimulator,
+            scenario,
+            scenario.config,
+            parts=scenario.build_parts(),
+            profile=scenario.profile,
+            seed=scenario.seed,
+            **dict(scenario.options),
+        )
+        return sim.run(scenario.horizon).to_system_result()
+
+
+def _construct(cls, scenario: Scenario, *args, **kwargs):
+    """Instantiate a simulator, turning bad options into ConfigError."""
+    try:
+        return cls(*args, **kwargs)
+    except TypeError as exc:
+        raise ConfigError(
+            f"backend {scenario.backend!r} rejected scenario options "
+            f"{sorted(scenario.options)}: {exc}"
+        ) from exc
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], Backend], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Re-registering an existing name requires ``overwrite=True`` so typos
+    cannot silently shadow a shipped backend.
+
+    The registry is per-process.  Process-pool batches
+    (:class:`~repro.core.batch.BatchRunner` with ``jobs > 1``) see
+    custom backends on platforms whose workers are forked (Linux);
+    under a ``spawn``/``forkserver`` start method the registration must
+    happen at import time of a module the workers also import, or the
+    batch should use ``executor="thread"``.
+    """
+    if not name:
+        raise ConfigError("backend name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigError(
+            f"backend {name!r} is already registered (pass overwrite=True)"
+        )
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> List[str]:
+    """Registered backend names."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ConfigError(f"unknown backend {name!r} (known: {known})") from None
+    return factory()
+
+
+register_backend("envelope", EnvelopeBackend)
+register_backend("detailed", DetailedBackend)
+
+
+def run(scenario: Scenario) -> SystemResult:
+    """Execute one scenario on its named backend."""
+    return get_backend(scenario.backend).simulate(scenario)
+
+
+def quiet_options(backend: str) -> dict:
+    """Scenario options that suppress trace recording on ``backend``.
+
+    Batch drivers (Monte Carlo, robustness grids, DOE evaluation) want
+    lean results; only the envelope backend records optional traces, so
+    this is the one place that capability knowledge lives.
+    """
+    return {"record_traces": False} if backend == "envelope" else {}

@@ -3,13 +3,19 @@
 Installed as ``repro-wsn``; every capability is also available as a
 module run (``python -m repro.cli ...``).  Subcommands:
 
-- ``simulate``  -- one envelope simulation of a configuration
+- ``simulate``      -- one simulation of a configuration on any backend
   (``--trace`` writes the Fig. 5-style supercap CSV).
-- ``explore``   -- the full paper flow: D-optimal DOE, RSM fit, SA + GA,
+- ``run-scenario``  -- execute a scenario JSON file (see
+  :mod:`repro.scenario`; ``--list`` names the built-in library).
+- ``explore``       -- the full paper flow: D-optimal DOE, RSM fit, SA + GA,
   verification; prints Table VI and optionally persists JSON.
-- ``sweep``     -- Fig. 4-style one-parameter sweep on the simulator.
-- ``report``    -- re-render a persisted exploration outcome.
-- ``tradeoff``  -- NSGA-II Pareto front of transmissions vs. reserve.
+- ``sweep``         -- Fig. 4-style one-parameter sweep on the simulator.
+- ``report``        -- re-render a persisted exploration outcome.
+- ``tradeoff``      -- NSGA-II Pareto front of transmissions vs. reserve.
+- ``montecarlo``    -- distribution of a config over random environments.
+
+``--backend`` selects any registered simulation backend and ``--jobs``
+fans batch subcommands out over worker processes.
 """
 
 from __future__ import annotations
@@ -19,6 +25,19 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _add_backend_jobs(
+    parser: argparse.ArgumentParser,
+    jobs_help: str = "worker processes for batched simulations (default: 1)",
+) -> None:
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default="envelope",
+        help="registered simulation backend (default: envelope)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help=jobs_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,12 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--horizon", type=float, default=3600.0, help="simulated seconds")
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--trace", type=str, default=None, help="write supercap CSV here")
+    _add_backend_jobs(
+        sim, jobs_help="accepted for symmetry; a single simulation runs serially"
+    )
+
+    rsc = sub.add_parser("run-scenario", help="execute a scenario JSON file")
+    rsc.add_argument(
+        "path",
+        type=str,
+        nargs="?",
+        default=None,
+        help="scenario JSON (from Scenario.save) or a library name",
+    )
+    rsc.add_argument(
+        "--list", action="store_true", help="list the built-in scenario library"
+    )
+    rsc.add_argument(
+        "--save", type=str, default=None, help="write the (resolved) scenario JSON here"
+    )
+    rsc.add_argument(
+        "--backend", type=str, default=None, help="override the scenario's backend"
+    )
+    rsc.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
 
     exp = sub.add_parser("explore", help="run the full paper DSE flow")
     exp.add_argument("--runs", type=int, default=10, help="D-optimal design size")
     exp.add_argument("--seed", type=int, default=1)
     exp.add_argument("--horizon", type=float, default=3600.0)
     exp.add_argument("--save", type=str, default=None, help="persist outcome JSON here")
+    _add_backend_jobs(exp)
 
     swp = sub.add_parser("sweep", help="one-parameter sweep (Fig. 4 style)")
     swp.add_argument(
@@ -53,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument("--points", type=int, default=7)
     swp.add_argument("--seed", type=int, default=1)
+    _add_backend_jobs(swp)
 
     rep = sub.add_parser("report", help="render a persisted outcome")
     rep.add_argument("path", type=str, help="JSON file from 'explore --save'")
@@ -70,29 +115,79 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--interval", type=float, default=5.0)
     mc.add_argument("--samples", type=int, default=20)
     mc.add_argument("--seed", type=int, default=1)
+    _add_backend_jobs(mc)
 
     return parser
 
 
-def _cmd_simulate(args) -> int:
-    from repro.system.config import SystemConfig
-    from repro.system.envelope import simulate
+def _write_trace(result, path: str) -> None:
+    from repro.core.report import series_to_csv
 
-    config = SystemConfig(
-        clock_hz=args.clock, watchdog_s=args.watchdog, tx_interval_s=args.interval
+    grid = np.linspace(0.0, result.horizon, 721)
+    csv = series_to_csv(
+        {"time_s": grid, "v_store": result.traces["v_store"].resample(grid)}
     )
-    result = simulate(config, horizon=args.horizon, seed=args.seed)
+    with open(path, "w") as fh:
+        fh.write(csv + "\n")
+    print(f"trace written to {path}")
+
+
+def _cmd_simulate(args) -> int:
+    from repro.backends import run
+    from repro.scenario import Scenario
+    from repro.system.config import SystemConfig
+
+    scenario = Scenario(
+        config=SystemConfig(
+            clock_hz=args.clock, watchdog_s=args.watchdog, tx_interval_s=args.interval
+        ),
+        horizon=args.horizon,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    result = run(scenario)
     print(result.summary())
     if args.trace:
-        from repro.core.report import series_to_csv
+        _write_trace(result, args.trace)
+    return 0
 
-        grid = np.linspace(0.0, result.horizon, 721)
-        csv = series_to_csv(
-            {"time_s": grid, "v_store": result.traces["v_store"].resample(grid)}
-        )
-        with open(args.trace, "w") as fh:
-            fh.write(csv + "\n")
-        print(f"trace written to {args.trace}")
+
+def _cmd_run_scenario(args) -> int:
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.backends import run
+    from repro.scenario import Scenario, named_scenario, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:<14s} {named_scenario(name).describe()}")
+        return 0
+    if args.path is None:
+        print("error: give a scenario file (or --list)", file=sys.stderr)
+        return 2
+    path = Path(args.path)
+    # Anything path-shaped is a file; bare words fall back to the library
+    # (so a mistyped filename errors as a missing file, not a bad name).
+    looks_like_file = path.suffix == ".json" or len(path.parts) > 1
+    if path.exists() or looks_like_file:
+        try:
+            scenario = Scenario.load(args.path)
+        except OSError as exc:
+            print(f"error: cannot read scenario file: {exc}", file=sys.stderr)
+            return 1
+    else:
+        scenario = named_scenario(args.path)
+    if args.backend is not None:
+        scenario = replace(scenario, backend=args.backend)
+    if args.seed is not None:
+        scenario = scenario.with_seed(args.seed)
+    if args.save:
+        scenario.save(args.save)
+        print(f"scenario written to {args.save}")
+    print(scenario.describe())
+    result = run(scenario)
+    print(result.summary())
     return 0
 
 
@@ -100,7 +195,9 @@ def _cmd_explore(args) -> int:
     from repro.core.paper import paper_explorer
     from repro.core.report import render_table_vi
 
-    explorer = paper_explorer(seed=args.seed, horizon=args.horizon)
+    explorer = paper_explorer(
+        seed=args.seed, horizon=args.horizon, backend=args.backend, jobs=args.jobs
+    )
     outcome = explorer.run(n_runs=args.runs, seed=args.seed)
     print(outcome.summary())
     print()
@@ -119,16 +216,17 @@ def _cmd_sweep(args) -> int:
     from repro.core.report import format_table
     from repro.system.config import paper_parameter_space
 
-    objective = paper_objective(seed=args.seed)
+    objective = paper_objective(seed=args.seed, backend=args.backend, jobs=args.jobs)
     space = paper_parameter_space()
     idx = space.names().index(args.parameter)
     axis = np.linspace(-1.0, 1.0, max(args.points, 2))
-    rows = []
-    for coded in axis:
-        point = np.zeros(3)
-        point[idx] = coded
-        natural = space.to_natural(point)[idx]
-        rows.append([f"{coded:+.2f}", f"{natural:g}", f"{objective(point):.0f}"])
+    points = np.zeros((len(axis), 3))
+    points[:, idx] = axis
+    values = objective.evaluate_design(points)
+    rows = [
+        [f"{coded:+.2f}", f"{space.to_natural(point)[idx]:g}", f"{value:.0f}"]
+        for coded, point, value in zip(axis, points, values)
+    ]
     print(
         format_table(
             ["coded", args.parameter, "transmissions"],
@@ -186,7 +284,13 @@ def _cmd_montecarlo(args) -> int:
     config = SystemConfig(
         clock_hz=args.clock, watchdog_s=args.watchdog, tx_interval_s=args.interval
     )
-    result = monte_carlo(config, n_samples=args.samples, seed=args.seed)
+    result = monte_carlo(
+        config,
+        n_samples=args.samples,
+        seed=args.seed,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
     print(result.summary())
     print(
         f"final voltage: mean {np.mean(result.final_voltages):.3f} V, "
@@ -197,6 +301,7 @@ def _cmd_montecarlo(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "run-scenario": _cmd_run_scenario,
     "explore": _cmd_explore,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
@@ -208,7 +313,13 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from repro.errors import ReproError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

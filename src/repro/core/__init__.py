@@ -10,11 +10,13 @@ Workflow (paper sections II and V):
 
 - :mod:`repro.core.objective` -- cached simulation objective.
 - :mod:`repro.core.explorer` -- :class:`~repro.core.explorer.DesignSpaceExplorer`.
+- :mod:`repro.core.batch` -- parallel scenario batches (:class:`BatchRunner`).
 - :mod:`repro.core.report` -- table/figure regeneration helpers.
 - :mod:`repro.core.campaign` -- JSON persistence of exploration outcomes.
 - :mod:`repro.core.paper` -- canonical paper setup in one call.
 """
 
+from repro.core.batch import BatchRunner
 from repro.core.campaign import load_outcome, save_outcome
 from repro.core.explorer import DesignSpaceExplorer, ExplorationOutcome, OptimaEntry
 from repro.core.montecarlo import EnvironmentModel, MonteCarloResult, monte_carlo
@@ -30,6 +32,7 @@ from repro.core.sensitivity import morris_screening, robustness_study
 from repro.system.config import paper_parameter_space
 
 __all__ = [
+    "BatchRunner",
     "DesignSpaceExplorer",
     "EnvironmentModel",
     "ExplorationOutcome",

@@ -1,0 +1,171 @@
+"""Parallel batch execution of scenarios.
+
+:class:`BatchRunner` is the one dispatch point every many-simulation
+driver (DOE evaluation, Monte Carlo, robustness grids, Fig. 4 sweeps,
+CLI batches) funnels through.  It adds three things on top of a plain
+loop over :func:`repro.backends.run`:
+
+- **Deterministic seeding** -- scenarios submitted with ``seed=None``
+  get a per-scenario seed derived from the runner's base seed and the
+  scenario's *position in the batch* (:func:`repro.rng.derive_seed`), so
+  results are identical whether the batch runs serially or on N workers.
+- **Fan-out** -- ``jobs > 1`` dispatches over ``concurrent.futures``
+  (processes by default, because the simulators are pure Python and
+  GIL-bound; threads are available for cheap backends or shared-memory
+  experiments).
+- **An LRU result cache** keyed on the scenario content hash
+  (:meth:`~repro.scenario.Scenario.cache_key`), so repeated scenarios --
+  verification re-runs, overlapping sweeps, optimiser revisits -- cost
+  nothing.  Duplicates *within* one batch are also simulated only once.
+
+Results come back in submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends import run
+from repro.errors import ConfigError
+from repro.rng import derive_seed
+from repro.scenario import Scenario
+from repro.system.result import SystemResult
+
+#: Accepted ``executor`` values.
+_EXECUTORS = ("process", "thread")
+
+
+def _run_scenario(scenario: Scenario) -> SystemResult:
+    """Module-level worker so process pools can pickle it."""
+    return run(scenario)
+
+
+class BatchRunner:
+    """Fan a list of scenarios out over workers, deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``1`` runs in-process (no executor, no pickling).
+    seed:
+        Base seed for deriving per-scenario seeds when a scenario is
+        submitted with ``seed=None``.
+    cache_size:
+        Maximum number of results kept in the LRU cache (0 disables it).
+    executor:
+        ``"process"`` (default; real parallelism for the pure-Python
+        simulators) or ``"thread"``.  Process workers re-import the
+        backend registry, so custom backends registered at runtime are
+        only visible to them where workers are forked (see
+        :func:`repro.backends.register_backend`); use ``"thread"`` for
+        runtime-registered backends on spawn-based platforms.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        seed: int = 0,
+        cache_size: int = 256,
+        executor: str = "process",
+    ):
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if cache_size < 0:
+            raise ConfigError("cache_size must be >= 0")
+        if executor not in _EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {executor!r} (known: {', '.join(_EXECUTORS)})"
+            )
+        self.jobs = int(jobs)
+        self.seed = int(seed)
+        self.cache_size = int(cache_size)
+        self.executor = executor
+        self._cache: "OrderedDict[str, SystemResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- seeding ---------------------------------------------------------------
+
+    def resolve_seeds(self, scenarios: Sequence[Scenario]) -> List[Scenario]:
+        """Materialise ``seed=None`` entries into deterministic seeds.
+
+        The derived seed depends only on the runner's base seed and the
+        scenario's index, so a batch is reproducible for any ``jobs``.
+        """
+        resolved = []
+        for index, scenario in enumerate(scenarios):
+            if scenario.seed is None:
+                scenario = scenario.with_seed(derive_seed(self.seed, index))
+            resolved.append(scenario)
+        return resolved
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, scenarios: Sequence[Scenario]) -> List[SystemResult]:
+        """Execute every scenario; results align with the input order."""
+        resolved = self.resolve_seeds(scenarios)
+        results: List[Optional[SystemResult]] = [None] * len(resolved)
+
+        # Serve cache hits and collect the unique missing work.
+        pending: "Dict[str, List[int]]" = {}
+        for i, scenario in enumerate(resolved):
+            key = scenario.cache_key()
+            cached = self._cache_get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.setdefault(key, []).append(i)
+
+        if pending:
+            unique = [resolved[indices[0]] for indices in pending.values()]
+            fresh = self._execute(unique)
+            for (key, indices), result in zip(pending.items(), fresh):
+                self._cache_put(key, result)
+                for i in indices:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def run_one(self, scenario: Scenario) -> SystemResult:
+        """Convenience wrapper: a one-element batch."""
+        return self.run([scenario])[0]
+
+    def _execute(self, scenarios: List[Scenario]) -> List[SystemResult]:
+        self.misses += len(scenarios)
+        if self.jobs == 1 or len(scenarios) == 1:
+            return [_run_scenario(s) for s in scenarios]
+        with self._make_executor(min(self.jobs, len(scenarios))) as pool:
+            return list(pool.map(_run_scenario, scenarios))
+
+    def _make_executor(self, workers: int) -> Executor:
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    # -- cache -------------------------------------------------------------------
+
+    def _cache_get(self, key: str) -> Optional[SystemResult]:
+        if key not in self._cache:
+            return None
+        self._cache.move_to_end(key)
+        self.hits += 1
+        return self._cache[key]
+
+    def _cache_put(self, key: str, result: SystemResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_len(self) -> int:
+        """Number of cached results."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all cached results and reset the hit/miss counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -25,9 +25,15 @@ from repro.rsm.model import ResponseSurface
 from repro.system.config import SystemConfig, paper_parameter_space
 
 
+#: Version stamp written into every campaign JSON payload.  Bump when the
+#: layout changes incompatibly; ``load_outcome`` refuses unknown versions.
+CAMPAIGN_SCHEMA = 1
+
+
 def save_outcome(outcome: ExplorationOutcome, path: Union[str, Path]) -> None:
     """Write an outcome's quantitative content to a JSON file."""
     payload = {
+        "schema": CAMPAIGN_SCHEMA,
         "design": {
             "name": outcome.design.name,
             "points": outcome.design.points.tolist(),
@@ -67,8 +73,18 @@ def load_outcome(path: Union[str, Path]) -> ExplorationOutcome:
     The returned object carries reconstructed design/model objects and the
     saved statistics; optimizer histories and simulator traces are not
     persisted (their ``optimizer_result`` fields hold summary shells).
+
+    Files written before the ``schema`` field existed load as schema 1
+    (their layout is identical); unknown versions raise
+    :class:`~repro.errors.DesignError`.
     """
     raw = json.loads(Path(path).read_text())
+    schema = raw.get("schema", CAMPAIGN_SCHEMA)
+    if schema != CAMPAIGN_SCHEMA:
+        raise DesignError(
+            f"unsupported campaign schema {schema!r} "
+            f"(this library reads schema {CAMPAIGN_SCHEMA})"
+        )
     space = paper_parameter_space()
     points = np.asarray(raw["design"]["points"], dtype=float)
     if points.ndim != 2 or points.shape[1] != space.k:

@@ -6,6 +6,10 @@ samples random environments (acceleration level, starting frequency,
 frequency-step sign, initial storage voltage, measurement-noise stream)
 and returns the distribution of the figure of merit, so configurations
 can be compared by quantiles instead of a single nominal number.
+
+Each sampled environment becomes a :class:`~repro.scenario.Scenario`, so
+the whole study fans out over a :class:`~repro.core.batch.BatchRunner`
+(``jobs`` workers) and any registered backend.
 """
 
 from __future__ import annotations
@@ -15,11 +19,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import quiet_options
+from repro.core.batch import BatchRunner
 from repro.errors import ConfigError
 from repro.rng import SeedLike, derive_seed, ensure_rng
-from repro.system.components import paper_system
+from repro.scenario import PartsSpec, Scenario
 from repro.system.config import SystemConfig
-from repro.system.envelope import EnvelopeSimulator
 from repro.system.vibration import VibrationProfile
 
 
@@ -87,31 +92,40 @@ def monte_carlo(
     environment: Optional[EnvironmentModel] = None,
     horizon: float = 3600.0,
     seed: SeedLike = 0,
+    jobs: int = 1,
+    backend: str = "envelope",
 ) -> MonteCarloResult:
-    """Simulate ``config`` across ``n_samples`` random environments."""
+    """Simulate ``config`` across ``n_samples`` random environments.
+
+    Environments are sampled serially (one rng stream), then executed as
+    a scenario batch on ``jobs`` workers; results are independent of the
+    worker count because each scenario carries its own derived seed.
+    """
     if n_samples < 1:
         raise ConfigError("need at least one Monte Carlo sample")
     env = environment or EnvironmentModel()
     rng = ensure_rng(seed)
     base_seed = int(rng.integers(0, 2**31 - 1))
-    transmissions: List[int] = []
-    voltages: List[float] = []
+    scenarios: List[Scenario] = []
     for i in range(n_samples):
         profile, v_init = env.sample(rng)
-        sim = EnvelopeSimulator(
-            config,
-            parts=paper_system(
-                v_init=v_init, initial_frequency=profile.frequency(0.0)
-            ),
-            profile=profile,
-            seed=derive_seed(base_seed, i),
-            record_traces=False,
+        scenarios.append(
+            Scenario(
+                config=config,
+                parts=PartsSpec(
+                    v_init=v_init, initial_frequency=profile.frequency(0.0)
+                ),
+                profile=profile,
+                horizon=horizon,
+                seed=derive_seed(base_seed, i),
+                backend=backend,
+                options=quiet_options(backend),
+                name=f"mc-{i}",
+            )
         )
-        result = sim.run(horizon)
-        transmissions.append(result.transmissions)
-        voltages.append(result.final_voltage)
+    results = BatchRunner(jobs=jobs, cache_size=0).run(scenarios)
     return MonteCarloResult(
         config=config,
-        transmissions=np.asarray(transmissions, dtype=float),
-        final_voltages=np.asarray(voltages, dtype=float),
+        transmissions=np.asarray([r.transmissions for r in results], dtype=float),
+        final_voltages=np.asarray([r.final_voltage for r in results], dtype=float),
     )

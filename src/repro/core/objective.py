@@ -1,8 +1,8 @@
 """The simulation objective: coded point -> transmissions per hour.
 
-Wraps the envelope simulator behind a cached, coded-variable callable so
+Wraps the simulation backends behind a cached, coded-variable callable so
 the DOE driver, the RSM verifier and the optimisers all evaluate the same
-thing.  Two design decisions worth knowing:
+thing.  Three design decisions worth knowing:
 
 - **Common random numbers**: every evaluation uses the *same* base seed,
   so two configurations are compared under identical measurement-noise
@@ -10,6 +10,12 @@ thing.  Two design decisions worth knowing:
   optimisation and makes the whole flow reproducible.
 - **Caching**: evaluations are memoised on the rounded coded point;
   verification re-runs of design points are free.
+- **Scenario dispatch**: evaluations are expressed as
+  :class:`~repro.scenario.Scenario` values and executed through a
+  :class:`~repro.core.batch.BatchRunner`, so any registered backend works
+  (``backend="detailed"``) and whole design matrices fan out over
+  ``jobs`` workers.  Custom ``parts_factory`` callables (which cannot be
+  serialised into a scenario) fall back to direct in-process simulation.
 """
 
 from __future__ import annotations
@@ -18,17 +24,40 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchRunner
 from repro.rng import derive_seed
 from repro.rsm.coding import ParameterSpace
+from repro.scenario import PartsSpec, Scenario
 from repro.system.components import paper_system
 from repro.system.config import SystemConfig, paper_parameter_space
-from repro.system.envelope import EnvelopeSimulator
 from repro.system.result import SystemResult
 from repro.system.vibration import VibrationProfile
 
 
 class SimulationObjective:
-    """Callable objective over coded [-1, 1]^3 points."""
+    """Callable objective over coded [-1, 1]^3 points.
+
+    Parameters
+    ----------
+    space, horizon, seed, cache_decimals:
+        As before (coded box, simulated seconds, common-random-numbers
+        base seed, memo-key rounding).
+    profile_factory:
+        Zero-argument callable returning the excitation profile for each
+        evaluation (default: the paper profile).
+    parts_factory:
+        Zero-argument callable returning fresh :class:`SystemParts`.
+        Providing one disables scenario dispatch (the callable cannot be
+        serialised); the default system keeps the full scenario path.
+    parts:
+        Declarative alternative to ``parts_factory``: a
+        :class:`~repro.scenario.PartsSpec` that stays serialisable and
+        parallelisable.
+    backend:
+        Registered backend name used for every evaluation.
+    jobs:
+        Worker count for :meth:`evaluate_design` batches.
+    """
 
     def __init__(
         self,
@@ -38,13 +67,28 @@ class SimulationObjective:
         profile_factory: Optional[Callable[[], VibrationProfile]] = None,
         parts_factory: Optional[Callable[[], object]] = None,
         cache_decimals: int = 9,
+        parts: Optional[PartsSpec] = None,
+        backend: str = "envelope",
+        jobs: int = 1,
     ):
+        if parts is not None and parts_factory is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "pass either parts (declarative) or parts_factory "
+                "(opaque callable), not both"
+            )
         self.space = space or paper_parameter_space()
         self.horizon = horizon
         self.seed = seed
         self.profile_factory = profile_factory or VibrationProfile.paper_profile
         self.parts_factory = parts_factory or paper_system
         self.cache_decimals = cache_decimals
+        self.parts_spec = parts
+        self.backend = backend
+        self.jobs = int(jobs)
+        self._declarative_parts = parts_factory is None
+        self._runner = BatchRunner(jobs=self.jobs, seed=seed)
         self._cache: Dict[Tuple[float, ...], float] = {}
         self.n_simulations = 0
 
@@ -55,9 +99,34 @@ class SimulationObjective:
         natural = self.space.to_natural(self.space.clip_coded(coded))
         return SystemConfig.from_vector(list(np.atleast_1d(natural)))
 
+    def scenario_for(
+        self, config: SystemConfig, record_traces: bool = False
+    ) -> Scenario:
+        """The scenario one evaluation of ``config`` runs.
+
+        Every evaluation shares the seed ``derive_seed(self.seed, 1)``
+        (common random numbers, see module docstring).
+        """
+        from repro.backends import quiet_options
+
+        options = {} if record_traces else quiet_options(self.backend)
+        return Scenario(
+            config=config,
+            parts=self.parts_spec,
+            profile=self.profile_factory(),
+            horizon=self.horizon,
+            seed=derive_seed(self.seed, 1),
+            backend=self.backend,
+            options=options,
+        )
+
     def simulate(self, config: SystemConfig, record_traces: bool = False) -> SystemResult:
-        """Run one full envelope simulation of ``config``."""
+        """Run one full simulation of ``config``."""
         self.n_simulations += 1
+        if self._declarative_parts:
+            return self._runner.run_one(self.scenario_for(config, record_traces))
+        from repro.system.envelope import EnvelopeSimulator
+
         sim = EnvelopeSimulator(
             config,
             parts=self.parts_factory(),
@@ -69,16 +138,36 @@ class SimulationObjective:
 
     def __call__(self, coded: np.ndarray) -> float:
         """Transmissions achieved by the coded configuration (cached)."""
-        key = tuple(np.round(np.asarray(coded, dtype=float), self.cache_decimals))
+        key = self._key(coded)
         if key not in self._cache:
             result = self.simulate(self.config_from_coded(np.array(key)))
             self._cache[key] = float(result.transmissions)
         return self._cache[key]
 
     def evaluate_design(self, points_coded: np.ndarray) -> np.ndarray:
-        """Evaluate every row of a coded design matrix."""
+        """Evaluate every row of a coded design matrix.
+
+        Uncached rows are batched through the runner, so with
+        ``jobs > 1`` a whole DOE (or Fig. 4 sweep) runs in parallel.
+        """
         pts = np.atleast_2d(np.asarray(points_coded, dtype=float))
+        keys = [self._key(row) for row in pts]
+        if self._declarative_parts:
+            missing = [k for k in dict.fromkeys(keys) if k not in self._cache]
+            if missing:
+                scenarios = [
+                    self.scenario_for(self.config_from_coded(np.array(k)))
+                    for k in missing
+                ]
+                self.n_simulations += len(missing)
+                for k, result in zip(missing, self._runner.run(scenarios)):
+                    self._cache[k] = float(result.transmissions)
         return np.array([self(row) for row in pts])
+
+    def _key(self, coded: np.ndarray) -> Tuple[float, ...]:
+        return tuple(
+            np.round(np.asarray(coded, dtype=float), self.cache_decimals)
+        )
 
     def cache_size(self) -> int:
         """Number of memoised evaluations."""

@@ -3,36 +3,54 @@
 These helpers pin the exact evaluation conditions of the paper's section V
 (60 mg, +5 Hz steps every 25 minutes, one hour, Table V ranges, 10-run
 D-optimal, SA + GA) so examples, tests and benches all reproduce the same
-artefacts.
+artefacts.  ``backend`` and ``jobs`` thread through to the scenario-based
+:class:`~repro.core.objective.SimulationObjective`, so the whole flow can
+run on any registered backend and fan simulations out over workers.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from repro.core.explorer import DesignSpaceExplorer, ExplorationOutcome
 from repro.core.objective import SimulationObjective
 from repro.system.config import ORIGINAL_DESIGN, paper_parameter_space
 
 
-def paper_objective(seed: int = 0, horizon: float = 3600.0) -> SimulationObjective:
+def paper_objective(
+    seed: int = 0,
+    horizon: float = 3600.0,
+    backend: str = "envelope",
+    jobs: int = 1,
+) -> SimulationObjective:
     """The paper's simulation objective: transmissions in one hour."""
     return SimulationObjective(
-        space=paper_parameter_space(), horizon=horizon, seed=seed
+        space=paper_parameter_space(),
+        horizon=horizon,
+        seed=seed,
+        backend=backend,
+        jobs=jobs,
     )
 
 
-def paper_explorer(seed: int = 0, horizon: float = 3600.0) -> DesignSpaceExplorer:
+def paper_explorer(
+    seed: int = 0,
+    horizon: float = 3600.0,
+    backend: str = "envelope",
+    jobs: int = 1,
+) -> DesignSpaceExplorer:
     """Explorer preconfigured with the paper's space and objective."""
     return DesignSpaceExplorer(
         paper_parameter_space(),
-        paper_objective(seed=seed, horizon=horizon),
+        paper_objective(seed=seed, horizon=horizon, backend=backend, jobs=jobs),
         original_config=ORIGINAL_DESIGN,
     )
 
 
 def run_paper_flow(
-    seed: int = 0, n_runs: int = 10, horizon: float = 3600.0
+    seed: int = 0,
+    n_runs: int = 10,
+    horizon: float = 3600.0,
+    backend: str = "envelope",
+    jobs: int = 1,
 ) -> ExplorationOutcome:
     """Execute the complete evaluation of the paper's section V.
 
@@ -41,5 +59,5 @@ def run_paper_flow(
     design), ``outcome.optima`` + ``outcome.original_transmissions``
     (Table VI).
     """
-    explorer = paper_explorer(seed=seed, horizon=horizon)
+    explorer = paper_explorer(seed=seed, horizon=horizon, backend=backend, jobs=jobs)
     return explorer.run(n_runs=n_runs, seed=seed)

@@ -78,7 +78,9 @@ def design_space_sweep(
 
     Returns per-parameter dictionaries with the coded axis, the RSM
     prediction and (when an objective is given) the true simulated
-    response on a coarser axis.
+    response on a coarser axis.  All simulated points -- every parameter's
+    sweep -- are submitted as *one* design matrix, so the objective's
+    batch runner can fan the whole figure out over its workers at once.
     """
     k = model.basis.k
     base = np.zeros(k) if center is None else np.asarray(center, dtype=float)
@@ -89,6 +91,7 @@ def design_space_sweep(
         if model.space is not None
         else [f"x{i + 1}" for i in range(k)]
     )
+    coarse = np.linspace(-1.0, 1.0, 7)
     for i, name in enumerate(names):
         pts = np.tile(base, (n_points, 1))
         pts[:, i] = axis
@@ -98,13 +101,17 @@ def design_space_sweep(
         }
         if model.space is not None:
             entry["natural"] = model.space.to_natural(pts)[:, i]
-        if objective is not None:
-            coarse = np.linspace(-1.0, 1.0, 7)
-            sim_pts = np.tile(base, (len(coarse), 1))
-            sim_pts[:, i] = coarse
-            entry["sim_coded"] = coarse
-            entry["sim"] = objective.evaluate_design(sim_pts)
         sweeps[name] = entry
+    if objective is not None:
+        blocks = []
+        for i in range(len(names)):
+            block = np.tile(base, (len(coarse), 1))
+            block[:, i] = coarse
+            blocks.append(block)
+        sim_values = objective.evaluate_design(np.vstack(blocks))
+        for i, name in enumerate(names):
+            sweeps[name]["sim_coded"] = coarse
+            sweeps[name]["sim"] = sim_values[i * len(coarse) : (i + 1) * len(coarse)]
     return sweeps
 
 

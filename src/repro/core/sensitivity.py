@@ -20,13 +20,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import quiet_options
+from repro.core.batch import BatchRunner
 from repro.core.objective import SimulationObjective
 from repro.errors import DesignError
 from repro.rng import SeedLike, ensure_rng
 from repro.rsm.coding import ParameterSpace
-from repro.system.components import paper_system
+from repro.scenario import PartsSpec, Scenario
 from repro.system.config import SystemConfig, paper_parameter_space
-from repro.system.envelope import EnvelopeSimulator
 from repro.system.vibration import VibrationProfile
 
 
@@ -125,40 +126,49 @@ def robustness_study(
     f_starts: Sequence[float] = (62.0, 64.0, 66.0),
     v_inits: Sequence[float] = (2.55, 2.65, 2.75),
     horizon: float = 3600.0,
+    jobs: int = 1,
+    backend: str = "envelope",
 ) -> RobustnessReport:
     """Evaluate ``config`` across a small grid of perturbed environments.
 
     One factor varies at a time around the nominal evaluation conditions
-    (60 mg, 64 Hz start, 2.65 V) -- 9 simulations by default.
+    (60 mg, 64 Hz start, 2.65 V) -- 9 simulations by default, dispatched
+    as one scenario batch on ``jobs`` workers.
     """
-    entries: List[RobustnessEntry] = []
+    scenarios: List[Scenario] = []
 
-    def run(label: str, profile: VibrationProfile, v_init: float) -> None:
-        sim = EnvelopeSimulator(
-            config,
-            parts=paper_system(v_init=v_init),
-            profile=profile,
-            seed=seed,
-            record_traces=False,
-        )
-        res = sim.run(horizon)
-        entries.append(
-            RobustnessEntry(label, res.transmissions, res.final_voltage)
+    def plan(label: str, profile: VibrationProfile, v_init: float) -> None:
+        scenarios.append(
+            Scenario(
+                config=config,
+                parts=PartsSpec(v_init=v_init),
+                profile=profile,
+                horizon=horizon,
+                seed=seed,
+                backend=backend,
+                options=quiet_options(backend),
+                name=label,
+            )
         )
 
     for mg in accel_levels_mg:
-        run(
+        plan(
             f"accel {mg:g} mg",
             VibrationProfile.paper_profile(accel_mg=mg),
             2.65,
         )
     for f0 in f_starts:
-        run(
+        plan(
             f"f_start {f0:g} Hz",
             VibrationProfile.paper_profile(f_start=f0),
             2.65,
         )
     for v0 in v_inits:
-        run(f"v_init {v0:g} V", VibrationProfile.paper_profile(), v0)
+        plan(f"v_init {v0:g} V", VibrationProfile.paper_profile(), v0)
 
+    results = BatchRunner(jobs=jobs).run(scenarios)
+    entries = [
+        RobustnessEntry(s.name, r.transmissions, r.final_voltage)
+        for s, r in zip(scenarios, results)
+    ]
     return RobustnessReport(config=config, entries=entries)

@@ -1,0 +1,349 @@
+"""Declarative, serialisable simulation scenarios.
+
+A :class:`Scenario` is the library's unit of work: one fully specified
+node simulation (firmware configuration, physical-system overrides,
+excitation profile, horizon, seed, backend) as an immutable value object.
+Because scenarios are plain data they can be
+
+- hashed (the :class:`~repro.core.batch.BatchRunner` cache key),
+- pickled (fanned out to ``concurrent.futures`` workers),
+- round-tripped through JSON (``repro-wsn run-scenario FILE.json``).
+
+``run(scenario)`` (:mod:`repro.backends`) executes one regardless of
+backend fidelity.  A small library of named scenarios
+(:func:`named_scenario`) covers the paper's evaluation conditions plus
+the stress cases used by examples and benches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ConfigError, DesignError
+from repro.system.components import SystemParts, paper_system
+from repro.system.config import ORIGINAL_DESIGN, SystemConfig
+from repro.system.vibration import VibrationProfile
+
+#: Version stamp written into every scenario JSON payload.
+SCENARIO_SCHEMA = 1
+
+#: Option values that survive a JSON round-trip unchanged.
+_JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+@dataclass(frozen=True)
+class PartsSpec:
+    """Declarative overrides for :func:`repro.system.components.paper_system`.
+
+    A scenario cannot carry a live :class:`SystemParts` (parts are mutable
+    and stateful -- the actuator moves during a run), so it carries this
+    spec instead and every backend builds *fresh* parts per run.  The
+    defaults reproduce ``paper_system()`` exactly.
+    """
+
+    v_init: float = 2.65
+    initial_frequency: float = 64.0
+    initial_position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Normalise numpy scalars etc. so payloads stay JSON-serialisable.
+        object.__setattr__(self, "v_init", float(self.v_init))
+        object.__setattr__(self, "initial_frequency", float(self.initial_frequency))
+        if self.initial_position is not None:
+            object.__setattr__(self, "initial_position", int(self.initial_position))
+        if self.v_init <= 0.0:
+            raise ConfigError("initial storage voltage must be > 0")
+        if self.initial_frequency <= 0.0:
+            raise ConfigError("initial frequency must be > 0")
+
+    def build(self) -> SystemParts:
+        """Assemble a fresh calibrated system with these overrides."""
+        return paper_system(
+            v_init=self.v_init,
+            initial_position=self.initial_position,
+            initial_frequency=self.initial_frequency,
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "v_init": self.v_init,
+            "initial_frequency": self.initial_frequency,
+            "initial_position": self.initial_position,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "PartsSpec":
+        pos = payload.get("initial_position")
+        return cls(
+            v_init=float(payload.get("v_init", 2.65)),
+            initial_frequency=float(payload.get("initial_frequency", 64.0)),
+            initial_position=None if pos is None else int(pos),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified simulation run.
+
+    Parameters
+    ----------
+    config:
+        The firmware operating point (Table V parameters).
+    parts:
+        Physical-system overrides, or ``None`` for the calibrated default
+        system.
+    profile:
+        Excitation profile, or ``None`` for the backend's default (the
+        paper profile for the envelope backend, constant 64 Hz for the
+        detailed backend -- matching each simulator's constructor).
+    horizon:
+        Simulated seconds.
+    seed:
+        Measurement-noise seed.  ``None`` asks the
+        :class:`~repro.core.batch.BatchRunner` to derive a deterministic
+        per-scenario seed from its own base seed; direct ``run()`` treats
+        ``None`` as an unseeded (non-reproducible) stream, exactly like
+        the simulator constructors.
+    backend:
+        Registered backend name (``"envelope"`` or ``"detailed"``).
+    options:
+        Backend-specific keyword arguments (e.g. ``dt_max`` /
+        ``record_traces`` for the envelope backend, ``points_per_cycle``
+        for the detailed one).  Values must be JSON scalars.
+    name:
+        Optional label carried through reports and batch summaries.
+    """
+
+    config: SystemConfig = ORIGINAL_DESIGN
+    parts: Optional[PartsSpec] = None
+    profile: Optional[VibrationProfile] = None
+    horizon: float = 3600.0
+    seed: Optional[int] = 0
+    backend: str = "envelope"
+    options: Mapping[str, object] = field(default_factory=dict)
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        # Normalise numpy scalars (np.int64 seeds from rng.integers are
+        # common) so hashing and JSON serialisation never trip on types,
+        # and copy the options so later caller-side mutation cannot
+        # change this frozen value's hash behind its back.
+        object.__setattr__(self, "horizon", float(self.horizon))
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "options", dict(self.options))
+        if self.horizon <= 0.0:
+            raise ConfigError("scenario horizon must be positive")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigError("scenario backend must be a non-empty string")
+        for key, value in self.options.items():
+            if not isinstance(key, str):
+                raise ConfigError("scenario option names must be strings")
+            if not isinstance(value, _JSON_SCALARS):
+                raise ConfigError(
+                    f"scenario option {key!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}"
+                )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    # -- derived values -------------------------------------------------------
+
+    def with_seed(self, seed: Optional[int]) -> "Scenario":
+        """Copy of this scenario with a different seed."""
+        return replace(self, seed=seed)
+
+    def build_parts(self) -> Optional[SystemParts]:
+        """Fresh parts for one run (``None`` = backend default)."""
+        return None if self.parts is None else self.parts.build()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        label = f"{self.name}: " if self.name else ""
+        return (
+            f"{label}{self.config.describe()}, backend={self.backend}, "
+            f"horizon={self.horizon:g} s, seed={self.seed}"
+        )
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON dictionary (includes the schema version)."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "backend": self.backend,
+            "config": {
+                "clock_hz": self.config.clock_hz,
+                "watchdog_s": self.config.watchdog_s,
+                "tx_interval_s": self.config.tx_interval_s,
+            },
+            "parts": None if self.parts is None else self.parts.to_payload(),
+            "profile": None if self.profile is None else self.profile.to_payload(),
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        Unversioned payloads are accepted as schema 1; unknown versions
+        and non-object payloads raise :class:`~repro.errors.DesignError`.
+        """
+        if not isinstance(payload, Mapping):
+            raise DesignError(
+                f"scenario payload must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        schema = payload.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise DesignError(
+                f"unsupported scenario schema {schema!r} "
+                f"(this library reads schema {SCENARIO_SCHEMA})"
+            )
+        cfg = payload.get("config", {})
+        parts = payload.get("parts")
+        profile = payload.get("profile")
+        seed = payload.get("seed", 0)
+        return cls(
+            config=SystemConfig(
+                clock_hz=float(cfg.get("clock_hz", 4e6)),
+                watchdog_s=float(cfg.get("watchdog_s", 320.0)),
+                tx_interval_s=float(cfg.get("tx_interval_s", 5.0)),
+            ),
+            parts=None if parts is None else PartsSpec.from_payload(parts),
+            profile=None if profile is None else VibrationProfile.from_payload(profile),
+            horizon=float(payload.get("horizon", 3600.0)),
+            seed=None if seed is None else int(seed),
+            backend=str(payload.get("backend", "envelope")),
+            options=dict(payload.get("options", {})),
+            name=str(payload.get("name", "")),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DesignError(f"scenario file is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the scenario to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Scenario":
+        """Read a scenario from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+    def cache_key(self) -> str:
+        """Content hash: equal-valued scenarios share one key.
+
+        The cosmetic ``name`` label is excluded (as it is from ``==``),
+        so re-labelled copies of the same simulation dedupe and hit the
+        batch cache.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- named scenario library ---------------------------------------------------
+
+
+def _paper() -> Scenario:
+    """The paper's section-V evaluation: 60 mg, +5 Hz every 25 minutes."""
+    return Scenario(
+        name="paper",
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile.paper_profile(),
+    )
+
+
+def _bursty() -> Scenario:
+    """Alternating strong/weak excitation: 120 s at 100 mg, 480 s at 20 mg."""
+    from repro.units import mg_to_mps2
+    from repro.system.vibration import VibrationSegment
+
+    segments = []
+    t = 0.0
+    f = 64.0
+    while t < 3600.0:
+        segments.append(VibrationSegment(t, f, mg_to_mps2(100.0)))
+        segments.append(VibrationSegment(t + 120.0, f, mg_to_mps2(20.0)))
+        t += 600.0
+        f += 1.0
+    return Scenario(
+        name="bursty",
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile(segments),
+    )
+
+
+def _low_vibration() -> Scenario:
+    """Weak constant excitation (30 mg at 64 Hz): harvest-starved node."""
+    return Scenario(
+        name="low-vibration",
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile.constant(64.0, accel_mg=30.0),
+    )
+
+
+def _cold_start() -> Scenario:
+    """Storage below every policy threshold: the node must charge first."""
+    return Scenario(
+        name="cold-start",
+        config=ORIGINAL_DESIGN,
+        parts=PartsSpec(v_init=2.45),
+        profile=VibrationProfile.paper_profile(),
+    )
+
+
+def _long_horizon() -> Scenario:
+    """Four hours of the paper profile (frequency keeps stepping)."""
+    horizon = 4.0 * 3600.0
+    return Scenario(
+        name="long-horizon",
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile.paper_profile(horizon=horizon),
+        horizon=horizon,
+    )
+
+
+#: Factories for the named scenarios (each call returns a fresh value).
+SCENARIO_LIBRARY: Dict[str, Callable[[], Scenario]] = {
+    "paper": _paper,
+    "bursty": _bursty,
+    "low-vibration": _low_vibration,
+    "cold-start": _cold_start,
+    "long-horizon": _long_horizon,
+}
+
+
+def scenario_names() -> List[str]:
+    """Names accepted by :func:`named_scenario`."""
+    return sorted(SCENARIO_LIBRARY)
+
+
+def named_scenario(name: str) -> Scenario:
+    """Instantiate a library scenario by name."""
+    try:
+        factory = SCENARIO_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ConfigError(f"unknown scenario {name!r} (known: {known})") from None
+    return factory()

@@ -126,6 +126,17 @@ class TraceSet:
     def __contains__(self, name: str) -> bool:
         return name in self._traces
 
+    def alias(self, name: str, existing: str) -> None:
+        """Expose the trace called ``existing`` under ``name`` as well.
+
+        Backends record under their native names (the MNA hook traces
+        node ``"v(vdc)"``); an alias lets adapters also publish the
+        canonical cross-backend name (``"v_store"``) without copying.
+        """
+        if existing not in self._traces:
+            raise SimulationError(f"no trace named {existing!r} to alias")
+        self._traces[name] = self._traces[existing]
+
     def __getitem__(self, name: str) -> Trace:
         return self._traces[name]
 

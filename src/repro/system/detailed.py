@@ -87,13 +87,14 @@ class DetailedSimulator:
         from repro.analog.components import Supercapacitor
 
         store = self.parts.store
+        self._v_init = store.voltage if v_init is None else v_init
         self.supercap = self.circuit.add(
             Supercapacitor(
                 "CSTORE",
                 "vdc",
                 "0",
                 capacitance=store.capacitance,
-                v0=store.voltage if v_init is None else v_init,
+                v0=self._v_init,
             )
         )
         node = self.parts.node
@@ -182,11 +183,43 @@ class DetailedResult:
     """Snapshot of a detailed run: traces and transmission log."""
 
     def __init__(self, sim: DetailedSimulator):
+        self.config = sim.config
         self.traces = sim.hook.traces
         self.transmissions = sim.log.count
         self.final_voltage = sim.supercap_voltage()
         self.time = sim.kernel.now
         self.session = None
+        capacitance = sim.parts.store.capacitance
+        self._initial_stored = 0.5 * capacitance * sim._v_init**2
+        self._final_stored = 0.5 * capacitance * self.final_voltage**2
+        self._tx_energy = sim.log.total_energy
+
+    def to_system_result(self):
+        """Adapt this snapshot to the backend-independent result type.
+
+        Only the quantities the detailed model actually tracks are filled
+        in: the transmission count/energy, the storage book-ends and the
+        waveform traces.  The fine-grained sleep/MCU split of the envelope
+        audit has no counterpart here (those loads are resistors inside
+        the MNA solve), so the breakdown is *not* balanced.
+        """
+        from repro.system.result import EnergyBreakdown, SystemResult
+
+        breakdown = EnergyBreakdown(
+            initial_stored=self._initial_stored,
+            final_stored=self._final_stored,
+            node_tx=self._tx_energy,
+        )
+        if "v(vdc)" in self.traces and "v_store" not in self.traces:
+            self.traces.alias("v_store", "v(vdc)")
+        return SystemResult(
+            config=self.config,
+            horizon=self.time,
+            transmissions=self.transmissions,
+            breakdown=breakdown,
+            traces=self.traces,
+            final_voltage=self.final_voltage,
+        )
 
 
 class DetailedTuningBackend(ControllerBackend):

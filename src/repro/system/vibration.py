@@ -33,7 +33,13 @@ class VibrationSegment:
 
 
 class VibrationProfile:
-    """Piecewise-constant excitation profile."""
+    """Piecewise-constant excitation profile.
+
+    Profiles are immutable value objects: two profiles compare (and hash)
+    equal iff their segment lists are identical, and :meth:`to_payload` /
+    :meth:`from_payload` round-trip them through plain JSON types so
+    scenarios can be serialised (:mod:`repro.scenario`).
+    """
 
     def __init__(self, segments: Sequence[VibrationSegment]):
         if not segments:
@@ -70,6 +76,46 @@ class VibrationProfile:
             t += step_period
             f += f_step
         return cls(segments)
+
+    # -- value semantics ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VibrationProfile):
+            return NotImplemented
+        return self.segments == other.segments
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.segments))
+
+    def __repr__(self) -> str:
+        return f"VibrationProfile({len(self.segments)} segments)"
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_payload(self) -> "List[dict]":
+        """Plain-JSON representation (a list of segment dicts)."""
+        return [
+            {
+                "t_start": s.t_start,
+                "frequency_hz": s.frequency_hz,
+                "accel_mps2": s.accel_mps2,
+            }
+            for s in self.segments
+        ]
+
+    @classmethod
+    def from_payload(cls, payload: Sequence[dict]) -> "VibrationProfile":
+        """Rebuild a profile from :meth:`to_payload` output."""
+        return cls(
+            [
+                VibrationSegment(
+                    t_start=float(s["t_start"]),
+                    frequency_hz=float(s["frequency_hz"]),
+                    accel_mps2=float(s["accel_mps2"]),
+                )
+                for s in payload
+            ]
+        )
 
     # -- queries -------------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""BatchRunner: determinism across worker counts, seeding, LRU cache."""
+
+import pytest
+
+from repro.core.batch import BatchRunner
+from repro.errors import ConfigError
+from repro.scenario import PartsSpec, Scenario
+from repro.system.config import SystemConfig
+
+
+def _scenarios(n=6, horizon=120.0):
+    """Short envelope runs that actually transmit (start above 2.8 V)."""
+    return [
+        Scenario(
+            config=SystemConfig(
+                clock_hz=1e6, watchdog_s=300.0, tx_interval_s=0.5 + 0.5 * i
+            ),
+            parts=PartsSpec(v_init=2.85),
+            horizon=horizon,
+            seed=None,
+            name=f"case-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def test_serial_matches_four_workers():
+    """The acceptance property: jobs=4 reproduces the serial run exactly."""
+    serial = BatchRunner(jobs=1, seed=9).run(_scenarios())
+    parallel = BatchRunner(jobs=4, seed=9).run(_scenarios())
+    assert [r.transmissions for r in serial] == [r.transmissions for r in parallel]
+    assert [r.final_voltage for r in serial] == [r.final_voltage for r in parallel]
+
+
+def test_thread_executor_matches_process_executor():
+    serial = BatchRunner(jobs=1, seed=9).run(_scenarios(4))
+    threaded = BatchRunner(jobs=4, seed=9, executor="thread").run(_scenarios(4))
+    assert [r.transmissions for r in serial] == [r.transmissions for r in threaded]
+
+
+def test_seed_resolution_is_deterministic_and_positional():
+    runner = BatchRunner(seed=5)
+    resolved = runner.resolve_seeds(_scenarios(3))
+    again = runner.resolve_seeds(_scenarios(3))
+    assert [s.seed for s in resolved] == [s.seed for s in again]
+    assert all(s.seed is not None for s in resolved)
+    assert len({s.seed for s in resolved}) == 3
+    # A different base seed derives different streams.
+    other = BatchRunner(seed=6).resolve_seeds(_scenarios(3))
+    assert [s.seed for s in other] != [s.seed for s in resolved]
+
+
+def test_explicit_seeds_left_untouched():
+    scenario = Scenario(horizon=60.0, seed=123)
+    (resolved,) = BatchRunner(seed=5).resolve_seeds([scenario])
+    assert resolved.seed == 123
+
+
+def test_cache_serves_repeats_without_resimulating():
+    runner = BatchRunner(jobs=1, seed=2)
+    first = runner.run(_scenarios(3, horizon=60.0))
+    assert runner.misses == 3 and runner.hits == 0
+    second = runner.run(_scenarios(3, horizon=60.0))
+    assert runner.misses == 3 and runner.hits == 3
+    assert [r.transmissions for r in first] == [r.transmissions for r in second]
+    runner.clear_cache()
+    assert runner.cache_len() == 0
+
+
+def test_duplicates_within_one_batch_simulated_once():
+    runner = BatchRunner(jobs=1)
+    scenario = Scenario(horizon=60.0, seed=1)
+    results = runner.run([scenario, scenario, scenario])
+    assert runner.misses == 1
+    assert results[0] is results[1] is results[2]
+
+
+def test_lru_eviction():
+    runner = BatchRunner(jobs=1, cache_size=2)
+    runner.run(_scenarios(3, horizon=60.0))
+    assert runner.cache_len() == 2
+
+
+def test_cache_disabled():
+    runner = BatchRunner(jobs=1, cache_size=0)
+    scenario = Scenario(horizon=60.0, seed=1)
+    runner.run([scenario])
+    runner.run([scenario])
+    assert runner.cache_len() == 0
+    assert runner.misses == 2
+
+
+def test_run_one():
+    result = BatchRunner(jobs=1).run_one(Scenario(horizon=60.0, seed=1))
+    assert result.horizon == pytest.approx(60.0, abs=5.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        BatchRunner(jobs=0)
+    with pytest.raises(ConfigError):
+        BatchRunner(cache_size=-1)
+    with pytest.raises(ConfigError):
+        BatchRunner(executor="fibers")
+
+
+def test_objective_parallel_design_matches_serial():
+    """SimulationObjective.evaluate_design via jobs=2 equals jobs=1."""
+    import numpy as np
+
+    from repro.core.paper import paper_objective
+
+    pts = np.array(
+        [[0.0, 0.0, 0.0], [1.0, -1.0, 1.0], [-1.0, 1.0, -1.0], [0.5, 0.5, -0.5]]
+    )
+    serial = paper_objective(seed=4, horizon=120.0).evaluate_design(pts)
+    parallel = paper_objective(seed=4, horizon=120.0, jobs=2).evaluate_design(pts)
+    assert np.array_equal(serial, parallel)
+
+
+def test_monte_carlo_parallel_matches_serial():
+    import numpy as np
+
+    from repro.core.montecarlo import monte_carlo
+    from repro.system.config import ORIGINAL_DESIGN
+
+    serial = monte_carlo(ORIGINAL_DESIGN, n_samples=4, horizon=300.0, seed=3)
+    parallel = monte_carlo(ORIGINAL_DESIGN, n_samples=4, horizon=300.0, seed=3, jobs=4)
+    assert np.array_equal(serial.transmissions, parallel.transmissions)
+    assert np.array_equal(serial.final_voltages, parallel.final_voltages)

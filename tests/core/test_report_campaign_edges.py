@@ -100,3 +100,26 @@ class TestCampaignEdges:
         save_outcome(outcome, path)
         raw = json.loads(path.read_text())
         assert set(raw) >= {"design", "responses", "model", "original"}
+
+    def test_saved_json_carries_schema_version(self, tmp_path):
+        path = tmp_path / "o.json"
+        save_outcome(self._minimal_outcome(), path)
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_unversioned_file_loads_as_schema_1(self, tmp_path):
+        path = tmp_path / "o.json"
+        save_outcome(self._minimal_outcome(), path)
+        raw = json.loads(path.read_text())
+        del raw["schema"]  # pre-versioning file layout
+        path.write_text(json.dumps(raw))
+        loaded = load_outcome(path)
+        assert loaded.original_transmissions == 400.0
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "o.json"
+        save_outcome(self._minimal_outcome(), path)
+        raw = json.loads(path.read_text())
+        raw["schema"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(DesignError, match="schema"):
+            load_outcome(path)
