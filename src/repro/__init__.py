@@ -26,12 +26,16 @@ lazily (``import repro`` stays cheap)::
     batch = repro.BatchRunner(jobs=4).run(
         [repro.named_scenario(n) for n in repro.scenario_names()]
     )
+
+    # Stochastic environments: a family expands into seeded scenarios.
+    family = repro.named_family("factory-floor")
+    results = repro.BatchRunner(jobs=4).run_family(family, n=20, seed=0)
 """
 
 import importlib
 from typing import List
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -42,9 +46,20 @@ _EXPORTS = {
     "SCENARIO_LIBRARY": "repro.scenario",
     "named_scenario": "repro.scenario",
     "scenario_names": "repro.scenario",
+    # stochastic environments and families (repro.system.stochastic)
+    "EnvironmentState": "repro.system.stochastic",
+    "RegimeSwitchingVibration": "repro.system.stochastic",
+    "ScenarioFamily": "repro.system.stochastic",
+    "StochasticFamily": "repro.system.stochastic",
+    "FixedFamily": "repro.system.stochastic",
+    "FAMILY_LIBRARY": "repro.system.stochastic",
+    "named_family": "repro.system.stochastic",
+    "family_names": "repro.system.stochastic",
+    "manifest_scenarios": "repro.system.stochastic",
     # backends (repro.backends)
     "Backend": "repro.backends",
     "run": "repro.backends",
+    "run_conformance": "repro.backends",
     "register_backend": "repro.backends",
     "get_backend": "repro.backends",
     "backend_names": "repro.backends",
@@ -64,7 +79,10 @@ _EXPORTS = {
     "ExplorationOutcome": "repro.core.explorer",
     "SimulationObjective": "repro.core.objective",
     "monte_carlo": "repro.core.montecarlo",
+    "EnvironmentModel": "repro.core.montecarlo",
+    "EnvironmentFamily": "repro.core.montecarlo",
     "robustness_study": "repro.core.sensitivity",
+    "perturbation_family": "repro.core.sensitivity",
     "paper_objective": "repro.core.paper",
     "paper_explorer": "repro.core.paper",
     "run_paper_flow": "repro.core.paper",

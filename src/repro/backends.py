@@ -18,7 +18,7 @@ available.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Protocol, runtime_checkable
+from typing import Callable, Dict, List, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ConfigError
 from repro.scenario import Scenario
@@ -139,6 +139,35 @@ register_backend("detailed", DetailedBackend)
 def run(scenario: Scenario) -> SystemResult:
     """Execute one scenario on its named backend."""
     return get_backend(scenario.backend).simulate(scenario)
+
+
+def run_conformance(
+    scenario: Scenario, backends: Sequence[str] = ("envelope", "detailed")
+) -> Dict[str, SystemResult]:
+    """Run one scenario on several backends under identical excitation.
+
+    This is the cross-backend conformance primitive: the same
+    configuration, parts, profile, horizon and seed on every named
+    backend, so the results differ only by model fidelity.  Two
+    normalisations make the comparison fair:
+
+    - a ``profile=None`` scenario is materialised to the paper profile
+      first (each backend has a *different* native default, which would
+      silently compare different excitations), and
+    - backend-specific ``options`` are dropped (they do not transfer --
+      e.g. the envelope's ``record_traces`` would be rejected by the
+      detailed simulator's constructor).
+    """
+    from dataclasses import replace
+
+    if scenario.profile is None:
+        from repro.system.vibration import VibrationProfile
+
+        scenario = replace(scenario, profile=VibrationProfile.paper_profile())
+    return {
+        name: run(replace(scenario, backend=name, options={}))
+        for name in backends
+    }
 
 
 def quiet_options(backend: str) -> dict:

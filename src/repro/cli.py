@@ -5,8 +5,12 @@ module run (``python -m repro.cli ...``).  Subcommands:
 
 - ``simulate``      -- one simulation of a configuration on any backend
   (``--trace`` writes the Fig. 5-style supercap CSV).
-- ``run-scenario``  -- execute a scenario JSON file (see
-  :mod:`repro.scenario`; ``--list`` names the built-in library).
+- ``run-scenario``  -- execute a scenario JSON file, a library name or a
+  ``gen-scenarios`` manifest (see :mod:`repro.scenario`; ``--list``
+  names the built-in library and the stochastic families).
+- ``gen-scenarios`` -- expand a stochastic scenario family
+  (:mod:`repro.system.stochastic`) into a JSON manifest of concrete,
+  seeded scenarios.
 - ``explore``       -- the full paper flow: D-optimal DOE, RSM fit, SA + GA,
   verification; prints Table VI and optionally persists JSON.
 - ``sweep``         -- Fig. 4-style one-parameter sweep on the simulator.
@@ -79,7 +83,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", type=str, default=None, help="override the scenario's backend"
     )
     rsc.add_argument(
-        "--seed", type=int, default=None, help="override the scenario's seed"
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "override the scenario's seed (for a manifest: re-seed the "
+            "batch with per-scenario derived seeds)"
+        ),
+    )
+    rsc.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes when running a manifest (default: 1)",
+    )
+
+    gen = sub.add_parser(
+        "gen-scenarios",
+        help="expand a stochastic scenario family into a JSON manifest",
+    )
+    gen.add_argument(
+        "family",
+        type=str,
+        nargs="?",
+        default=None,
+        help="family name (see --list)",
+    )
+    gen.add_argument(
+        "--list", action="store_true", help="list the stochastic family library"
+    )
+    gen.add_argument(
+        "--n", type=int, default=1, help="replicates per grid point (default: 1)"
+    )
+    gen.add_argument(
+        "--seed", type=int, default=0, help="family expansion seed (default: 0)"
+    )
+    gen.add_argument(
+        "--horizon", type=float, default=None, help="override the family horizon (s)"
+    )
+    gen.add_argument(
+        "--backend", type=str, default=None, help="override the family backend"
+    )
+    gen.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the manifest JSON here (default: stdout)",
     )
 
     exp = sub.add_parser("explore", help="run the full paper DSE flow")
@@ -152,16 +201,59 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _run_manifest(args, payload) -> int:
+    """Execute every scenario of a gen-scenarios manifest as one batch."""
+    from dataclasses import replace
+
+    from repro.core.batch import BatchRunner
+    from repro.system.stochastic import manifest_scenarios
+
+    scenarios = manifest_scenarios(payload)
+    if args.backend is not None:
+        scenarios = [replace(s, backend=args.backend) for s in scenarios]
+    if args.seed is not None:
+        # Re-seed the whole batch, keeping one independent noise stream
+        # per scenario (a single shared seed would collapse the
+        # replicate spread the family derived per (grid, replicate)).
+        from repro.rng import derive_seed
+
+        scenarios = [
+            s.with_seed(derive_seed(args.seed, i)) for i, s in enumerate(scenarios)
+        ]
+    label = payload.get("family", "manifest")
+    print(f"{label}: {len(scenarios)} scenarios on {args.jobs} worker(s)")
+    results = BatchRunner(jobs=max(args.jobs, 1)).run(scenarios)
+    for scenario, result in zip(scenarios, results):
+        print(
+            f"  {scenario.name or scenario.describe():<28s} "
+            f"tx {result.transmissions:>6d}   "
+            f"final {result.final_voltage:.3f} V"
+        )
+    total = sum(r.transmissions for r in results)
+    print(f"total transmissions: {total}")
+    return 0
+
+
 def _cmd_run_scenario(args) -> int:
+    import json
     from dataclasses import replace
     from pathlib import Path
 
     from repro.backends import run
+    from repro.errors import DesignError
     from repro.scenario import Scenario, named_scenario, scenario_names
+    from repro.system.stochastic import family_names, named_family
 
     if args.list:
         for name in scenario_names():
-            print(f"{name:<14s} {named_scenario(name).describe()}")
+            print(f"{name:<16s} {named_scenario(name).describe()}")
+        for name in family_names():
+            fam = named_family(name)
+            print(
+                f"{name:<16s} stochastic family: "
+                f"{len(fam.generator.states)} regimes, "
+                f"horizon {fam.horizon:g} s (see gen-scenarios)"
+            )
         return 0
     if args.path is None:
         print("error: give a scenario file (or --list)", file=sys.stderr)
@@ -172,10 +264,17 @@ def _cmd_run_scenario(args) -> int:
     looks_like_file = path.suffix == ".json" or len(path.parts) > 1
     if path.exists() or looks_like_file:
         try:
-            scenario = Scenario.load(args.path)
+            text = path.read_text()
         except OSError as exc:
             print(f"error: cannot read scenario file: {exc}", file=sys.stderr)
             return 1
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DesignError(f"scenario file is not valid JSON: {exc}") from exc
+        if isinstance(payload, dict) and "scenarios" in payload:
+            return _run_manifest(args, payload)
+        scenario = Scenario.from_dict(payload)
     else:
         scenario = named_scenario(args.path)
     if args.backend is not None:
@@ -188,6 +287,40 @@ def _cmd_run_scenario(args) -> int:
     print(scenario.describe())
     result = run(scenario)
     print(result.summary())
+    return 0
+
+
+def _cmd_gen_scenarios(args) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.system.stochastic import family_names, named_family
+
+    if args.list:
+        for name in family_names():
+            fam = named_family(name)
+            regimes = ", ".join(s.name for s in fam.generator.states)
+            print(f"{name:<18s} regimes: {regimes}")
+        return 0
+    if args.family is None:
+        print("error: give a family name (or --list)", file=sys.stderr)
+        return 2
+    family = named_family(args.family)
+    if args.horizon is not None:
+        family = replace(family, horizon=args.horizon)
+    if args.backend is not None:
+        family = replace(family, backend=args.backend)
+    manifest = family.manifest(n=args.n, seed=args.seed)
+    text = json.dumps(manifest, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(
+            f"{manifest['count']} scenarios of family {family.name!r} "
+            f"(seed {args.seed}) written to {args.out}"
+        )
+    else:
+        print(text)
     return 0
 
 
@@ -302,6 +435,7 @@ def _cmd_montecarlo(args) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "run-scenario": _cmd_run_scenario,
+    "gen-scenarios": _cmd_gen_scenarios,
     "explore": _cmd_explore,
     "sweep": _cmd_sweep,
     "report": _cmd_report,

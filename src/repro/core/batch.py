@@ -131,6 +131,19 @@ class BatchRunner:
         """Convenience wrapper: a one-element batch."""
         return self.run([scenario])[0]
 
+    def run_family(
+        self, family, n: int = 1, seed: Optional[int] = None
+    ) -> List[SystemResult]:
+        """Expand a :class:`~repro.system.stochastic.ScenarioFamily` and
+        run the expansion as one batch.
+
+        ``seed`` defaults to the runner's base seed; results align with
+        ``family.expand(n, seed)``, which callers can re-evaluate to
+        recover the scenario for each result (expansion is pure).
+        """
+        expansion_seed = self.seed if seed is None else seed
+        return self.run(family.expand(n=n, seed=expansion_seed))
+
     def _execute(self, scenarios: List[Scenario]) -> List[SystemResult]:
         self.misses += len(scenarios)
         if self.jobs == 1 or len(scenarios) == 1:

@@ -7,15 +7,17 @@ frequency-step sign, initial storage voltage, measurement-noise stream)
 and returns the distribution of the figure of merit, so configurations
 can be compared by quantiles instead of a single nominal number.
 
-Each sampled environment becomes a :class:`~repro.scenario.Scenario`, so
-the whole study fans out over a :class:`~repro.core.batch.BatchRunner`
-(``jobs`` workers) and any registered backend.
+The sampling itself is a :class:`~repro.system.stochastic.ScenarioFamily`
+(:class:`EnvironmentFamily` here, or any family passed in -- e.g. one of
+the named stochastic families), so the whole study is "expand a family,
+fan the expansion out over a :class:`~repro.core.batch.BatchRunner`
+(``jobs`` workers) on any registered backend".
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
@@ -24,7 +26,8 @@ from repro.core.batch import BatchRunner
 from repro.errors import ConfigError
 from repro.rng import SeedLike, derive_seed, ensure_rng
 from repro.scenario import PartsSpec, Scenario
-from repro.system.config import SystemConfig
+from repro.system.config import ORIGINAL_DESIGN, SystemConfig
+from repro.system.stochastic import ScenarioFamily
 from repro.system.vibration import VibrationProfile
 
 
@@ -51,6 +54,48 @@ class EnvironmentModel:
             f_start=f0, f_step=step, step_period=period, accel_mg=accel
         )
         return profile, rng.uniform(*self.v_init)
+
+
+@dataclass(frozen=True, eq=False)
+class EnvironmentFamily(ScenarioFamily):
+    """The Monte Carlo sampling model as a scenario family.
+
+    ``expand(n, seed)`` draws ``n`` environments from one serial rng
+    stream -- sample ``i`` depends only on the samples before it, so
+    growing ``n`` extends the list without changing the existing prefix
+    -- and gives each scenario a measurement-noise seed derived from the
+    stream's base, making the study reproducible for any worker count.
+    """
+
+    environment: EnvironmentModel = field(default_factory=EnvironmentModel)
+    config: SystemConfig = ORIGINAL_DESIGN
+    horizon: float = 3600.0
+    backend: str = "envelope"
+    name: str = "monte-carlo"
+
+    def expand(self, n: int = 1, seed: SeedLike = 0) -> List[Scenario]:
+        if n < 1:
+            raise ConfigError("need at least one Monte Carlo sample")
+        rng = ensure_rng(seed)
+        base_seed = int(rng.integers(0, 2**31 - 1))
+        scenarios: List[Scenario] = []
+        for i in range(n):
+            profile, v_init = self.environment.sample(rng)
+            scenarios.append(
+                Scenario(
+                    config=self.config,
+                    parts=PartsSpec(
+                        v_init=v_init, initial_frequency=profile.frequency(0.0)
+                    ),
+                    profile=profile,
+                    horizon=self.horizon,
+                    seed=derive_seed(base_seed, i),
+                    backend=self.backend,
+                    options=quiet_options(self.backend),
+                    name=f"mc-{i}",
+                )
+            )
+        return scenarios
 
 
 @dataclass
@@ -90,39 +135,50 @@ def monte_carlo(
     config: SystemConfig,
     n_samples: int = 20,
     environment: Optional[EnvironmentModel] = None,
-    horizon: float = 3600.0,
+    horizon: Optional[float] = None,
     seed: SeedLike = 0,
     jobs: int = 1,
-    backend: str = "envelope",
+    backend: Optional[str] = None,
+    family: Optional[ScenarioFamily] = None,
 ) -> MonteCarloResult:
     """Simulate ``config`` across ``n_samples`` random environments.
 
-    Environments are sampled serially (one rng stream), then executed as
-    a scenario batch on ``jobs`` workers; results are independent of the
-    worker count because each scenario carries its own derived seed.
+    The environments come from a scenario family: by default an
+    :class:`EnvironmentFamily` built from ``environment`` (uniform
+    paper-profile perturbations), or any family passed as ``family`` --
+    e.g. ``repro.named_family("factory-floor")`` for a Markov
+    regime-switching study.  ``config`` (and ``horizon`` / ``backend``
+    when given) is rebound onto the family, so the study always
+    evaluates *this* configuration under the family's environment.  The
+    expansion executes as one scenario batch on ``jobs`` workers;
+    results are independent of the worker count because every scenario
+    carries its own derived seed.
     """
+    import dataclasses
+
     if n_samples < 1:
         raise ConfigError("need at least one Monte Carlo sample")
-    env = environment or EnvironmentModel()
-    rng = ensure_rng(seed)
-    base_seed = int(rng.integers(0, 2**31 - 1))
-    scenarios: List[Scenario] = []
-    for i in range(n_samples):
-        profile, v_init = env.sample(rng)
-        scenarios.append(
-            Scenario(
-                config=config,
-                parts=PartsSpec(
-                    v_init=v_init, initial_frequency=profile.frequency(0.0)
-                ),
-                profile=profile,
-                horizon=horizon,
-                seed=derive_seed(base_seed, i),
-                backend=backend,
-                options=quiet_options(backend),
-                name=f"mc-{i}",
-            )
+    if family is None:
+        family = EnvironmentFamily(
+            environment=environment or EnvironmentModel(),
+            config=config,
+            horizon=3600.0 if horizon is None else horizon,
+            backend=backend or "envelope",
         )
+    elif dataclasses.is_dataclass(family):
+        names = {f.name for f in dataclasses.fields(family)}
+        overrides = {
+            key: value
+            for key, value in (
+                ("config", config),
+                ("horizon", horizon),
+                ("backend", backend),
+            )
+            if value is not None and key in names
+        }
+        if overrides:
+            family = dataclasses.replace(family, **overrides)
+    scenarios = family.expand(n=n_samples, seed=seed)
     results = BatchRunner(jobs=jobs, cache_size=0).run(scenarios)
     return MonteCarloResult(
         config=config,

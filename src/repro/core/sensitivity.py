@@ -28,6 +28,7 @@ from repro.rng import SeedLike, ensure_rng
 from repro.rsm.coding import ParameterSpace
 from repro.scenario import PartsSpec, Scenario
 from repro.system.config import SystemConfig, paper_parameter_space
+from repro.system.stochastic import FixedFamily
 from repro.system.vibration import VibrationProfile
 
 
@@ -119,21 +120,20 @@ class RobustnessReport:
         return float((np.max(self.values) - self.worst) / mean)
 
 
-def robustness_study(
+def perturbation_family(
     config: SystemConfig,
-    seed: int = 0,
     accel_levels_mg: Sequence[float] = (45.0, 60.0, 75.0),
     f_starts: Sequence[float] = (62.0, 64.0, 66.0),
     v_inits: Sequence[float] = (2.55, 2.65, 2.75),
     horizon: float = 3600.0,
-    jobs: int = 1,
     backend: str = "envelope",
-) -> RobustnessReport:
-    """Evaluate ``config`` across a small grid of perturbed environments.
+) -> FixedFamily:
+    """One-factor-at-a-time perturbations as a scenario family.
 
     One factor varies at a time around the nominal evaluation conditions
-    (60 mg, 64 Hz start, 2.65 V) -- 9 simulations by default, dispatched
-    as one scenario batch on ``jobs`` workers.
+    (60 mg, 64 Hz start, 2.65 V); the family seed supplies the
+    measurement-noise seed at expansion time, and extra replicates get
+    derived per-grid-point seeds like any other family.
     """
     scenarios: List[Scenario] = []
 
@@ -144,7 +144,7 @@ def robustness_study(
                 parts=PartsSpec(v_init=v_init),
                 profile=profile,
                 horizon=horizon,
-                seed=seed,
+                seed=None,
                 backend=backend,
                 options=quiet_options(backend),
                 name=label,
@@ -166,6 +166,34 @@ def robustness_study(
     for v0 in v_inits:
         plan(f"v_init {v0:g} V", VibrationProfile.paper_profile(), v0)
 
+    return FixedFamily(name="robustness", scenarios=tuple(scenarios))
+
+
+def robustness_study(
+    config: SystemConfig,
+    seed: int = 0,
+    accel_levels_mg: Sequence[float] = (45.0, 60.0, 75.0),
+    f_starts: Sequence[float] = (62.0, 64.0, 66.0),
+    v_inits: Sequence[float] = (2.55, 2.65, 2.75),
+    horizon: float = 3600.0,
+    jobs: int = 1,
+    backend: str = "envelope",
+) -> RobustnessReport:
+    """Evaluate ``config`` across a small grid of perturbed environments.
+
+    The grid is :func:`perturbation_family` -- 9 scenarios by default,
+    expanded with ``seed`` and dispatched as one scenario batch on
+    ``jobs`` workers.
+    """
+    family = perturbation_family(
+        config,
+        accel_levels_mg=accel_levels_mg,
+        f_starts=f_starts,
+        v_inits=v_inits,
+        horizon=horizon,
+        backend=backend,
+    )
+    scenarios = family.expand(n=1, seed=seed)
     results = BatchRunner(jobs=jobs).run(scenarios)
     entries = [
         RobustnessEntry(s.name, r.transmissions, r.final_voltage)

@@ -335,15 +335,36 @@ SCENARIO_LIBRARY: Dict[str, Callable[[], Scenario]] = {
 
 
 def scenario_names() -> List[str]:
-    """Names accepted by :func:`named_scenario`."""
+    """Names accepted by :func:`named_scenario` (deterministic library).
+
+    Stochastic family names (:func:`repro.system.stochastic.family_names`)
+    are *also* accepted by :func:`named_scenario` -- they resolve to the
+    family's canonical instance -- but are listed separately because one
+    name covers a whole distribution of scenarios.
+    """
     return sorted(SCENARIO_LIBRARY)
 
 
 def named_scenario(name: str) -> Scenario:
-    """Instantiate a library scenario by name."""
+    """Instantiate a library scenario by name.
+
+    Accepts both the deterministic :data:`SCENARIO_LIBRARY` names and the
+    stochastic family names from
+    :data:`repro.system.stochastic.FAMILY_LIBRARY`; a family name yields
+    its canonical instance (first replicate at family seed 0), so
+    ``repro-wsn run-scenario factory-floor`` works like any other name.
+    """
     try:
         factory = SCENARIO_LIBRARY[name]
     except KeyError:
+        from repro.system.stochastic import FAMILY_LIBRARY, named_family
+
+        if name in FAMILY_LIBRARY:
+            return named_family(name).expand(n=1, seed=0)[0]
         known = ", ".join(scenario_names())
-        raise ConfigError(f"unknown scenario {name!r} (known: {known})") from None
+        families = ", ".join(sorted(FAMILY_LIBRARY))
+        raise ConfigError(
+            f"unknown scenario {name!r} "
+            f"(known: {known}; stochastic families: {families})"
+        ) from None
     return factory()

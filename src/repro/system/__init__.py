@@ -4,6 +4,9 @@
   (Table V) and the canonical parameter space.
 - :mod:`repro.system.vibration` -- input vibration profiles (the paper's
   evaluation uses 60 mg with +5 Hz steps every 25 minutes).
+- :mod:`repro.system.stochastic` -- Markov regime-switching vibration
+  generators and the scenario-family machinery (imported lazily; not
+  re-exported here to keep ``repro.system`` import-light).
 - :mod:`repro.system.components` -- Table I component registry and the
   calibrated default system (microgenerator, storage, node, MCU).
 - :mod:`repro.system.envelope` -- the fast energy-balance simulator used

@@ -105,7 +105,27 @@ class VibrationProfile:
 
     @classmethod
     def from_payload(cls, payload: Sequence[dict]) -> "VibrationProfile":
-        """Rebuild a profile from :meth:`to_payload` output."""
+        """Rebuild a profile from :meth:`to_payload` output.
+
+        Unlike the constructor (which accepts any order from programmatic
+        callers and sorts), a payload is an ordered document:
+        out-of-order or overlapping ``t_start`` values almost always mean
+        a corrupted or hand-edited file, and silently re-sorting would
+        run a different excitation than the author wrote.  Both cases
+        raise :class:`~repro.errors.ModelError`.
+        """
+        starts = [float(s["t_start"]) for s in payload]
+        for prev, cur in zip(starts, starts[1:]):
+            if cur == prev:
+                raise ModelError(
+                    f"profile payload has overlapping segments: t_start "
+                    f"{cur:g} appears more than once"
+                )
+            if cur < prev:
+                raise ModelError(
+                    f"profile payload segments must be sorted by t_start "
+                    f"(found {cur:g} after {prev:g})"
+                )
         return cls(
             [
                 VibrationSegment(

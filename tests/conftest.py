@@ -1,0 +1,24 @@
+"""Shared test configuration: reproducible Hypothesis profiles.
+
+Two profiles are registered:
+
+- ``dev`` (default): no deadline, random derivation -- good for local
+  exploration, where a fresh random stream per run finds new examples.
+- ``ci``: ``derandomize=True`` (the seed is fixed, so a CI run is a pure
+  function of the code) with a generous fixed deadline.  Selected in CI
+  via ``HYPOTHESIS_PROFILE=ci``.
+"""
+
+import os
+from datetime import timedelta
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=timedelta(milliseconds=2000),
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.montecarlo import EnvironmentModel, MonteCarloResult, monte_carlo
+from repro.core.montecarlo import (
+    EnvironmentFamily,
+    EnvironmentModel,
+    MonteCarloResult,
+    monte_carlo,
+)
 from repro.errors import ConfigError
 from repro.system.config import ORIGINAL_DESIGN, SystemConfig
 
@@ -44,3 +49,60 @@ def test_monte_carlo_spreads_across_environments():
 def test_validation():
     with pytest.raises(ConfigError):
         monte_carlo(ORIGINAL_DESIGN, n_samples=0)
+
+
+class TestEnvironmentFamily:
+    def test_expansion_is_bit_identical(self):
+        fam = EnvironmentFamily(config=ORIGINAL_DESIGN, horizon=900.0)
+        a = fam.expand(n=3, seed=4)
+        b = fam.expand(n=3, seed=4)
+        assert [s.to_json() for s in a] == [s.to_json() for s in b]
+
+    def test_growing_n_extends_the_prefix(self):
+        # Serial sampling: sample i only depends on samples before it.
+        fam = EnvironmentFamily(config=ORIGINAL_DESIGN)
+        assert fam.expand(n=5, seed=2)[:3] == fam.expand(n=3, seed=2)
+
+    def test_scenarios_carry_derived_seeds(self):
+        fam = EnvironmentFamily(config=ORIGINAL_DESIGN)
+        seeds = [s.seed for s in fam.expand(n=4, seed=0)]
+        assert None not in seeds
+        assert len(set(seeds)) == 4
+
+
+def test_monte_carlo_accepts_stochastic_family():
+    from dataclasses import replace
+
+    from repro.system.stochastic import named_family
+
+    fam = replace(named_family("hvac"), horizon=300.0)
+    result = monte_carlo(ORIGINAL_DESIGN, n_samples=3, seed=5, family=fam)
+    assert result.n_samples == 3
+    again = monte_carlo(ORIGINAL_DESIGN, n_samples=3, seed=5, family=fam)
+    assert np.allclose(result.transmissions, again.transmissions)
+    assert np.allclose(result.final_voltages, again.final_voltages)
+
+
+def test_monte_carlo_rebinds_config_onto_family():
+    # The study must evaluate the *caller's* configuration under the
+    # family's environment, not the family's default config.
+    from dataclasses import replace
+
+    from repro.system.stochastic import named_family
+
+    fam = replace(named_family("hvac"), horizon=300.0)
+    tuned = SystemConfig(clock_hz=1e6, watchdog_s=120.0, tx_interval_s=1.0)
+    rebound = monte_carlo(tuned, n_samples=2, seed=1, family=fam)
+    default = monte_carlo(ORIGINAL_DESIGN, n_samples=2, seed=1, family=fam)
+    assert rebound.config == tuned
+    # Different firmware points under the same environment must not
+    # produce identical outcomes across the board.
+    assert not (
+        np.allclose(rebound.transmissions, default.transmissions)
+        and np.allclose(rebound.final_voltages, default.final_voltages)
+    )
+    # The family's own horizon survives when no horizon is passed...
+    assert fam.horizon == 300.0
+    # ...and an explicit horizon/backend override lands on the family.
+    short = monte_carlo(tuned, n_samples=1, seed=1, family=fam, horizon=120.0)
+    assert short.n_samples == 1

@@ -1,0 +1,75 @@
+"""Shared machinery for the golden-trace regression fixtures.
+
+A golden trace is the *byte-exact* JSON record of one canonical scenario
+run on the envelope backend: the scenario document, the headline metrics,
+the full energy audit and the supercapacitor trajectory resampled onto a
+fixed grid.  ``build_golden_text`` is the single source of truth used
+both by the test (compare) and by ``regen.py`` (rewrite), so the two can
+never drift apart.
+
+Float formatting relies on Python's ``repr`` (shortest round-trip form),
+which is exact and platform-independent for IEEE doubles -- any change
+in the bytes means the simulation itself changed.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import run
+from repro.scenario import named_scenario
+
+#: Fixture directory (this directory).
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Canonical scenarios: three qualitatively different regimes -- the
+#: paper's stepped sweep, alternating strong/weak bursts, and a
+#: cold-start charge-up -- shortened so regeneration stays cheap.
+CANONICAL = ("paper", "bursty", "cold-start")
+
+#: Golden horizon (s) and resample grid size.
+HORIZON = 900.0
+GRID_POINTS = 91
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.golden.json"
+
+
+def build_golden_text(name: str) -> str:
+    """Run the canonical scenario ``name`` and render its golden JSON."""
+    scenario = replace(named_scenario(name), horizon=HORIZON, seed=1)
+    result = run(scenario)
+    grid = np.linspace(0.0, HORIZON, GRID_POINTS)
+    v_store = result.traces.trace("v_store").resample(grid)
+    breakdown = result.breakdown
+    payload = {
+        "schema": 1,
+        "scenario": scenario.to_dict(),
+        "result": {
+            "transmissions": result.transmissions,
+            "final_voltage": result.final_voltage,
+            "final_position": result.final_position,
+            "retunes": result.retune_count(),
+            "breakdown": {
+                "initial_stored": breakdown.initial_stored,
+                "final_stored": breakdown.final_stored,
+                "harvested": breakdown.harvested,
+                "clipped": breakdown.clipped,
+                "node_tx": breakdown.node_tx,
+                "node_sleep": breakdown.node_sleep,
+                "mcu_sleep": breakdown.mcu_sleep,
+                "mcu_active": breakdown.mcu_active,
+                "accelerometer": breakdown.accelerometer,
+                "actuator": breakdown.actuator,
+                "shortfall": breakdown.shortfall,
+            },
+        },
+        "trace": {
+            "time_s": [float(t) for t in grid],
+            "v_store": [float(v) for v in v_store],
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,29 @@
+"""Regenerate the golden-trace fixtures.
+
+Run this ONLY when a simulation change is intentional and reviewed::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+then inspect the diff of ``tests/golden/*.golden.json`` before
+committing: every changed byte is a behaviour change of the envelope
+backend that every downstream study will inherit.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _golden import CANONICAL, build_golden_text, golden_path
+
+
+def main() -> int:
+    for name in CANONICAL:
+        path = golden_path(name)
+        path.write_text(build_golden_text(name))
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

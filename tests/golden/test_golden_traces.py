@@ -1,0 +1,57 @@
+"""Golden-trace regression: any byte-level drift of the envelope backend
+on three canonical scenarios fails here.
+
+These fixtures complement the property tests (which allow any physically
+valid behaviour) by pinning the *exact* current behaviour: refactors of
+the integrator, the policy, the harvester model or the rng plumbing must
+either leave every byte alone or regenerate the fixtures deliberately
+(see ``regen.py`` in this directory).
+"""
+
+import json
+
+import pytest
+
+from _golden import CANONICAL, build_golden_text, golden_path
+
+
+@pytest.mark.parametrize("name", CANONICAL)
+def test_golden_trace_is_byte_stable(name):
+    path = golden_path(name)
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        f"'PYTHONPATH=src python tests/golden/regen.py' and commit the result"
+    )
+    expected = path.read_text()
+    actual = build_golden_text(name)
+    if actual != expected:  # byte-level comparison, diagnose before failing
+        exp = json.loads(expected)["result"]
+        act = json.loads(actual)["result"]
+        pytest.fail(
+            f"golden trace {name!r} drifted: transmissions "
+            f"{exp['transmissions']} -> {act['transmissions']}, final voltage "
+            f"{exp['final_voltage']!r} -> {act['final_voltage']!r}. If this "
+            f"change is intentional, regenerate with "
+            f"'PYTHONPATH=src python tests/golden/regen.py' and review the diff."
+        )
+
+
+def test_golden_fixtures_conserve_energy():
+    """The committed fixtures themselves must satisfy the energy audit --
+    guards against hand-editing."""
+    for name in CANONICAL:
+        payload = json.loads(golden_path(name).read_text())
+        b = payload["result"]["breakdown"]
+        consumed = (
+            b["node_tx"]
+            + b["node_sleep"]
+            + b["mcu_sleep"]
+            + b["mcu_active"]
+            + b["accelerometer"]
+            + b["actuator"]
+            - b["shortfall"]
+        )
+        imbalance = (
+            b["initial_stored"] + b["harvested"] - consumed - b["final_stored"]
+        )
+        assert abs(imbalance) < 1e-9

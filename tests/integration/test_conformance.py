@@ -1,0 +1,125 @@
+"""Cross-backend conformance: every named scenario and stochastic family
+through both fidelity levels.
+
+The envelope backend exists so hour-scale studies are affordable; its
+licence to exist is that it tells the *same physical story* as the
+cycle-accurate MNA co-simulation.  These tests run every named scenario
+and one fixed-seed instance of every stochastic family through both
+backends over a short window under identical excitation
+(:func:`repro.backends.run_conformance`) and pin agreement envelopes on
+the lifetime metric (net stored-energy rate / final voltage) and the
+throughput metric (transmission count).
+
+The envelopes are deliberately loose -- the detailed model includes the
+mechanical ring-up transient and discrete transmission notches the
+envelope model averages away -- but they are two-sided and fail loudly
+if either backend's physics drifts.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.backends import run_conformance
+from repro.scenario import Scenario, named_scenario, scenario_names
+from repro.system.config import SystemConfig
+from repro.system.stochastic import family_names, named_family
+from repro.system.vibration import VibrationProfile
+
+pytestmark = pytest.mark.slow
+
+#: Conformance window (simulated s).  The detailed backend integrates
+#: ~65 Hz cycles at 50 points each, so this is what keeps the suite fast.
+HORIZON = 2.0
+#: Net-energy agreement band when both backends see significant flow;
+#: the detailed model's ring-up transient makes perfect agreement wrong.
+RATIO_BAND = (0.2, 5.0)
+#: Energy flow below this (J) is compared absolutely, not by ratio.
+SIGNIFICANT = 5e-5
+#: Final-voltage agreement (V) over the window.
+V_TOL = 0.01
+
+
+def _conform(scenario: Scenario):
+    """Run one scenario on both backends over the short window."""
+    # A huge watchdog keeps tuning sessions out of the window: they cost
+    # seconds of settle time, which the 2 s window cannot contain.
+    config = replace(scenario.config, watchdog_s=1e4)
+    short = replace(scenario, config=config, horizon=HORIZON, seed=1, options={})
+    return short, run_conformance(short)
+
+
+def _net_energy(result, v_init: float, capacitance: float = 0.55) -> float:
+    return 0.5 * capacitance * (result.final_voltage**2 - v_init**2)
+
+
+def _assert_agreement(name, scenario, results):
+    env, det = results["envelope"], results["detailed"]
+    v_init = 2.65 if scenario.parts is None else scenario.parts.v_init
+
+    # Lifetime metric: final voltage (equivalently stored energy).
+    assert det.final_voltage == pytest.approx(env.final_voltage, abs=V_TOL), (
+        f"{name}: final voltage disagrees "
+        f"(envelope {env.final_voltage:.4f} V, detailed {det.final_voltage:.4f} V)"
+    )
+
+    # Net energy: ratio agreement when the flow is significant, absolute
+    # agreement when it is not (both nearly dormant).
+    e_env = _net_energy(env, v_init)
+    e_det = _net_energy(det, v_init)
+    if min(abs(e_env), abs(e_det)) > SIGNIFICANT:
+        assert e_env * e_det > 0.0, (
+            f"{name}: net energy signs disagree ({e_env:.2e} vs {e_det:.2e})"
+        )
+        ratio = e_det / e_env
+        assert RATIO_BAND[0] < ratio < RATIO_BAND[1], (
+            f"{name}: net energy ratio {ratio:.2f} outside {RATIO_BAND}"
+        )
+    else:
+        assert abs(e_env - e_det) < 20 * SIGNIFICANT, (
+            f"{name}: near-dormant energies differ ({e_env:.2e} vs {e_det:.2e})"
+        )
+
+    # Throughput metric: over 2 s the counts are small integers; the
+    # envelope's continuous accumulation may round one differently.
+    assert abs(env.transmissions - det.transmissions) <= max(
+        2, 0.5 * max(env.transmissions, det.transmissions)
+    ), (
+        f"{name}: transmissions disagree "
+        f"(envelope {env.transmissions}, detailed {det.transmissions})"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_named_scenarios_conform(name):
+    scenario, results = _conform(named_scenario(name))
+    _assert_agreement(name, scenario, results)
+
+
+@pytest.mark.parametrize("name", sorted(family_names()))
+def test_stochastic_families_conform(name):
+    # Expand at the conformance horizon so the generated profile covers
+    # exactly the window; seed fixed so this test is deterministic.
+    family = replace(named_family(name), horizon=HORIZON)
+    (scenario,) = family.expand(n=1, seed=7)
+    scenario, results = _conform(scenario)
+    _assert_agreement(name, scenario, results)
+
+
+def test_fast_band_throughput_conforms():
+    """With the store parked in the fast band and a short interval, both
+    backends must deliver the same transmission rate."""
+    from repro.scenario import PartsSpec
+
+    scenario = Scenario(
+        config=SystemConfig(clock_hz=4e6, watchdog_s=1e4, tx_interval_s=0.25),
+        parts=PartsSpec(v_init=2.85),
+        profile=VibrationProfile.constant(64.0, accel_mg=60.0),
+        horizon=HORIZON,
+        seed=1,
+    )
+    results = run_conformance(scenario)
+    env, det = results["envelope"], results["detailed"]
+    expected = HORIZON / 0.25
+    assert env.transmissions == pytest.approx(expected, abs=1)
+    assert det.transmissions == pytest.approx(expected, abs=1)

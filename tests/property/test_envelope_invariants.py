@@ -1,0 +1,185 @@
+"""Property-based tests (Hypothesis) for the envelope integrator.
+
+The envelope simulator is the backend every batch study leans on, so its
+physical invariants are pinned over *generated* inputs -- random firmware
+configurations across the whole Table V box and stochastic
+regime-switching vibration profiles -- not just the paper's scripted
+excitation:
+
+- energy conservation (the audit's imbalance stays at rounding level),
+- the storage voltage stays inside [0, v_max],
+- simulated time advances monotonically and covers the horizon,
+- sliding-mode pinning: when harvest power lands strictly between the
+  two bands' drains at a policy threshold, the voltage pins there.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.envelope import EnvelopeSimulator
+from repro.system.stochastic import (
+    EnvironmentState,
+    RegimeSwitchingVibration,
+    named_family,
+)
+from repro.system.vibration import VibrationProfile
+from repro.units import mg_to_mps2
+
+#: Absolute energy-audit tolerance (J); observed residuals are ~1e-14.
+IMBALANCE_TOL = 1e-9
+
+configs = st.builds(
+    SystemConfig,
+    clock_hz=st.floats(125e3, 8e6),
+    watchdog_s=st.floats(60.0, 600.0),
+    tx_interval_s=st.floats(0.05, 10.0),
+)
+
+generators = st.builds(
+    RegimeSwitchingVibration,
+    states=st.lists(
+        st.builds(
+            EnvironmentState,
+            name=st.just("s"),
+            frequency_hz=st.tuples(st.floats(60.0, 70.0), st.just(80.0)),
+            accel_mg=st.tuples(st.floats(0.0, 40.0), st.floats(40.0, 120.0)),
+            dwell_s=st.tuples(st.floats(10.0, 60.0), st.floats(60.0, 200.0)),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+    jitter_mg=st.floats(0.0, 10.0),
+    drift_hz_per_hour=st.floats(0.0, 10.0),
+    dropout_prob=st.floats(0.0, 0.3),
+    burst_prob=st.floats(0.0, 0.3),
+    resolution_s=st.floats(10.0, 60.0),
+)
+
+slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+def _run(config, profile, horizon, seed=0, v_init=2.65):
+    parts = paper_system(
+        v_init=v_init, initial_frequency=profile.frequency(0.0)
+    )
+    sim = EnvelopeSimulator(
+        config, parts=parts, profile=profile, seed=seed, record_traces=True
+    )
+    return sim, sim.run(horizon)
+
+
+class TestGeneratedConfigsAndProfiles:
+    @slow
+    @given(
+        config=configs,
+        generator=generators,
+        gen_seed=st.integers(0, 2**31 - 1),
+        horizon=st.floats(60.0, 300.0),
+    )
+    def test_physical_invariants(self, config, generator, gen_seed, horizon):
+        profile = generator.generate(horizon, seed=gen_seed)
+        sim, result = _run(config, profile, horizon, seed=gen_seed)
+
+        # Energy conservation: every joule is accounted for.
+        assert abs(result.breakdown.imbalance()) <= IMBALANCE_TOL
+
+        # Voltage bounded by physics at every traced point.
+        v = result.traces.trace("v_store").values
+        v_max = sim.store.v_max
+        assert float(np.min(v)) >= 0.0
+        assert float(np.max(v)) <= v_max + 1e-9
+
+        # Monotone time advance over the full horizon (a run may end a
+        # little late if a tuning session straddles the horizon).
+        t = result.traces.trace("v_store").times
+        assert np.all(np.diff(t) >= 0.0)
+        assert result.horizon >= horizon - 1e-9
+
+        # The audit's totals are consistent with the endpoints.
+        assert result.breakdown.final_stored == pytest.approx(
+            sim.store.energy
+        )
+        assert result.transmissions >= 0
+
+    @slow
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_named_families_respect_invariants(self, seed):
+        from dataclasses import replace
+
+        fam = replace(named_family("intermittent"), horizon=240.0)
+        (scenario,) = fam.expand(n=1, seed=seed)
+        sim, result = _run(
+            scenario.config,
+            scenario.profile,
+            scenario.horizon,
+            seed=scenario.seed,
+            v_init=scenario.parts.v_init,
+        )
+        assert abs(result.breakdown.imbalance()) <= IMBALANCE_TOL
+        v = result.traces.trace("v_store").values
+        assert float(np.min(v)) >= 0.0
+        assert float(np.max(v)) <= sim.store.v_max + 1e-9
+
+
+class TestSlidingMode:
+    @slow
+    # The diode bridge only conducts above ~53 mg at 2.8 V, and the fast
+    # band's drain bounds the window from above: this box straddles the
+    # sliding region densely enough for assume() to keep plenty.
+    @given(
+        accel_mg=st.floats(52.0, 80.0),
+        frequency=st.floats(62.0, 70.0),
+        tx_interval=st.floats(0.3, 2.0),
+    )
+    def test_voltage_pins_at_fast_threshold(self, accel_mg, frequency, tx_interval):
+        """If harvest lies strictly between the two bands' total drains
+        at v_fast, the integrator must hold the voltage there (the
+        physically averaged behaviour of micro-bursting against the
+        threshold) instead of chattering or drifting away."""
+        config = SystemConfig(
+            clock_hz=4e6, watchdog_s=600.0, tx_interval_s=tx_interval
+        )
+        parts = paper_system(v_init=2.8, initial_frequency=frequency)
+        profile = VibrationProfile.constant(frequency, accel_mg=accel_mg)
+        policy = parts.policy(config.tx_interval_s)
+        thr = policy.v_fast
+
+        p_h = parts.microgenerator.charging_power(
+            frequency, mg_to_mps2(accel_mg), thr
+        )
+        p_sleep = parts.node.sleep_power(thr) + parts.mcu(config.clock_hz).sleep_power()
+        e_tx = parts.node.transmission_energy(thr)
+        drain_up = policy.drain_rate(thr + 1e-6, e_tx)
+        drain_lo = policy.drain_rate(thr - 1e-6, e_tx)
+        # Keep clearly inside the sliding window so discretisation of the
+        # band edge cannot flip the regime.
+        margin = 0.02 * max(drain_up, 1e-12)
+        assume(p_h - p_sleep - drain_lo > margin)
+        assume(p_h - p_sleep - drain_up < -margin)
+
+        sim = EnvelopeSimulator(
+            config, parts=parts, profile=profile, seed=0, record_traces=True
+        )
+        # watchdog_s=600 > horizon: no tuning session perturbs the slide.
+        result = sim.run(300.0)
+
+        assert result.final_voltage == pytest.approx(thr, abs=1e-6)
+        # While pinned, the node transmits at the energy-limited mix of
+        # the two bands' rates -- strictly between them.
+        rate_lo = policy.rate(thr - 1e-6)
+        rate_up = policy.rate(thr + 1e-6)
+        per_s = result.transmissions / 300.0
+        assert rate_lo - 1e-2 <= per_s <= rate_up + 1e-2
+        assert abs(result.breakdown.imbalance()) <= IMBALANCE_TOL

@@ -106,6 +106,31 @@ class TestVibrationProfile:
                 [VibrationSegment(0.0, 64.0, 0.5), VibrationSegment(0.0, 65.0, 0.5)]
             )
 
+    def test_payload_roundtrip(self):
+        p = VibrationProfile.paper_profile()
+        assert VibrationProfile.from_payload(p.to_payload()) == p
+
+    def test_payload_unsorted_starts_rejected(self):
+        # A serialised profile is an ordered document: out-of-order
+        # segments almost always mean a corrupted or hand-mangled file,
+        # so reject instead of silently re-sorting into a different
+        # excitation than the author wrote.
+        payload = [
+            {"t_start": 1500.0, "frequency_hz": 69.0, "accel_mps2": 0.6},
+            {"t_start": 0.0, "frequency_hz": 64.0, "accel_mps2": 0.6},
+        ]
+        with pytest.raises(ModelError, match="sorted"):
+            VibrationProfile.from_payload(payload)
+
+    def test_payload_overlapping_starts_rejected(self):
+        payload = [
+            {"t_start": 0.0, "frequency_hz": 64.0, "accel_mps2": 0.6},
+            {"t_start": 750.0, "frequency_hz": 66.0, "accel_mps2": 0.6},
+            {"t_start": 750.0, "frequency_hz": 69.0, "accel_mps2": 0.6},
+        ]
+        with pytest.raises(ModelError, match="t_start"):
+            VibrationProfile.from_payload(payload)
+
 
 class TestComponentsRegistry:
     def test_table_i_registry(self):
