@@ -1,0 +1,139 @@
+"""Throughput of the persistent result store (:mod:`repro.store`).
+
+Three measurements, written to ``BENCH_store.json``:
+
+- raw store **write** and **read** throughput (results/second) for a
+  realistic batch of envelope results,
+- the headline product property: a **warm** second `BatchRunner` pass
+  over an already-stored batch must be at least 10x faster than the
+  **cold** first pass that simulated it (the store's entire reason to
+  exist -- resumed campaigns pay disk reads, not simulations).
+"""
+
+import json
+import time
+
+from repro.backends import quiet_options
+from repro.core.batch import BatchRunner
+from repro.scenario import PartsSpec, Scenario
+from repro.store import ResultStore
+from repro.system.config import SystemConfig
+from repro.system.vibration import VibrationProfile
+
+#: Batch size for every store bench (matches the issue's 40-scenario
+#: campaign acceptance case).
+N_SCENARIOS = 40
+
+#: Simulated seconds per scenario: long enough that simulation dwarfs a
+#: store read by a wide margin, short enough to keep the bench snappy.
+HORIZON = 1800.0
+
+#: Required cold/warm advantage (acceptance criterion).
+MIN_SPEEDUP = 10.0
+
+
+def _scenarios():
+    return [
+        Scenario(
+            config=SystemConfig(
+                clock_hz=1e6 + 1e5 * i,
+                watchdog_s=240.0 + 10.0 * i,
+                tx_interval_s=0.5 + 0.25 * i,
+            ),
+            parts=PartsSpec(v_init=2.85),
+            profile=VibrationProfile.paper_profile(horizon=HORIZON),
+            horizon=HORIZON,
+            seed=i,
+            backend="envelope",
+            options=quiet_options("envelope"),
+            name=f"bench-{i}",
+        )
+        for i in range(N_SCENARIOS)
+    ]
+
+
+def _simulate_all(scenarios):
+    return BatchRunner(jobs=1).run(scenarios)
+
+
+def test_store_write_throughput(benchmark, tmp_path_factory):
+    scenarios = _scenarios()
+    results = _simulate_all(scenarios)
+    counter = {"n": 0}
+
+    def fresh_store():
+        counter["n"] += 1
+        root = tmp_path_factory.mktemp(f"write-{counter['n']}")
+        return (ResultStore(root / "bench.db"),), {}
+
+    def write_all(store):
+        for scenario, result in zip(scenarios, results):
+            store.put(scenario, result)
+        return len(store)
+
+    stored = benchmark.pedantic(
+        write_all, setup=fresh_store, rounds=3, iterations=1
+    )
+    assert stored == N_SCENARIOS
+
+
+def test_store_read_throughput(benchmark, tmp_path):
+    scenarios = _scenarios()
+    store = ResultStore(tmp_path / "bench.db")
+    for scenario, result in zip(scenarios, _simulate_all(scenarios)):
+        store.put(scenario, result)
+
+    def read_all():
+        loaded = [store.get(s) for s in scenarios]
+        assert all(r is not None for r in loaded)
+        return len(loaded)
+
+    assert benchmark(read_all) == N_SCENARIOS
+
+
+def test_warm_batch_at_least_10x_faster_than_cold(tmp_path, write_artifact):
+    scenarios = _scenarios()
+    store = ResultStore(tmp_path / "bench.db")
+
+    cold_runner = BatchRunner(jobs=1, store=store)
+    t0 = time.perf_counter()
+    cold_results = cold_runner.run(scenarios)
+    cold_s = time.perf_counter() - t0
+    assert cold_runner.misses == N_SCENARIOS
+    assert len(store) == N_SCENARIOS
+
+    # A fresh runner models a new process: empty memory tier, same disk.
+    warm_runner = BatchRunner(jobs=1, store=store)
+    t0 = time.perf_counter()
+    warm_results = warm_runner.run(scenarios)
+    warm_s = time.perf_counter() - t0
+    assert warm_runner.misses == 0
+    assert warm_runner.store_hits == N_SCENARIOS
+    assert [r.transmissions for r in warm_results] == [
+        r.transmissions for r in cold_results
+    ]
+
+    # Raw tier throughput, measured on the same batch.
+    t0 = time.perf_counter()
+    for scenario in scenarios:
+        assert store.get(scenario) is not None
+    read_s = time.perf_counter() - t0
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "n_scenarios": N_SCENARIOS,
+        "horizon_s": HORIZON,
+        "cold_run_s": round(cold_s, 6),
+        "warm_run_s": round(warm_s, 6),
+        "speedup": round(speedup, 2),
+        "store_hit_rate": warm_runner.store_hits / N_SCENARIOS,
+        "read_results_per_s": round(N_SCENARIOS / read_s, 1),
+        "simulated_per_s_cold": round(N_SCENARIOS / cold_s, 1),
+    }
+    write_artifact("BENCH_store.json", json.dumps(payload, indent=2, sort_keys=True))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm pass only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); the disk tier must "
+        f"beat re-simulation by >= {MIN_SPEEDUP:g}x"
+    )

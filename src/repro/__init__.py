@@ -30,12 +30,18 @@ lazily (``import repro`` stays cheap)::
     # Stochastic environments: a family expands into seeded scenarios.
     family = repro.named_family("factory-floor")
     results = repro.BatchRunner(jobs=4).run_family(family, n=20, seed=0)
+
+    # Persistence: attach a content-addressed store and results survive
+    # the process; campaigns resume instead of re-simulating.
+    store = repro.ResultStore("results.db")
+    camp = repro.Campaign.create(store, "floor", family.expand(40, seed=0))
+    camp.run(jobs=4)
 """
 
 import importlib
 from typing import List
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -65,6 +71,14 @@ _EXPORTS = {
     "backend_names": "repro.backends",
     # batch execution (repro.core.batch)
     "BatchRunner": "repro.core.batch",
+    # persistence (repro.store)
+    "ResultStore": "repro.store",
+    "StoredResult": "repro.store",
+    "StoreStats": "repro.store",
+    "Campaign": "repro.store",
+    "CampaignStatus": "repro.store",
+    "campaign_names": "repro.store",
+    "campaign_statuses": "repro.store",
     # system model (repro.system)
     "SystemConfig": "repro.system.config",
     "ORIGINAL_DESIGN": "repro.system.config",

@@ -17,9 +17,16 @@ module run (``python -m repro.cli ...``).  Subcommands:
 - ``report``        -- re-render a persisted exploration outcome.
 - ``tradeoff``      -- NSGA-II Pareto front of transmissions vs. reserve.
 - ``montecarlo``    -- distribution of a config over random environments.
+- ``store``         -- the persistent result store (:mod:`repro.store`):
+  ``init``, ``stats``, ``gc``, ``export``.
+- ``campaign``      -- resumable batch execution over a store:
+  ``run MANIFEST``, ``resume NAME``, ``status [NAME]``.
 
-``--backend`` selects any registered simulation backend and ``--jobs``
-fans batch subcommands out over worker processes.
+``--backend`` selects any registered simulation backend, ``--jobs``
+fans batch subcommands out over worker processes, and ``--store DB``
+(on ``run-scenario``, ``gen-scenarios``, ``explore``, ``montecarlo``)
+reads/writes simulations through a content-addressed on-disk store so
+repeated work is never simulated twice.
 """
 
 from __future__ import annotations
@@ -42,6 +49,22 @@ def _add_backend_jobs(
         help="registered simulation backend (default: envelope)",
     )
     parser.add_argument("--jobs", type=int, default=1, help=jobs_help)
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DB",
+        help="persistent result store (SQLite file); hits skip simulation",
+    )
+
+
+def _open_store(path: str):
+    from repro.store import ResultStore
+
+    return ResultStore(path)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes when running a manifest (default: 1)",
     )
+    rsc.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help=(
+            "write the canonical schema-stamped result payload JSON here "
+            "(readable by 'repro-wsn report')"
+        ),
+    )
+    _add_store(rsc)
 
     gen = sub.add_parser(
         "gen-scenarios",
@@ -130,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the manifest JSON here (default: stdout)",
     )
+    gen.add_argument(
+        "--campaign",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "with --store: campaign name to journal the expansion under "
+            "(default: FAMILY-nN-sSEED)"
+        ),
+    )
+    _add_store(gen)
 
     exp = sub.add_parser("explore", help="run the full paper DSE flow")
     exp.add_argument("--runs", type=int, default=10, help="D-optimal design size")
@@ -137,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--horizon", type=float, default=3600.0)
     exp.add_argument("--save", type=str, default=None, help="persist outcome JSON here")
     _add_backend_jobs(exp)
+    _add_store(exp)
 
     swp = sub.add_parser("sweep", help="one-parameter sweep (Fig. 4 style)")
     swp.add_argument(
@@ -165,6 +210,104 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--samples", type=int, default=20)
     mc.add_argument("--seed", type=int, default=1)
     _add_backend_jobs(mc)
+    _add_store(mc)
+
+    sto = sub.add_parser("store", help="manage a persistent result store")
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+
+    sto_init = sto_sub.add_parser("init", help="create an empty store")
+    sto_init.add_argument("path", type=str, help="store database file")
+
+    sto_stats = sto_sub.add_parser("stats", help="summarise a store")
+    sto_stats.add_argument("path", type=str, help="store database file")
+
+    sto_gc = sto_sub.add_parser("gc", help="delete result rows and compact")
+    sto_gc.add_argument("path", type=str, help="store database file")
+    sto_gc.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        help="delete rows created at least this many days ago",
+    )
+    sto_gc.add_argument(
+        "--family", type=str, default=None, help="delete one family's rows"
+    )
+    sto_gc.add_argument(
+        "--orphans",
+        action="store_true",
+        help="delete rows referenced by no campaign",
+    )
+    sto_gc.add_argument(
+        "--dry-run", action="store_true", help="count, do not delete"
+    )
+
+    sto_exp = sto_sub.add_parser("export", help="export rows as JSON or CSV")
+    sto_exp.add_argument("path", type=str, help="store database file")
+    sto_exp.add_argument(
+        "--format", choices=["json", "csv"], default="json", help="output format"
+    )
+    sto_exp.add_argument(
+        "--out", type=str, default=None, help="output file (default: stdout)"
+    )
+    sto_exp.add_argument("--family", type=str, default=None)
+    sto_exp.add_argument("--backend", type=str, default=None)
+    sto_exp.add_argument("--name-like", type=str, default=None, metavar="PATTERN")
+    sto_exp.add_argument("--min-tx", type=int, default=None, metavar="N")
+    sto_exp.add_argument("--max-tx", type=int, default=None, metavar="N")
+    sto_exp.add_argument("--min-voltage", type=float, default=None, metavar="V")
+    sto_exp.add_argument("--max-voltage", type=float, default=None, metavar="V")
+    sto_exp.add_argument("--limit", type=int, default=None)
+    sto_exp.add_argument(
+        "--payloads",
+        action="store_true",
+        help="JSON only: embed the full result payloads",
+    )
+
+    camp = sub.add_parser("campaign", help="resumable batch execution")
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    camp_run = camp_sub.add_parser(
+        "run", help="journal a gen-scenarios manifest and execute it"
+    )
+    camp_run.add_argument("manifest", type=str, help="gen-scenarios manifest JSON")
+    camp_run.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+    camp_run.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="campaign name (default: FAMILY-nN-sSEED from the manifest)",
+    )
+    camp_run.add_argument("--jobs", type=int, default=1)
+    camp_run.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="scenarios per durable chunk (default: max(4*jobs, 16))",
+    )
+
+    camp_res = camp_sub.add_parser(
+        "resume", help="continue an interrupted campaign"
+    )
+    camp_res.add_argument("name", type=str, help="campaign name")
+    camp_res.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+    camp_res.add_argument("--jobs", type=int, default=1)
+    camp_res.add_argument("--chunk", type=int, default=None)
+
+    camp_st = camp_sub.add_parser("status", help="campaign progress")
+    camp_st.add_argument(
+        "name",
+        type=str,
+        nargs="?",
+        default=None,
+        help="campaign name (omit to list every campaign)",
+    )
+    camp_st.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
 
     return parser
 
@@ -201,6 +344,24 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _write_results_payload(path: str, scenarios, results) -> None:
+    """Write a batch's canonical schema-stamped result document."""
+    import json
+
+    from repro.system.result import RESULT_SCHEMA
+
+    payload = {
+        "schema": RESULT_SCHEMA,
+        "results": [
+            {"name": s.name, "result": r.to_payload()}
+            for s, r in zip(scenarios, results)
+        ],
+    }
+    with open(path, "w") as fh:
+        fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {path}")
+
+
 def _run_manifest(args, payload) -> int:
     """Execute every scenario of a gen-scenarios manifest as one batch."""
     from dataclasses import replace
@@ -220,9 +381,11 @@ def _run_manifest(args, payload) -> int:
         scenarios = [
             s.with_seed(derive_seed(args.seed, i)) for i, s in enumerate(scenarios)
         ]
+    store = _open_store(args.store) if args.store else None
     label = payload.get("family", "manifest")
     print(f"{label}: {len(scenarios)} scenarios on {args.jobs} worker(s)")
-    results = BatchRunner(jobs=max(args.jobs, 1)).run(scenarios)
+    runner = BatchRunner(jobs=max(args.jobs, 1), store=store)
+    results = runner.run(scenarios)
     for scenario, result in zip(scenarios, results):
         print(
             f"  {scenario.name or scenario.describe():<28s} "
@@ -231,6 +394,13 @@ def _run_manifest(args, payload) -> int:
         )
     total = sum(r.transmissions for r in results)
     print(f"total transmissions: {total}")
+    if store is not None:
+        print(
+            f"store: {runner.store_hits} served from {args.store}, "
+            f"{runner.misses} simulated fresh"
+        )
+    if args.out:
+        _write_results_payload(args.out, scenarios, results)
     return 0
 
 
@@ -285,8 +455,19 @@ def _cmd_run_scenario(args) -> int:
         scenario.save(args.save)
         print(f"scenario written to {args.save}")
     print(scenario.describe())
-    result = run(scenario)
+    if args.store:
+        from repro.core.batch import BatchRunner
+
+        runner = BatchRunner(jobs=1, store=_open_store(args.store))
+        result = runner.run_one(scenario)
+        source = "store" if runner.store_hits else "fresh simulation"
+        print(f"({source}: {args.store})")
+    else:
+        result = run(scenario)
     print(result.summary())
+    if args.out:
+        result.save(args.out)
+        print(f"result written to {args.out}")
     return 0
 
 
@@ -319,8 +500,22 @@ def _cmd_gen_scenarios(args) -> int:
             f"{manifest['count']} scenarios of family {family.name!r} "
             f"(seed {args.seed}) written to {args.out}"
         )
-    else:
+    elif not args.store:
         print(text)
+    if args.store:
+        from repro.store import Campaign
+        from repro.system.stochastic import manifest_scenarios
+
+        name = args.campaign or f"{family.name}-n{args.n}-s{args.seed}"
+        campaign = Campaign.create(
+            _open_store(args.store),
+            name,
+            manifest_scenarios(manifest),
+            source=f"gen-scenarios {family.name}",
+            exist_ok=True,
+        )
+        print(f"journaled in {args.store}: {campaign.status().summary()}")
+        print(f"execute with: repro-wsn campaign resume {name} --store {args.store}")
     return 0
 
 
@@ -329,7 +524,11 @@ def _cmd_explore(args) -> int:
     from repro.core.report import render_table_vi
 
     explorer = paper_explorer(
-        seed=args.seed, horizon=args.horizon, backend=args.backend, jobs=args.jobs
+        seed=args.seed,
+        horizon=args.horizon,
+        backend=args.backend,
+        jobs=args.jobs,
+        store=_open_store(args.store) if args.store else None,
     )
     outcome = explorer.run(n_runs=args.runs, seed=args.seed)
     print(outcome.summary())
@@ -371,6 +570,51 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import DesignError
+
+    try:
+        payload = json.loads(Path(args.path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DesignError(f"report file is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DesignError(
+            f"report payload must be a JSON object, got {type(payload).__name__}"
+        )
+
+    if "breakdown" in payload:
+        # A single canonical result document (run-scenario --out).
+        from repro.system.result import SystemResult
+
+        print(SystemResult.from_payload(payload).summary())
+        return 0
+    if "results" in payload and "design" not in payload:
+        # A batch result document (run-scenario MANIFEST --out).  Other
+        # documents share the "results" key (e.g. store exports without
+        # --payloads); fabricating empty results for those would be
+        # silently wrong, so require the per-entry payload.
+        from repro.system.result import SystemResult
+
+        entries = payload["results"]
+        if not all(isinstance(e, dict) and "result" in e for e in entries):
+            raise DesignError(
+                "not a renderable result document: entries in 'results' "
+                "carry no 'result' payload (store exports need --payloads "
+                "to be reportable)"
+            )
+        total = 0
+        for entry in entries:
+            result = SystemResult.from_payload(entry["result"])
+            name = entry.get("name") or result.config.describe()
+            print(f"== {name} ==")
+            print(result.summary())
+            print()
+            total += result.transmissions
+        print(f"total transmissions: {total}")
+        return 0
+
     from repro.core.campaign import load_outcome
     from repro.core.report import render_table_vi
 
@@ -379,6 +623,120 @@ def _cmd_report(args) -> int:
     print()
     print(render_table_vi(outcome))
     return 0
+
+
+def _cmd_store(args) -> int:
+    store = _open_store(args.path)
+    if args.store_command == "init":
+        from repro.store import STORE_SCHEMA
+
+        print(f"store initialised at {args.path} (layout version {STORE_SCHEMA})")
+        return 0
+    if args.store_command == "stats":
+        print(store.stats().summary())
+        return 0
+    if args.store_command == "gc":
+        if (
+            args.older_than_days is None
+            and args.family is None
+            and not args.orphans
+        ):
+            print(
+                "error: gc needs a selector "
+                "(--older-than-days / --family / --orphans)",
+                file=sys.stderr,
+            )
+            return 2
+        count = store.gc(
+            older_than_days=args.older_than_days,
+            family=args.family,
+            orphans=args.orphans,
+            dry_run=args.dry_run,
+        )
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"{verb} {count} result row(s)")
+        return 0
+    if args.store_command == "export":
+        filters = dict(
+            family=args.family,
+            backend=args.backend,
+            name_like=args.name_like,
+            min_transmissions=args.min_tx,
+            max_transmissions=args.max_tx,
+            min_final_voltage=args.min_voltage,
+            max_final_voltage=args.max_voltage,
+            limit=args.limit,
+        )
+        if args.format == "csv":
+            text = store.export_csv(**filters)
+        else:
+            text = store.export_json(include_payloads=args.payloads, **filters)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"export written to {args.out}")
+        else:
+            print(text)
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
+def _cmd_campaign(args) -> int:
+    from repro.store import Campaign, campaign_statuses
+
+    store = _open_store(args.store)
+    if args.campaign_command == "run":
+        import json
+        from pathlib import Path
+
+        from repro.errors import DesignError
+        from repro.system.stochastic import manifest_scenarios
+
+        try:
+            payload = json.loads(Path(args.manifest).read_text())
+        except json.JSONDecodeError as exc:
+            raise DesignError(f"manifest is not valid JSON: {exc}") from exc
+        scenarios = manifest_scenarios(payload)
+        name = args.name or (
+            f"{payload.get('family', 'manifest')}"
+            f"-n{payload.get('n', len(scenarios))}-s{payload.get('seed', 0)}"
+        )
+        campaign = Campaign.create(
+            store,
+            name,
+            scenarios,
+            source=f"manifest {args.manifest}",
+            exist_ok=True,
+        )
+        before = campaign.status()
+        print(before.summary())
+        results = campaign.run(jobs=max(args.jobs, 1), chunk_size=args.chunk)
+        print(campaign.status().summary())
+        print(f"total transmissions: {sum(r.transmissions for r in results)}")
+        return 0
+    if args.campaign_command == "resume":
+        campaign = Campaign(store, args.name)
+        before = campaign.status()
+        print(before.summary())
+        if before.complete:
+            print("nothing to do")
+            return 0
+        results = campaign.resume(jobs=max(args.jobs, 1), chunk_size=args.chunk)
+        print(campaign.status().summary())
+        print(f"total transmissions: {sum(r.transmissions for r in results)}")
+        return 0
+    if args.campaign_command == "status":
+        if args.name is not None:
+            print(Campaign(store, args.name).status().summary())
+            return 0
+        statuses = campaign_statuses(store)
+        if not statuses:
+            print("no campaigns in this store")
+            return 0
+        for status in statuses:
+            print(status.summary())
+        return 0
+    raise AssertionError(f"unhandled campaign command {args.campaign_command!r}")
 
 
 def _cmd_tradeoff(args) -> int:
@@ -423,6 +781,7 @@ def _cmd_montecarlo(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         backend=args.backend,
+        store=_open_store(args.store) if args.store else None,
     )
     print(result.summary())
     print(
@@ -441,6 +800,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "tradeoff": _cmd_tradeoff,
     "montecarlo": _cmd_montecarlo,
+    "store": _cmd_store,
+    "campaign": _cmd_campaign,
 }
 
 

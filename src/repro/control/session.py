@@ -56,6 +56,39 @@ class SessionResult:
     final_phase: Optional[float] = None
     retuned: bool = False
 
+    def to_payload(self) -> dict:
+        """Plain-JSON dictionary (every field is already a JSON scalar)."""
+        return {
+            "skipped_low_energy": self.skipped_low_energy,
+            "measured_frequency": self.measured_frequency,
+            "optimum_position": self.optimum_position,
+            "initial_position": self.initial_position,
+            "coarse_iterations": self.coarse_iterations,
+            "fine_steps": self.fine_steps,
+            "fine_converged": self.fine_converged,
+            "final_phase": self.final_phase,
+            "retuned": self.retuned,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SessionResult":
+        """Rebuild a session result from :meth:`to_payload` output."""
+        freq = payload.get("measured_frequency")
+        opt = payload.get("optimum_position")
+        init = payload.get("initial_position")
+        phase = payload.get("final_phase")
+        return cls(
+            skipped_low_energy=bool(payload.get("skipped_low_energy", False)),
+            measured_frequency=None if freq is None else float(freq),
+            optimum_position=None if opt is None else int(opt),
+            initial_position=None if init is None else int(init),
+            coarse_iterations=int(payload.get("coarse_iterations", 0)),
+            fine_steps=int(payload.get("fine_steps", 0)),
+            fine_converged=bool(payload.get("fine_converged", False)),
+            final_phase=None if phase is None else float(phase),
+            retuned=bool(payload.get("retuned", False)),
+        )
+
 
 def tuning_session(
     lut: FrequencyLut,

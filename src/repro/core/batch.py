@@ -17,21 +17,30 @@ loop over :func:`repro.backends.run`:
   (:meth:`~repro.scenario.Scenario.cache_key`), so repeated scenarios --
   verification re-runs, overlapping sweeps, optimiser revisits -- cost
   nothing.  Duplicates *within* one batch are also simulated only once.
+- **An optional persistent second tier** -- attach a
+  :class:`~repro.store.ResultStore` and lookups fall through memory LRU
+  -> disk store -> simulate, with every fresh result written through to
+  disk.  Results then survive the process and are shared with every
+  other runner (or machine) pointed at the same store file.
 
 Results come back in submission order regardless of completion order.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.backends import run
 from repro.errors import ConfigError
 from repro.rng import derive_seed
 from repro.scenario import Scenario
 from repro.system.result import SystemResult
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    from repro.store import ResultStore
 
 #: Accepted ``executor`` values.
 _EXECUTORS = ("process", "thread")
@@ -61,6 +70,14 @@ class BatchRunner:
         only visible to them where workers are forked (see
         :func:`repro.backends.register_backend`); use ``"thread"`` for
         runtime-registered backends on spawn-based platforms.
+    store:
+        Optional :class:`~repro.store.ResultStore`: the persistent
+        second cache tier.  Misses in the memory LRU are looked up on
+        disk before simulating, and fresh results are written through,
+        so batches dedupe across processes and across runs of the
+        program.  Store writes happen in the coordinating process (the
+        workers stay pure), which keeps process fan-out safe for any
+        executor.
     """
 
     def __init__(
@@ -69,6 +86,7 @@ class BatchRunner:
         seed: int = 0,
         cache_size: int = 256,
         executor: str = "process",
+        store: Optional["ResultStore"] = None,
     ):
         if jobs < 1:
             raise ConfigError("jobs must be >= 1")
@@ -82,9 +100,11 @@ class BatchRunner:
         self.seed = int(seed)
         self.cache_size = int(cache_size)
         self.executor = executor
+        self.store = store
         self._cache: "OrderedDict[str, SystemResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     # -- seeding ---------------------------------------------------------------
 
@@ -108,11 +128,18 @@ class BatchRunner:
         resolved = self.resolve_seeds(scenarios)
         results: List[Optional[SystemResult]] = [None] * len(resolved)
 
-        # Serve cache hits and collect the unique missing work.
+        # Serve memory-tier hits, then disk-tier hits, and collect the
+        # unique missing work.
         pending: "Dict[str, List[int]]" = {}
         for i, scenario in enumerate(resolved):
             key = scenario.cache_key()
             cached = self._cache_get(key)
+            if cached is None and self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self.store_hits += 1
+                    self._cache_put(key, stored)
+                    cached = stored
             if cached is not None:
                 results[i] = cached
             else:
@@ -120,9 +147,17 @@ class BatchRunner:
 
         if pending:
             unique = [resolved[indices[0]] for indices in pending.values()]
+            started = time.perf_counter()
             fresh = self._execute(unique)
-            for (key, indices), result in zip(pending.items(), fresh):
+            # Attribute the batch's wall time evenly across its members:
+            # per-scenario timing is meaningless under a shared pool.
+            per_scenario = (time.perf_counter() - started) / len(unique)
+            for (key, indices), scenario, result in zip(
+                pending.items(), unique, fresh
+            ):
                 self._cache_put(key, result)
+                if self.store is not None:
+                    self.store.put(scenario, result, wall_time_s=per_scenario)
                 for i in indices:
                     results[i] = result
         return results  # type: ignore[return-value]
@@ -178,7 +213,12 @@ class BatchRunner:
         return len(self._cache)
 
     def clear_cache(self) -> None:
-        """Drop all cached results and reset the hit/miss counters."""
+        """Drop all *memory*-cached results and reset the counters.
+
+        The persistent store (when attached) is deliberately left alone:
+        it is shared state owned by the caller, not this runner.
+        """
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0

@@ -140,6 +140,7 @@ def monte_carlo(
     jobs: int = 1,
     backend: Optional[str] = None,
     family: Optional[ScenarioFamily] = None,
+    store=None,
 ) -> MonteCarloResult:
     """Simulate ``config`` across ``n_samples`` random environments.
 
@@ -152,7 +153,9 @@ def monte_carlo(
     evaluates *this* configuration under the family's environment.  The
     expansion executes as one scenario batch on ``jobs`` workers;
     results are independent of the worker count because every scenario
-    carries its own derived seed.
+    carries its own derived seed.  ``store`` (a
+    :class:`~repro.store.ResultStore`) persists every sample, so a
+    repeated or widened study only simulates what is new.
     """
     import dataclasses
 
@@ -179,7 +182,7 @@ def monte_carlo(
         if overrides:
             family = dataclasses.replace(family, **overrides)
     scenarios = family.expand(n=n_samples, seed=seed)
-    results = BatchRunner(jobs=jobs, cache_size=0).run(scenarios)
+    results = BatchRunner(jobs=jobs, cache_size=0, store=store).run(scenarios)
     return MonteCarloResult(
         config=config,
         transmissions=np.asarray([r.transmissions for r in results], dtype=float),

@@ -57,6 +57,12 @@ class SimulationObjective:
         Registered backend name used for every evaluation.
     jobs:
         Worker count for :meth:`evaluate_design` batches.
+    store:
+        Optional :class:`~repro.store.ResultStore` attached to the
+        internal :class:`~repro.core.batch.BatchRunner`: design-point
+        simulations are then persisted and shared across runs, so a
+        repeated exploration (same seed, same horizon) re-simulates
+        nothing.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class SimulationObjective:
         parts: Optional[PartsSpec] = None,
         backend: str = "envelope",
         jobs: int = 1,
+        store=None,
     ):
         if parts is not None and parts_factory is not None:
             from repro.errors import ConfigError
@@ -88,7 +95,7 @@ class SimulationObjective:
         self.backend = backend
         self.jobs = int(jobs)
         self._declarative_parts = parts_factory is None
-        self._runner = BatchRunner(jobs=self.jobs, seed=seed)
+        self._runner = BatchRunner(jobs=self.jobs, seed=seed, store=store)
         self._cache: Dict[Tuple[float, ...], float] = {}
         self.n_simulations = 0
 

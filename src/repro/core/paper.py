@@ -20,14 +20,20 @@ def paper_objective(
     horizon: float = 3600.0,
     backend: str = "envelope",
     jobs: int = 1,
+    store=None,
 ) -> SimulationObjective:
-    """The paper's simulation objective: transmissions in one hour."""
+    """The paper's simulation objective: transmissions in one hour.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) persists every
+    design-point simulation, making repeated explorations incremental.
+    """
     return SimulationObjective(
         space=paper_parameter_space(),
         horizon=horizon,
         seed=seed,
         backend=backend,
         jobs=jobs,
+        store=store,
     )
 
 
@@ -36,11 +42,14 @@ def paper_explorer(
     horizon: float = 3600.0,
     backend: str = "envelope",
     jobs: int = 1,
+    store=None,
 ) -> DesignSpaceExplorer:
     """Explorer preconfigured with the paper's space and objective."""
     return DesignSpaceExplorer(
         paper_parameter_space(),
-        paper_objective(seed=seed, horizon=horizon, backend=backend, jobs=jobs),
+        paper_objective(
+            seed=seed, horizon=horizon, backend=backend, jobs=jobs, store=store
+        ),
         original_config=ORIGINAL_DESIGN,
     )
 
@@ -51,6 +60,7 @@ def run_paper_flow(
     horizon: float = 3600.0,
     backend: str = "envelope",
     jobs: int = 1,
+    store=None,
 ) -> ExplorationOutcome:
     """Execute the complete evaluation of the paper's section V.
 
@@ -59,5 +69,7 @@ def run_paper_flow(
     design), ``outcome.optima`` + ``outcome.original_transmissions``
     (Table VI).
     """
-    explorer = paper_explorer(seed=seed, horizon=horizon, backend=backend, jobs=jobs)
+    explorer = paper_explorer(
+        seed=seed, horizon=horizon, backend=backend, jobs=jobs, store=store
+    )
     return explorer.run(n_runs=n_runs, seed=seed)

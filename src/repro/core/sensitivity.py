@@ -178,12 +178,14 @@ def robustness_study(
     horizon: float = 3600.0,
     jobs: int = 1,
     backend: str = "envelope",
+    store=None,
 ) -> RobustnessReport:
     """Evaluate ``config`` across a small grid of perturbed environments.
 
     The grid is :func:`perturbation_family` -- 9 scenarios by default,
     expanded with ``seed`` and dispatched as one scenario batch on
-    ``jobs`` workers.
+    ``jobs`` workers.  ``store`` (a :class:`~repro.store.ResultStore`)
+    persists the evaluations for later queries and repeat studies.
     """
     family = perturbation_family(
         config,
@@ -194,7 +196,7 @@ def robustness_study(
         backend=backend,
     )
     scenarios = family.expand(n=1, seed=seed)
-    results = BatchRunner(jobs=jobs).run(scenarios)
+    results = BatchRunner(jobs=jobs, store=store).run(scenarios)
     entries = [
         RobustnessEntry(s.name, r.transmissions, r.final_voltage)
         for s, r in zip(scenarios, results)

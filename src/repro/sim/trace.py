@@ -77,6 +77,28 @@ class Trace:
             raise SimulationError(f"trace {self.name!r} is empty")
         return np.interp(np.asarray(times, dtype=float), self._times, self._values)
 
+    def to_payload(self) -> dict:
+        """Plain-JSON representation (parallel time/value lists)."""
+        return {
+            "times": [float(t) for t in self._times],
+            "values": [float(v) for v in self._values],
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, payload: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_payload` output."""
+        times = payload.get("times", [])
+        values = payload.get("values", [])
+        if len(times) != len(values):
+            raise SimulationError(
+                f"trace {name!r} payload has {len(times)} times "
+                f"but {len(values)} values"
+            )
+        trace = cls(name)
+        for t, v in zip(times, values):
+            trace.append(float(t), float(v))
+        return trace
+
     def min(self) -> float:
         """Smallest recorded value."""
         return float(np.min(self.values))
@@ -143,6 +165,41 @@ class TraceSet:
     def names(self) -> List[str]:
         """Names of all traces, sorted."""
         return sorted(self._traces)
+
+    def to_payload(self) -> dict:
+        """Plain-JSON representation of every trace.
+
+        Aliased names (see :meth:`alias`) are stored as ``{"alias": ...}``
+        references to the first name that owns the samples, so shared
+        traces stay shared after a round-trip and payloads carry each
+        sample list once.
+        """
+        payload: Dict[str, dict] = {}
+        owner_by_id: Dict[int, str] = {}
+        for name in self.names():
+            trace = self._traces[name]
+            owner = owner_by_id.get(id(trace))
+            if owner is None:
+                owner_by_id[id(trace)] = name
+                payload[name] = trace.to_payload()
+            else:
+                payload[name] = {"alias": owner}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, dict]) -> "TraceSet":
+        """Rebuild a trace set from :meth:`to_payload` output."""
+        traces = cls()
+        aliases = []
+        for name in sorted(payload):
+            entry = payload[name]
+            if "alias" in entry:
+                aliases.append((name, entry["alias"]))
+            else:
+                traces._traces[name] = Trace.from_payload(name, entry)
+        for name, existing in aliases:
+            traces.alias(name, existing)
+        return traces
 
     def to_csv(self, times: Sequence[float]) -> str:
         """Resample every trace onto ``times`` and render a CSV string."""

@@ -1,0 +1,56 @@
+"""Persistent content-addressed result storage and resumable campaigns.
+
+The simulation stack computes; this package remembers.  Two pieces:
+
+- :class:`ResultStore` -- a stdlib-SQLite, content-addressed map from
+  ``Scenario.cache_key()`` to the scenario's full JSON-round-trippable
+  :class:`~repro.system.result.SystemResult` payload plus provenance
+  (backend, library version, wall time, timestamp).  Plugged into a
+  :class:`~repro.core.batch.BatchRunner` it becomes the second cache
+  tier (memory LRU -> disk store -> simulate, write-through), shared by
+  every process that opens the same file.
+- :class:`Campaign` -- a named, journaled scenario list executed against
+  a store in crash-safe chunks.  ``run()``/``resume()`` only simulate
+  what the store does not already hold, so large studies survive kills,
+  reboots and code iterations without re-simulating finished work.
+
+Quickstart::
+
+    from repro import BatchRunner, ResultStore, Campaign, named_family
+
+    store = ResultStore("results.db")
+    family = named_family("factory-floor")
+    camp = Campaign.create(store, "floor-study", family.expand(n=40, seed=0))
+    camp.run(jobs=4)          # kill it halfway...
+    camp.resume(jobs=4)       # ...and only the missing scenarios run
+
+    rows = store.query(family="factory-floor", min_transmissions=100)
+"""
+
+from repro.store.db import (
+    STORE_SCHEMA,
+    ResultStore,
+    StoredResult,
+    StoreStats,
+    canonical_json,
+    scenario_family,
+)
+from repro.store.campaign import (
+    Campaign,
+    CampaignStatus,
+    campaign_names,
+    campaign_statuses,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoredResult",
+    "StoreStats",
+    "Campaign",
+    "CampaignStatus",
+    "campaign_names",
+    "campaign_statuses",
+    "canonical_json",
+    "scenario_family",
+]

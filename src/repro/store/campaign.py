@@ -1,0 +1,319 @@
+"""Named, journaled, crash-safe campaign execution.
+
+A :class:`Campaign` is a named list of scenarios journaled inside a
+:class:`~repro.store.db.ResultStore`.  Creating one writes the *intent*
+(every scenario, with its seed already resolved, and its content key)
+into the store in a single transaction; running one simulates the
+scenarios whose keys are not yet in the results table, in bounded
+chunks, writing each chunk through to disk before starting the next.
+
+That split is what makes campaigns resumable: completion state is never
+tracked separately from the results themselves -- a scenario is done
+exactly when its content-addressed result row exists -- so there is no
+journal/result consistency to lose.  Kill the process at any point and
+``Campaign(store, name).run()`` (or ``repro-wsn campaign resume NAME
+--store DB``) picks up with at most one chunk of work repeated, and
+**zero** re-simulation of anything already stored.
+
+Scenarios are journaled with concrete seeds (``seed=None`` entries get
+:func:`repro.rng.derive_seed`-derived ones at creation time), because a
+floating seed would change the content key between runs and defeat
+resumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.batch import BatchRunner
+from repro.errors import ConfigError
+from repro.rng import derive_seed
+from repro.scenario import Scenario
+from repro.store.db import ResultStore, canonical_json
+from repro.system.result import SystemResult
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of one campaign."""
+
+    name: str
+    total: int
+    done: int
+    source: str
+    created_at: str
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+    def summary(self) -> str:
+        """One-line progress report."""
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        label = f" [{self.source}]" if self.source else ""
+        return (
+            f"{self.name}{label}: {self.done}/{self.total} done "
+            f"({pct:.0f}%), {self.pending} pending"
+        )
+
+
+class Campaign:
+    """A journaled scenario list bound to a result store.
+
+    Load an existing campaign with ``Campaign(store, name)``; create a
+    new one with :meth:`create`.  ``run()`` simulates whatever is still
+    missing and returns the full, input-ordered result list; calling it
+    again on a complete campaign costs only store reads.
+    """
+
+    def __init__(self, store: ResultStore, name: str):
+        if not name:
+            raise ConfigError("campaign name must be non-empty")
+        self.store = store
+        self.name = name
+        row = store._conn().execute(
+            "SELECT source, total, created_at FROM campaigns WHERE name=?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            known = ", ".join(campaign_names(store)) or "(none)"
+            raise ConfigError(
+                f"unknown campaign {name!r} in {store.path} (known: {known})"
+            )
+        self.source: str = row[0]
+        self.total: int = int(row[1])
+        self.created_at: str = row[2]
+
+    # -- creation ---------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        store: ResultStore,
+        name: str,
+        scenarios: Sequence[Scenario],
+        seed: int = 0,
+        source: str = "",
+        exist_ok: bool = False,
+    ) -> "Campaign":
+        """Journal ``scenarios`` as campaign ``name`` in ``store``.
+
+        ``seed=None`` scenarios get deterministic per-position seeds
+        derived from ``seed`` (exactly like a
+        :class:`~repro.core.batch.BatchRunner` batch), so the journaled
+        content keys are stable across every later run.
+
+        Re-creating an existing campaign is an error unless ``exist_ok``
+        is set *and* the journaled keys match exactly (same scenarios in
+        the same order) -- then the existing campaign is returned, which
+        makes ``campaign run`` idempotent for the same manifest.
+        """
+        if not name:
+            raise ConfigError("campaign name must be non-empty")
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ConfigError("a campaign needs at least one scenario")
+        resolved = [
+            s if s.seed is not None else s.with_seed(derive_seed(seed, i))
+            for i, s in enumerate(scenarios)
+        ]
+        keys = [s.cache_key() for s in resolved]
+
+        # The existence check lives inside the write transaction: BEGIN
+        # IMMEDIATE serialises racing creators, so the loser *sees* the
+        # winner's row instead of dying on the UNIQUE constraint.
+        conn = store._conn()
+        now = datetime.now(timezone.utc)
+        journaled = None
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            existing = conn.execute(
+                "SELECT 1 FROM campaigns WHERE name=?", (name,)
+            ).fetchone()
+            if existing is None:
+                conn.execute(
+                    "INSERT INTO campaigns(name, source, total, created_at, "
+                    "created_unix) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        name,
+                        source,
+                        len(resolved),
+                        now.isoformat(),
+                        now.timestamp(),
+                    ),
+                )
+                conn.executemany(
+                    "INSERT INTO campaign_scenarios(campaign, idx, key, "
+                    "scenario) VALUES (?, ?, ?, ?)",
+                    [
+                        (name, i, key, canonical_json(s.to_dict()))
+                        for i, (key, s) in enumerate(zip(keys, resolved))
+                    ],
+                )
+            else:
+                journaled = [
+                    row[0]
+                    for row in conn.execute(
+                        "SELECT key FROM campaign_scenarios "
+                        "WHERE campaign=? ORDER BY idx",
+                        (name,),
+                    )
+                ]
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if journaled is not None:
+            if exist_ok and journaled == keys:
+                return cls(store, name)
+            raise ConfigError(
+                f"campaign {name!r} already exists in {store.path}"
+                + (
+                    " with different scenarios"
+                    if exist_ok
+                    else " (pass exist_ok=True to reuse it)"
+                )
+            )
+        return cls(store, name)
+
+    # -- inspection --------------------------------------------------------------
+
+    def scenarios(self) -> List[Scenario]:
+        """The journaled scenario list, in campaign order."""
+        return [
+            Scenario.from_dict(json.loads(row[0]))
+            for row in self.store._conn().execute(
+                "SELECT scenario FROM campaign_scenarios "
+                "WHERE campaign=? ORDER BY idx",
+                (self.name,),
+            )
+        ]
+
+    def pending(self) -> List[Scenario]:
+        """Journaled scenarios whose results are not stored yet."""
+        return [
+            Scenario.from_dict(json.loads(row[0]))
+            for row in self.store._conn().execute(
+                "SELECT cs.scenario FROM campaign_scenarios cs "
+                "LEFT JOIN results r ON r.key = cs.key "
+                "WHERE cs.campaign=? AND r.key IS NULL ORDER BY cs.idx",
+                (self.name,),
+            )
+        ]
+
+    def status(self) -> CampaignStatus:
+        """Progress derived from the durable results table."""
+        done = int(
+            self.store._conn().execute(
+                "SELECT COUNT(*) FROM campaign_scenarios cs "
+                "JOIN results r ON r.key = cs.key WHERE cs.campaign=?",
+                (self.name,),
+            ).fetchone()[0]
+        )
+        return CampaignStatus(
+            name=self.name,
+            total=self.total,
+            done=done,
+            source=self.source,
+            created_at=self.created_at,
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        executor: str = "process",
+        runner: Optional[BatchRunner] = None,
+    ) -> List[SystemResult]:
+        """Simulate everything still missing; return all results in order.
+
+        Pending scenarios execute in chunks of ``chunk_size`` (default
+        ``max(4 * jobs, 16)``), each written through to the store before
+        the next starts, so a crash wastes at most one chunk.  Already
+        stored scenarios are never re-simulated.  A custom ``runner``
+        must carry this campaign's store (that write-through *is* the
+        journal of completed work).
+        """
+        if runner is None:
+            runner = BatchRunner(jobs=jobs, executor=executor, store=self.store)
+        elif runner.store is None:
+            raise ConfigError(
+                "campaign runner must carry the campaign's result store "
+                "(results that never reach disk cannot be resumed)"
+            )
+        elif (
+            runner.store is not self.store
+            and runner.store.path.resolve() != self.store.path.resolve()
+        ):
+            raise ConfigError(
+                f"campaign runner writes to {runner.store.path}, not this "
+                f"campaign's store {self.store.path}; its results would "
+                f"never count as done here"
+            )
+        scenarios = self.scenarios()
+        chunk = chunk_size or max(4 * runner.jobs, 16)
+        if chunk < 1:
+            raise ConfigError("chunk_size must be >= 1")
+
+        # Serve already-durable rows from the store, then simulate the
+        # rest chunkwise, collecting each chunk's results as they are
+        # produced -- the final assembly never re-reads fresh work.
+        by_key: dict = {}
+        pending: List[Scenario] = []
+        for scenario in scenarios:
+            key = scenario.cache_key()
+            if key in by_key:
+                continue
+            stored = self.store.get(key)
+            if stored is not None:
+                by_key[key] = stored
+            else:
+                by_key[key] = None
+                pending.append(scenario)
+        for start in range(0, len(pending), chunk):
+            batch = pending[start : start + chunk]
+            for scenario, result in zip(batch, runner.run(batch)):
+                by_key[scenario.cache_key()] = result
+        return [by_key[s.cache_key()] for s in scenarios]
+
+    def resume(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        executor: str = "process",
+    ) -> List[SystemResult]:
+        """Alias of :meth:`run`: continue after an interruption."""
+        return self.run(jobs=jobs, chunk_size=chunk_size, executor=executor)
+
+    def results(self) -> List[Optional[SystemResult]]:
+        """Stored results in campaign order (``None`` where pending)."""
+        return [self.store.get(s) for s in self.scenarios()]
+
+    def export_rows(self) -> List[Tuple[Scenario, Optional[SystemResult]]]:
+        """(scenario, result-or-None) pairs in campaign order."""
+        scenarios = self.scenarios()
+        return [(s, self.store.get(s)) for s in scenarios]
+
+
+def campaign_names(store: ResultStore) -> List[str]:
+    """Names of every campaign journaled in ``store``, sorted."""
+    return [
+        row[0]
+        for row in store._conn().execute(
+            "SELECT name FROM campaigns ORDER BY name"
+        )
+    ]
+
+
+def campaign_statuses(store: ResultStore) -> List[CampaignStatus]:
+    """Progress snapshots for every campaign in ``store``."""
+    return [Campaign(store, name).status() for name in campaign_names(store)]

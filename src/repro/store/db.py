@@ -1,0 +1,656 @@
+"""The content-addressed on-disk result store.
+
+:class:`ResultStore` is a single-file SQLite database mapping
+``Scenario.cache_key()`` (the scenario's canonical content hash) to the
+fully JSON-round-trippable :meth:`~repro.system.result.SystemResult.to_payload`
+of its simulation, plus provenance: which backend produced it, which
+library version, how long it took and when.  Because the key is a pure
+function of the scenario *content*, re-labelled or re-submitted copies of
+the same simulation dedupe to one row -- across batches, across
+campaigns, across processes and across time.
+
+Design notes
+------------
+- **Stdlib only.**  SQLite ships with CPython; no new dependency.
+- **Safe under fan-out.**  The database runs in WAL mode and every
+  (process, thread) pair gets its own lazily opened connection, so a
+  store object can be shared across a :class:`~repro.core.batch.BatchRunner`
+  thread pool or pickled into process workers.  Writes use
+  ``INSERT OR IGNORE`` inside immediate transactions: when two runners
+  race on the same scenario, exactly one row survives and both see it.
+- **Queryable.**  Headline metrics and the three Table V configuration
+  fields are stored as indexed columns next to the payload, so
+  ``store.query(family=..., min_transmissions=...)`` never parses JSON.
+- **Canonical bytes.**  Payloads are serialised with sorted keys and
+  fixed separators, so identical results are byte-identical rows --
+  which is what the concurrent-writer tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, DesignError
+from repro.scenario import Scenario
+from repro.system.result import SystemResult
+
+#: On-disk layout version, recorded in ``store_meta``; a store created by
+#: an incompatible future layout is refused instead of misread.
+STORE_SCHEMA = 1
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key            TEXT PRIMARY KEY,
+    name           TEXT NOT NULL DEFAULT '',
+    family         TEXT NOT NULL DEFAULT '',
+    backend        TEXT NOT NULL,
+    horizon        REAL NOT NULL,
+    seed           INTEGER,
+    clock_hz       REAL NOT NULL,
+    watchdog_s     REAL NOT NULL,
+    tx_interval_s  REAL NOT NULL,
+    transmissions  INTEGER NOT NULL,
+    final_voltage  REAL NOT NULL,
+    scenario       TEXT NOT NULL,
+    payload        TEXT NOT NULL,
+    repro_version  TEXT NOT NULL,
+    wall_time_s    REAL NOT NULL DEFAULT 0.0,
+    created_at     TEXT NOT NULL,
+    created_unix   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_family ON results(family);
+CREATE INDEX IF NOT EXISTS idx_results_backend ON results(backend);
+CREATE INDEX IF NOT EXISTS idx_results_created ON results(created_unix);
+CREATE TABLE IF NOT EXISTS campaigns (
+    name         TEXT PRIMARY KEY,
+    source       TEXT NOT NULL DEFAULT '',
+    total        INTEGER NOT NULL,
+    created_at   TEXT NOT NULL,
+    created_unix REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaign_scenarios (
+    campaign TEXT NOT NULL,
+    idx      INTEGER NOT NULL,
+    key      TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    PRIMARY KEY (campaign, idx)
+);
+CREATE INDEX IF NOT EXISTS idx_campaign_keys ON campaign_scenarios(key);
+"""
+
+
+def canonical_json(payload: object) -> str:
+    """The store's one serialisation: sorted keys, fixed separators.
+
+    Equal payloads always produce identical bytes, making row-level
+    byte comparison a meaningful integrity check.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _utc_now() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+def scenario_family(scenario: Scenario) -> str:
+    """The family label a scenario's name encodes (``""`` if none).
+
+    Family expansions name their members ``<family>/g<G>r<R>``
+    (:meth:`repro.system.stochastic.StochasticFamily.expand`); everything
+    before the first ``/`` is the family.  Unnamed or flat-named
+    scenarios belong to no family.
+    """
+    name = scenario.name or ""
+    return name.split("/", 1)[0] if "/" in name else ""
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One store row without its (potentially large) payload."""
+
+    key: str
+    name: str
+    family: str
+    backend: str
+    horizon: float
+    seed: Optional[int]
+    clock_hz: float
+    watchdog_s: float
+    tx_interval_s: float
+    transmissions: int
+    final_voltage: float
+    repro_version: str
+    wall_time_s: float
+    created_at: str
+
+    @property
+    def transmissions_per_hour(self) -> float:
+        """Figure of merit normalised to one hour."""
+        if self.horizon <= 0.0:
+            return 0.0
+        return self.transmissions * 3600.0 / self.horizon
+
+    def to_row_dict(self) -> dict:
+        """Flat JSON/CSV-ready dictionary of the indexed columns."""
+        return {
+            "key": self.key,
+            "name": self.name,
+            "family": self.family,
+            "backend": self.backend,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "clock_hz": self.clock_hz,
+            "watchdog_s": self.watchdog_s,
+            "tx_interval_s": self.tx_interval_s,
+            "transmissions": self.transmissions,
+            "transmissions_per_hour": self.transmissions_per_hour,
+            "final_voltage": self.final_voltage,
+            "repro_version": self.repro_version,
+            "wall_time_s": self.wall_time_s,
+            "created_at": self.created_at,
+        }
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of a store (``repro-wsn store stats``)."""
+
+    path: str
+    n_results: int
+    n_campaigns: int
+    by_backend: Tuple[Tuple[str, int], ...]
+    by_family: Tuple[Tuple[str, int], ...]
+    payload_bytes: int
+    file_bytes: int
+    total_wall_time_s: float
+    oldest: Optional[str]
+    newest: Optional[str]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"store: {self.path}",
+            f"results: {self.n_results} "
+            f"({self.payload_bytes / 1e6:.2f} MB payload, "
+            f"{self.file_bytes / 1e6:.2f} MB on disk)",
+            f"campaigns: {self.n_campaigns}",
+            f"simulated wall time banked: {self.total_wall_time_s:.2f} s",
+        ]
+        if self.by_backend:
+            lines.append(
+                "by backend: "
+                + ", ".join(f"{name} {count}" for name, count in self.by_backend)
+            )
+        if self.by_family:
+            lines.append(
+                "by family: "
+                + ", ".join(
+                    f"{name or '(none)'} {count}" for name, count in self.by_family
+                )
+            )
+        if self.oldest:
+            lines.append(f"span: {self.oldest} .. {self.newest}")
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """Content-addressed persistent cache of simulation results.
+
+    Parameters
+    ----------
+    path:
+        Database file.  Created (with schema) on first open; the parent
+        directory must exist.  In-memory databases are rejected because
+        the store's whole point is to outlive the process (and each
+        worker connection would see a different empty database).
+
+    A store instance is cheap, picklable (workers re-open their own
+    connections) and safe to share across threads and processes.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        text = str(path)
+        if text == ":memory:" or text.startswith("file::memory:"):
+            raise ConfigError(
+                "the result store must live on disk (an in-memory store "
+                "would give every worker its own empty database)"
+            )
+        self.path = Path(text)
+        if not self.path.parent.exists():
+            raise ConfigError(
+                f"store directory {str(self.path.parent)!r} does not exist"
+            )
+        self._connections: Dict[Tuple[int, int], sqlite3.Connection] = {}
+        self._init_schema()
+
+    # -- connection management ------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        """The calling (process, thread)'s own connection, opened lazily."""
+        ident = (os.getpid(), threading.get_ident())
+        conn = self._connections.get(ident)
+        if conn is None:
+            try:
+                conn = sqlite3.connect(str(self.path), timeout=60.0)
+            except sqlite3.Error as exc:
+                raise ConfigError(f"cannot open store {self.path}: {exc}") from exc
+            conn.isolation_level = None  # explicit transactions only
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=60000")
+            self._connections[ident] = conn
+        return conn
+
+    def _init_schema(self) -> None:
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # Not executescript(): that would commit the open transaction.
+            for statement in _TABLES.split(";"):
+                if statement.strip():
+                    conn.execute(statement)
+            row = conn.execute(
+                "SELECT value FROM store_meta WHERE key='schema'"
+            ).fetchone()
+            if row is None:
+                now = _utc_now()
+                conn.execute(
+                    "INSERT INTO store_meta(key, value) VALUES (?, ?), (?, ?)",
+                    ("schema", str(STORE_SCHEMA), "created_at", now.isoformat()),
+                )
+            elif row[0] != str(STORE_SCHEMA):
+                raise DesignError(
+                    f"store {self.path} has layout version {row[0]} "
+                    f"(this library reads version {STORE_SCHEMA})"
+                )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def close(self) -> None:
+        """Close the calling (process, thread)'s connection.
+
+        sqlite3 connections are thread-bound, so only the owner may
+        close one; other workers' connections close when their threads
+        or processes end.
+        """
+        conn = self._connections.pop((os.getpid(), threading.get_ident()), None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # Connections cannot cross process boundaries; workers reconnect.
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._connections = {}
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"
+
+    # -- writing ----------------------------------------------------------------
+
+    def put(
+        self,
+        scenario: Scenario,
+        result: SystemResult,
+        wall_time_s: float = 0.0,
+    ) -> bool:
+        """Store ``result`` under ``scenario``'s content hash.
+
+        Idempotent: the first writer of a key wins and later writes of
+        the same key are no-ops (identical content by construction --
+        the key covers everything that determines the simulation).
+        Returns ``True`` when this call inserted the row.
+        """
+        import repro
+
+        key = scenario.cache_key()
+        now = _utc_now()
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
+                """
+                INSERT OR IGNORE INTO results (
+                    key, name, family, backend, horizon, seed,
+                    clock_hz, watchdog_s, tx_interval_s,
+                    transmissions, final_voltage,
+                    scenario, payload, repro_version, wall_time_s,
+                    created_at, created_unix
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    key,
+                    scenario.name,
+                    scenario_family(scenario),
+                    scenario.backend,
+                    scenario.horizon,
+                    scenario.seed,
+                    scenario.config.clock_hz,
+                    scenario.config.watchdog_s,
+                    scenario.config.tx_interval_s,
+                    int(result.transmissions),
+                    float(result.final_voltage),
+                    canonical_json(scenario.to_dict()),
+                    canonical_json(result.to_payload()),
+                    repro.__version__,
+                    float(wall_time_s),
+                    now.isoformat(),
+                    now.timestamp(),
+                ),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount == 1
+
+    # -- reading ----------------------------------------------------------------
+
+    @staticmethod
+    def _key_of(scenario_or_key: Union[Scenario, str]) -> str:
+        if isinstance(scenario_or_key, Scenario):
+            return scenario_or_key.cache_key()
+        return str(scenario_or_key)
+
+    def get(self, scenario_or_key: Union[Scenario, str]) -> Optional[SystemResult]:
+        """The stored result for a scenario (or raw key), or ``None``."""
+        key = self._key_of(scenario_or_key)
+        row = self._conn().execute(
+            "SELECT payload FROM results WHERE key=?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return SystemResult.from_payload(json.loads(row[0]))
+
+    def get_payload_text(
+        self, scenario_or_key: Union[Scenario, str]
+    ) -> Optional[str]:
+        """The stored payload's exact bytes (for integrity checks)."""
+        key = self._key_of(scenario_or_key)
+        row = self._conn().execute(
+            "SELECT payload FROM results WHERE key=?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def get_scenario(
+        self, scenario_or_key: Union[Scenario, str]
+    ) -> Optional[Scenario]:
+        """The scenario document stored next to a result, or ``None``."""
+        key = self._key_of(scenario_or_key)
+        row = self._conn().execute(
+            "SELECT scenario FROM results WHERE key=?", (key,)
+        ).fetchone()
+        return None if row is None else Scenario.from_dict(json.loads(row[0]))
+
+    def __contains__(self, scenario_or_key: Union[Scenario, str]) -> bool:
+        key = self._key_of(scenario_or_key)
+        row = self._conn().execute(
+            "SELECT 1 FROM results WHERE key=?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return int(self._conn().execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def keys(self) -> List[str]:
+        """Every stored content key, sorted."""
+        return [
+            row[0]
+            for row in self._conn().execute(
+                "SELECT key FROM results ORDER BY key"
+            )
+        ]
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self,
+        family: Optional[str] = None,
+        backend: Optional[str] = None,
+        name_like: Optional[str] = None,
+        min_transmissions: Optional[int] = None,
+        max_transmissions: Optional[int] = None,
+        min_final_voltage: Optional[float] = None,
+        max_final_voltage: Optional[float] = None,
+        clock_hz: Optional[float] = None,
+        watchdog_s: Optional[float] = None,
+        tx_interval_s: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[StoredResult]:
+        """Filter stored rows on indexed columns (payloads stay on disk).
+
+        All filters combine with AND; ``name_like`` is a SQL ``LIKE``
+        pattern (``%`` wildcards).  Rows come back oldest-first, then by
+        key for a deterministic order within one timestamp.
+        """
+        clauses: List[str] = []
+        params: List[object] = []
+
+        def _where(condition: str, value: object) -> None:
+            clauses.append(condition)
+            params.append(value)
+
+        if family is not None:
+            _where("family = ?", family)
+        if backend is not None:
+            _where("backend = ?", backend)
+        if name_like is not None:
+            _where("name LIKE ?", name_like)
+        if min_transmissions is not None:
+            _where("transmissions >= ?", int(min_transmissions))
+        if max_transmissions is not None:
+            _where("transmissions <= ?", int(max_transmissions))
+        if min_final_voltage is not None:
+            _where("final_voltage >= ?", float(min_final_voltage))
+        if max_final_voltage is not None:
+            _where("final_voltage <= ?", float(max_final_voltage))
+        if clock_hz is not None:
+            _where("clock_hz = ?", float(clock_hz))
+        if watchdog_s is not None:
+            _where("watchdog_s = ?", float(watchdog_s))
+        if tx_interval_s is not None:
+            _where("tx_interval_s = ?", float(tx_interval_s))
+
+        sql = (
+            "SELECT key, name, family, backend, horizon, seed, clock_hz, "
+            "watchdog_s, tx_interval_s, transmissions, final_voltage, "
+            "repro_version, wall_time_s, created_at FROM results"
+        )
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_unix, key"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        return [
+            StoredResult(
+                key=row[0],
+                name=row[1],
+                family=row[2],
+                backend=row[3],
+                horizon=row[4],
+                seed=row[5],
+                clock_hz=row[6],
+                watchdog_s=row[7],
+                tx_interval_s=row[8],
+                transmissions=row[9],
+                final_voltage=row[10],
+                repro_version=row[11],
+                wall_time_s=row[12],
+                created_at=row[13],
+            )
+            for row in self._conn().execute(sql, params)
+        ]
+
+    def iter_results(self, **filters) -> Iterator[Tuple[StoredResult, SystemResult]]:
+        """Yield (row, full result) pairs for :meth:`query` filters."""
+        for row in self.query(**filters):
+            result = self.get(row.key)
+            if result is not None:
+                yield row, result
+
+    # -- export -----------------------------------------------------------------
+
+    def export_json(self, include_payloads: bool = False, **filters) -> str:
+        """Matching rows as a JSON document (optionally with payloads)."""
+        entries = []
+        for row in self.query(**filters):
+            entry = row.to_row_dict()
+            if include_payloads:
+                text = self.get_payload_text(row.key)
+                entry["result"] = None if text is None else json.loads(text)
+            entries.append(entry)
+        return json.dumps(
+            {"schema": STORE_SCHEMA, "count": len(entries), "results": entries},
+            indent=2,
+            sort_keys=True,
+        )
+
+    def export_csv(self, **filters) -> str:
+        """Matching rows as CSV over the indexed scalar columns.
+
+        Rendered with :mod:`csv` so arbitrary scenario names (commas,
+        quotes, newlines) stay one properly quoted field.
+        """
+        import csv
+        import io
+
+        header = [
+            "key", "name", "family", "backend", "horizon", "seed",
+            "clock_hz", "watchdog_s", "tx_interval_s", "transmissions",
+            "transmissions_per_hour", "final_voltage", "repro_version",
+            "wall_time_s", "created_at",
+        ]
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(header)
+        for row in self.query(**filters):
+            values = row.to_row_dict()
+            writer.writerow(
+                [
+                    ""
+                    if values[column] is None
+                    else f"{values[column]:.9g}"
+                    if isinstance(values[column], float)
+                    else values[column]
+                    for column in header
+                ]
+            )
+        return buf.getvalue().rstrip("\n")
+
+    # -- maintenance -------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Aggregate counts, sizes and provenance span."""
+        conn = self._conn()
+        n_results = int(conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+        n_campaigns = int(
+            conn.execute("SELECT COUNT(*) FROM campaigns").fetchone()[0]
+        )
+        by_backend = tuple(
+            (row[0], int(row[1]))
+            for row in conn.execute(
+                "SELECT backend, COUNT(*) FROM results "
+                "GROUP BY backend ORDER BY backend"
+            )
+        )
+        by_family = tuple(
+            (row[0], int(row[1]))
+            for row in conn.execute(
+                "SELECT family, COUNT(*) FROM results "
+                "GROUP BY family ORDER BY family"
+            )
+        )
+        payload_bytes, wall_time, oldest, newest = conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0), "
+            "COALESCE(SUM(wall_time_s), 0.0), "
+            "MIN(created_at), MAX(created_at) FROM results"
+        ).fetchone()
+        file_bytes = self.path.stat().st_size if self.path.exists() else 0
+        return StoreStats(
+            path=str(self.path),
+            n_results=n_results,
+            n_campaigns=n_campaigns,
+            by_backend=by_backend,
+            by_family=by_family,
+            payload_bytes=int(payload_bytes),
+            file_bytes=int(file_bytes),
+            total_wall_time_s=float(wall_time),
+            oldest=oldest,
+            newest=newest,
+        )
+
+    def gc(
+        self,
+        older_than_days: Optional[float] = None,
+        family: Optional[str] = None,
+        orphans: bool = False,
+        dry_run: bool = False,
+    ) -> int:
+        """Delete matching result rows and reclaim their space.
+
+        ``older_than_days`` keeps recent work, ``family`` targets one
+        family's rows, ``orphans`` selects rows no campaign references.
+        With no selector at all nothing is deleted (an unfiltered purge
+        must be an explicit decision -- pass ``older_than_days=0``).
+        Returns the number of (to-be-)deleted rows; ``dry_run`` only
+        counts.
+        """
+        clauses: List[str] = []
+        params: List[object] = []
+        if older_than_days is not None:
+            cutoff = _utc_now().timestamp() - float(older_than_days) * 86400.0
+            clauses.append("created_unix <= ?")
+            params.append(cutoff)
+        if family is not None:
+            clauses.append("family = ?")
+            params.append(family)
+        if orphans:
+            clauses.append(
+                "key NOT IN (SELECT key FROM campaign_scenarios)"
+            )
+        if not clauses:
+            return 0
+        where = " AND ".join(clauses)
+        conn = self._conn()
+        if dry_run:
+            return int(
+                conn.execute(
+                    f"SELECT COUNT(*) FROM results WHERE {where}", params
+                ).fetchone()[0]
+            )
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(f"DELETE FROM results WHERE {where}", params)
+            deleted = cursor.rowcount
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if deleted:
+            conn.execute("VACUUM")
+        return int(deleted)

@@ -73,3 +73,38 @@ def build_golden_text(name: str) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# -- pinned cache keys ---------------------------------------------------------
+
+#: Fixture file for the pinned content hashes.
+CACHE_KEYS_PATH = GOLDEN_DIR / "cache_keys.json"
+
+#: Stochastic family whose expansion keys are pinned alongside the
+#: deterministic library scenarios.
+CACHE_KEY_FAMILY = ("factory-floor", 2, 0)  # (name, n, seed)
+
+
+def build_cache_keys() -> dict:
+    """Compute ``Scenario.cache_key()`` for the pinned scenario set.
+
+    These hex digests are the result store's on-disk row keys
+    (:mod:`repro.store`): if any of them changes, every existing store
+    silently stops matching its contents.  The fixture makes such a
+    change loud -- regenerate only for an intentional, reviewed format
+    break, and say so in the changelog.
+    """
+    from repro.system.stochastic import named_family
+
+    keys = {
+        name: named_scenario(name).cache_key()
+        for name in ("paper", "bursty", "low-vibration", "cold-start")
+    }
+    family_name, n, seed = CACHE_KEY_FAMILY
+    for scenario in named_family(family_name).expand(n=n, seed=seed):
+        keys[scenario.name] = scenario.cache_key()
+    return keys
+
+
+def build_cache_keys_text() -> str:
+    return json.dumps(build_cache_keys(), indent=2, sort_keys=True) + "\n"

@@ -14,7 +14,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _golden import CANONICAL, build_golden_text, golden_path
+from _golden import (
+    CACHE_KEYS_PATH,
+    CANONICAL,
+    build_cache_keys_text,
+    build_golden_text,
+    golden_path,
+)
 
 
 def main() -> int:
@@ -22,6 +28,8 @@ def main() -> int:
         path = golden_path(name)
         path.write_text(build_golden_text(name))
         print(f"wrote {path}")
+    CACHE_KEYS_PATH.write_text(build_cache_keys_text())
+    print(f"wrote {CACHE_KEYS_PATH}")
     return 0
 
 

@@ -1,0 +1,211 @@
+"""CLI surface of the persistence subsystem.
+
+Covers the ``store`` and ``campaign`` groups, ``--store`` on the
+simulation subcommands, and the canonical result documents written by
+``run-scenario --out`` (which ``repro-wsn report`` must render).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import Campaign, ResultStore
+from repro.system.result import RESULT_SCHEMA, SystemResult
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "cli.db")
+
+
+def test_store_init_and_stats(db, capsys):
+    assert main(["store", "init", db]) == 0
+    assert main(["store", "stats", db]) == 0
+    out = capsys.readouterr().out
+    assert "results: 0" in out
+    assert "campaigns: 0" in out
+
+
+def test_run_scenario_with_store_hits_second_time(db, capsys):
+    argv = ["run-scenario", "low-vibration", "--seed", "1", "--store", db]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "fresh simulation" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "(store:" in second
+    assert len(ResultStore(db)) == 1
+
+
+def test_run_scenario_out_is_canonical_payload(db, tmp_path, capsys):
+    out_file = tmp_path / "result.json"
+    assert (
+        main(
+            [
+                "run-scenario",
+                "low-vibration",
+                "--seed",
+                "1",
+                "--out",
+                str(out_file),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(out_file.read_text())
+    assert payload["schema"] == RESULT_SCHEMA
+    result = SystemResult.from_payload(payload)
+    assert result.horizon == 3600.0
+    # report renders the canonical document.
+    capsys.readouterr()
+    assert main(["report", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "transmissions:" in out
+    assert "energy (mJ):" in out
+
+
+def test_manifest_run_with_store_and_out(db, tmp_path, capsys):
+    manifest = tmp_path / "manifest.json"
+    results_doc = tmp_path / "results.json"
+    assert (
+        main(
+            [
+                "gen-scenarios",
+                "hvac",
+                "--n",
+                "2",
+                "--seed",
+                "1",
+                "--horizon",
+                "120",
+                "--out",
+                str(manifest),
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "run-scenario",
+                str(manifest),
+                "--store",
+                db,
+                "--out",
+                str(results_doc),
+            ]
+        )
+        == 0
+    )
+    assert len(ResultStore(db)) == 2
+    payload = json.loads(results_doc.read_text())
+    assert payload["schema"] == RESULT_SCHEMA
+    assert len(payload["results"]) == 2
+    for entry in payload["results"]:
+        SystemResult.from_payload(entry["result"])  # must parse
+    capsys.readouterr()
+    assert main(["report", str(results_doc)]) == 0
+    out = capsys.readouterr().out
+    assert "total transmissions:" in out
+
+
+def test_gen_scenarios_store_journals_campaign(db, capsys):
+    assert (
+        main(
+            [
+                "gen-scenarios",
+                "hvac",
+                "--n",
+                "2",
+                "--seed",
+                "3",
+                "--horizon",
+                "90",
+                "--store",
+                db,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "hvac-n2-s3" in out
+    campaign = Campaign(ResultStore(db), "hvac-n2-s3")
+    assert campaign.total == 2
+    assert campaign.status().pending == 2
+
+
+def test_campaign_run_resume_status_cycle(db, tmp_path, capsys):
+    manifest = tmp_path / "m.json"
+    main(
+        [
+            "gen-scenarios",
+            "hvac",
+            "--n",
+            "2",
+            "--seed",
+            "1",
+            "--horizon",
+            "90",
+            "--out",
+            str(manifest),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["campaign", "run", str(manifest), "--store", db]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 done" in out
+    assert main(["campaign", "status", "--store", db]) == 0
+    assert "2/2 done" in capsys.readouterr().out
+    assert main(["campaign", "resume", "hvac-n2-s1", "--store", db]) == 0
+    assert "nothing to do" in capsys.readouterr().out
+
+
+def test_store_export_and_gc(db, tmp_path, capsys):
+    main(["run-scenario", "low-vibration", "--seed", "1", "--store", db])
+    capsys.readouterr()
+    assert main(["store", "export", db, "--format", "csv"]) == 0
+    csv_out = capsys.readouterr().out
+    assert csv_out.startswith("key,name,family,backend")
+    assert main(["store", "export", db, "--payloads"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["count"] == 1
+    SystemResult.from_payload(doc["results"][0]["result"])
+    # gc without a selector is refused; orphan gc clears the row.
+    assert main(["store", "gc", db]) == 2
+    capsys.readouterr()
+    assert main(["store", "gc", db, "--orphans"]) == 0
+    assert "deleted 1" in capsys.readouterr().out
+    assert len(ResultStore(db)) == 0
+
+
+def test_report_rejects_payloadless_store_export(db, tmp_path, capsys):
+    main(["run-scenario", "low-vibration", "--seed", "1", "--store", db])
+    export = tmp_path / "export.json"
+    main(["store", "export", db, "--out", str(export)])
+    capsys.readouterr()
+    # No embedded payloads -> an error, never fabricated zero results.
+    assert main(["report", str(export)]) == 1
+    assert "result" in capsys.readouterr().err
+    # With --payloads the same export renders.
+    main(["store", "export", db, "--payloads", "--out", str(export)])
+    capsys.readouterr()
+    assert main(["report", str(export)]) == 0
+    assert "transmissions:" in capsys.readouterr().out
+
+
+def test_montecarlo_with_store_dedupes_repeat(db, capsys):
+    argv = [
+        "montecarlo",
+        "--samples",
+        "3",
+        "--seed",
+        "2",
+        "--store",
+        db,
+    ]
+    assert main(argv) == 0
+    store = ResultStore(db)
+    assert len(store) == 3
+    assert main(argv) == 0  # second run: all served from the store
+    assert len(store) == 3
