@@ -1,0 +1,70 @@
+"""Warm-resume performance of store-backed studies (:mod:`repro.core.study`).
+
+One measurement, written to ``BENCH_study.json``: resuming a completed
+study from its result store must be at least 10x faster than the cold
+run that simulated it.  The cold run pays every design-point and
+verification simulation; the warm resume pays only store reads plus the
+(cheap, deterministic) surrogate fit and surface maximisation -- the
+whole reason the study journal exists.
+"""
+
+import json
+import time
+
+from repro.core.study import Study, paper_study_spec
+from repro.store import ResultStore
+
+#: Simulated seconds per design point: long enough that simulation
+#: dominates, short enough to keep the bench snappy.
+HORIZON = 1800.0
+
+#: Trimmed optimiser budgets: the surface maximisation runs in *both*
+#: passes, so it must stay well below one simulation's cost for the
+#: speedup to measure the store, not the optimisers.
+OPTIMIZER_OPTIONS = {
+    "simulated-annealing": {"n_iterations": 300},
+    "genetic-algorithm": {"population_size": 12, "n_generations": 12},
+}
+
+#: Required cold/warm advantage (acceptance criterion).
+MIN_SPEEDUP = 10.0
+
+
+def test_warm_resume_at_least_10x_faster_than_cold(tmp_path, write_artifact):
+    from dataclasses import replace
+
+    spec = replace(
+        paper_study_spec(seed=1, horizon=HORIZON),
+        name="bench-resume",
+        optimizer_options=OPTIMIZER_OPTIONS,
+    )
+    store = ResultStore(tmp_path / "bench.db")
+
+    cold_study = Study(spec, store=store)
+    t0 = time.perf_counter()
+    cold = cold_study.run()
+    cold_s = time.perf_counter() - t0
+    assert cold_study.status().complete
+
+    # A fresh Study models a new process: empty caches, same disk.
+    t0 = time.perf_counter()
+    warm = Study.resume(store, "bench-resume")
+    warm_s = time.perf_counter() - t0
+
+    assert warm.summary() == cold.summary()
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "design_points": cold.design.n_runs,
+        "horizon_s": HORIZON,
+        "cold_run_s": round(cold_s, 6),
+        "warm_resume_s": round(warm_s, 6),
+        "speedup": round(speedup, 2),
+        "stored_simulations": cold_study.status().total,
+    }
+    write_artifact("BENCH_study.json", json.dumps(payload, indent=2, sort_keys=True))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm resume only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); resumption must beat "
+        f"re-simulation by >= {MIN_SPEEDUP:g}x"
+    )

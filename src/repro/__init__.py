@@ -36,12 +36,18 @@ lazily (``import repro`` stays cheap)::
     store = repro.ResultStore("results.db")
     camp = repro.Campaign.create(store, "floor", family.expand(40, seed=0))
     camp.run(jobs=4)
+
+    # Declarative studies: the whole DoE -> surrogate -> optimise ->
+    # verify pipeline as one serialisable, resumable value.
+    spec = repro.named_study("paper")
+    outcome = repro.Study(spec, store=store).run()   # kill it halfway...
+    outcome = repro.Study.resume(store, "paper")     # ...zero re-simulation
 """
 
 import importlib
 from typing import List
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -88,10 +94,31 @@ _EXPORTS = {
     "VibrationProfile": "repro.system.vibration",
     "SystemParts": "repro.system.components",
     "paper_system": "repro.system.components",
+    # stage registries (repro.doe / repro.rsm / repro.optimize)
+    "register_design": "repro.doe.registry",
+    "get_design": "repro.doe.registry",
+    "design_names": "repro.doe.registry",
+    "register_surrogate": "repro.rsm.registry",
+    "get_surrogate": "repro.rsm.registry",
+    "surrogate_names": "repro.rsm.registry",
+    "register_optimizer": "repro.optimize.registry",
+    "get_optimizer": "repro.optimize.registry",
+    "optimizer_names": "repro.optimize.registry",
+    # declarative studies (repro.core.study)
+    "StudySpec": "repro.core.study",
+    "Study": "repro.core.study",
+    "StudyStatus": "repro.core.study",
+    "STUDY_LIBRARY": "repro.core.study",
+    "named_study": "repro.core.study",
+    "paper_study_spec": "repro.core.study",
+    "study_names": "repro.core.study",
+    "study_status": "repro.core.study",
+    "study_statuses": "repro.core.study",
     # methodology (repro.core)
     "DesignSpaceExplorer": "repro.core.explorer",
     "ExplorationOutcome": "repro.core.explorer",
     "SimulationObjective": "repro.core.objective",
+    "metric_names": "repro.core.objective",
     "monte_carlo": "repro.core.montecarlo",
     "EnvironmentModel": "repro.core.montecarlo",
     "EnvironmentFamily": "repro.core.montecarlo",

@@ -13,6 +13,13 @@ module run (``python -m repro.cli ...``).  Subcommands:
   seeded scenarios.
 - ``explore``       -- the full paper flow: D-optimal DOE, RSM fit, SA + GA,
   verification; prints Table VI and optionally persists JSON.
+  ``--design/--surrogate/--optimizers`` swap any stage for another
+  registered one.
+- ``study``         -- declarative studies (:mod:`repro.core.study`):
+  ``run SPEC.json|NAME``, ``resume NAME``, ``status [NAME]``,
+  ``template``.  A study is the whole explore pipeline as a JSON value,
+  journaled in a result store and resumable after a kill with zero
+  re-simulation of stored design points.
 - ``sweep``         -- Fig. 4-style one-parameter sweep on the simulator.
 - ``report``        -- re-render a persisted exploration outcome.
 - ``tradeoff``      -- NSGA-II Pareto front of transmissions vs. reserve.
@@ -180,8 +187,92 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=1)
     exp.add_argument("--horizon", type=float, default=3600.0)
     exp.add_argument("--save", type=str, default=None, help="persist outcome JSON here")
+    exp.add_argument(
+        "--design",
+        type=str,
+        default="d-optimal",
+        help="registered design generator (default: d-optimal)",
+    )
+    exp.add_argument(
+        "--surrogate",
+        type=str,
+        default="quadratic",
+        help="registered surrogate fitter (default: quadratic)",
+    )
+    exp.add_argument(
+        "--optimizers",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help=(
+            "comma-separated registered optimizers "
+            "(default: simulated-annealing,genetic-algorithm)"
+        ),
+    )
     _add_backend_jobs(exp)
     _add_store(exp)
+
+    stu = sub.add_parser(
+        "study", help="declarative, journaled, resumable explorations"
+    )
+    stu_sub = stu.add_subparsers(dest="study_command", required=True)
+
+    stu_run = stu_sub.add_parser(
+        "run", help="execute a study spec (JSON file or library name)"
+    )
+    stu_run.add_argument(
+        "spec",
+        type=str,
+        help="StudySpec JSON file, or a library name (e.g. 'paper')",
+    )
+    stu_run.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="journal name override (default: the spec's own name)",
+    )
+    stu_run.add_argument("--jobs", type=int, default=None)
+    stu_run.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="design points per durable chunk (default: max(4*jobs, 8))",
+    )
+    stu_run.add_argument(
+        "--save", type=str, default=None, help="persist outcome JSON here"
+    )
+    _add_store(stu_run)
+
+    stu_res = stu_sub.add_parser(
+        "resume", help="continue an interrupted study"
+    )
+    stu_res.add_argument("name", type=str, help="journaled study name")
+    stu_res.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+    stu_res.add_argument("--jobs", type=int, default=None)
+    stu_res.add_argument(
+        "--save", type=str, default=None, help="persist outcome JSON here"
+    )
+
+    stu_st = stu_sub.add_parser("status", help="study progress")
+    stu_st.add_argument(
+        "name",
+        type=str,
+        nargs="?",
+        default=None,
+        help="study name (omit to list every study)",
+    )
+    stu_st.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+
+    stu_tpl = stu_sub.add_parser(
+        "template", help="print a starter spec (the paper study) as JSON"
+    )
+    stu_tpl.add_argument(
+        "--out", type=str, default=None, help="write the spec here (default: stdout)"
+    )
 
     swp = sub.add_parser("sweep", help="one-parameter sweep (Fig. 4 style)")
     swp.add_argument(
@@ -519,28 +610,132 @@ def _cmd_gen_scenarios(args) -> int:
     return 0
 
 
-def _cmd_explore(args) -> int:
-    from repro.core.paper import paper_explorer
+def _print_outcome(outcome, save: Optional[str] = None) -> None:
     from repro.core.report import render_table_vi
 
-    explorer = paper_explorer(
-        seed=args.seed,
-        horizon=args.horizon,
-        backend=args.backend,
-        jobs=args.jobs,
-        store=_open_store(args.store) if args.store else None,
-    )
-    outcome = explorer.run(n_runs=args.runs, seed=args.seed)
     print(outcome.summary())
     print()
     print(render_table_vi(outcome))
     print("\nmodel: y =", outcome.model.to_string(["x1", "x2", "x3"]))
-    if args.save:
+    if save:
         from repro.core.campaign import save_outcome
 
-        save_outcome(outcome, args.save)
-        print(f"\noutcome saved to {args.save}")
+        save_outcome(outcome, save)
+        print(f"\noutcome saved to {save}")
+
+
+def _cmd_explore(args) -> int:
+    from dataclasses import replace
+
+    from repro.core.study import Study, paper_study_spec, variant_name
+
+    spec = paper_study_spec(
+        seed=args.seed,
+        n_runs=args.runs,
+        horizon=args.horizon,
+        backend=args.backend,
+        jobs=args.jobs,
+    )
+    optimizers = (
+        tuple(n.strip() for n in args.optimizers.split(",") if n.strip())
+        if args.optimizers
+        else spec.optimizers
+    )
+    spec = variant_name(
+        replace(
+            spec,
+            design=args.design,
+            surrogate=args.surrogate,
+            optimizers=optimizers,
+        ),
+        paper_study_spec(),
+    )
+    study = Study(
+        spec,
+        store=_open_store(args.store) if args.store else None,
+        on_name_conflict="suffix",
+    )
+    outcome = study.run()
+    _print_outcome(outcome, save=args.save)
     return 0
+
+
+def _cmd_study(args) -> int:
+    from pathlib import Path
+
+    from repro.core.study import (
+        STUDY_LIBRARY,
+        Study,
+        StudySpec,
+        named_study,
+        paper_study_spec,
+        study_status,
+        study_statuses,
+    )
+
+    if args.study_command == "template":
+        text = paper_study_spec().to_json()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"study template written to {args.out}")
+            print(f"run it with: repro-wsn study run {args.out} --store results.db")
+        else:
+            print(text)
+        return 0
+    if args.study_command == "run":
+        from dataclasses import replace
+
+        path = Path(args.spec)
+        if args.spec in STUDY_LIBRARY and not path.exists():
+            spec = named_study(args.spec)
+        else:
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                print(f"error: cannot read study spec: {exc}", file=sys.stderr)
+                return 1
+            spec = StudySpec.from_json(text)
+        if args.name:
+            spec = replace(spec, name=args.name)
+        store = _open_store(args.store) if args.store else None
+        study = Study(spec, store=store, jobs=args.jobs, chunk_size=args.chunk)
+        print(spec.describe())
+        if store is not None:
+            before = study.status()
+            print(before.summary())
+        outcome = study.run()
+        if store is not None:
+            print(study.status().summary())
+        _print_outcome(outcome, save=args.save)
+        if store is None:
+            print(
+                "\nhint: add --store DB to journal this study and make it "
+                "resumable"
+            )
+        return 0
+    if args.study_command == "resume":
+        store = _open_store(args.store)
+        study = Study.load(store, args.name, jobs=args.jobs)
+        before = study.status()
+        print(before.summary())
+        outcome = study.run()
+        print(study.status().summary())
+        _print_outcome(outcome, save=args.save)
+        return 0
+    if args.study_command == "status":
+        store = _open_store(args.store)
+        if args.name is not None:
+            print(study_status(store, args.name).summary())
+            return 0
+        statuses = study_statuses(store)
+        if not statuses:
+            print("no studies in this store")
+            return 0
+        for status in statuses:
+            print(status.summary())
+        return 0
+    raise AssertionError(f"unhandled study command {args.study_command!r}")
 
 
 def _cmd_sweep(args) -> int:
@@ -796,6 +991,7 @@ _COMMANDS = {
     "run-scenario": _cmd_run_scenario,
     "gen-scenarios": _cmd_gen_scenarios,
     "explore": _cmd_explore,
+    "study": _cmd_study,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "tradeoff": _cmd_tradeoff,

@@ -10,6 +10,8 @@ Workflow (paper sections II and V):
 
 - :mod:`repro.core.objective` -- cached simulation objective.
 - :mod:`repro.core.explorer` -- :class:`~repro.core.explorer.DesignSpaceExplorer`.
+- :mod:`repro.core.study` -- declarative, serialisable, resumable studies
+  (:class:`~repro.core.study.StudySpec` / :class:`~repro.core.study.Study`).
 - :mod:`repro.core.batch` -- parallel scenario batches (:class:`BatchRunner`).
 - :mod:`repro.core.report` -- table/figure regeneration helpers.
 - :mod:`repro.core.campaign` -- JSON persistence of exploration outcomes.
@@ -19,6 +21,16 @@ Workflow (paper sections II and V):
 from repro.core.batch import BatchRunner
 from repro.core.campaign import load_outcome, save_outcome
 from repro.core.explorer import DesignSpaceExplorer, ExplorationOutcome, OptimaEntry
+from repro.core.study import (
+    Study,
+    StudySpec,
+    StudyStatus,
+    named_study,
+    paper_study_spec,
+    study_names,
+    study_status,
+    study_statuses,
+)
 from repro.core.montecarlo import EnvironmentModel, MonteCarloResult, monte_carlo
 from repro.core.multiobjective import MultiObjectiveSimulation, explore_tradeoff
 from repro.core.objective import SimulationObjective
@@ -40,17 +52,25 @@ __all__ = [
     "MultiObjectiveSimulation",
     "OptimaEntry",
     "SimulationObjective",
+    "Study",
+    "StudySpec",
+    "StudyStatus",
     "design_space_sweep",
     "explore_tradeoff",
     "format_table",
     "load_outcome",
     "monte_carlo",
     "morris_screening",
+    "named_study",
     "paper_explorer",
     "paper_objective",
     "paper_parameter_space",
+    "paper_study_spec",
     "robustness_study",
     "run_paper_flow",
     "save_outcome",
+    "study_names",
+    "study_status",
+    "study_statuses",
     "table_vi_rows",
 ]

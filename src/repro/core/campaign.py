@@ -52,6 +52,7 @@ def save_outcome(outcome: ExplorationOutcome, path: Union[str, Path]) -> None:
             "config": outcome.original_config.as_vector(),
             "transmissions": outcome.original_transmissions,
         },
+        "metric": outcome.metric,
         "optima": [
             {
                 "method": e.method,
@@ -135,4 +136,5 @@ def load_outcome(path: Union[str, Path]) -> ExplorationOutcome:
         original_transmissions=raw["original"]["transmissions"],
         optima=optima,
         n_simulations=raw.get("n_simulations", 0),
+        metric=raw.get("metric", "transmissions"),
     )

@@ -4,28 +4,39 @@
 verify.  Optimisers maximise the cheap fitted surface (as in the paper);
 the winning points are then *verified* with full simulations, which is
 what Table VI reports.
+
+Every stage is resolved through a process-wide registry -- designs from
+:mod:`repro.doe.registry`, surrogates from :mod:`repro.rsm.registry`,
+optimisers from :mod:`repro.optimize.registry` -- so the pipeline is
+assembled from names, exactly like simulation backends.  The serialisable
+face of that idea is :class:`~repro.core.study.StudySpec`; this class
+remains the imperative driver underneath it (and keeps its original
+callable-based signatures working).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.doe.design import Design
-from repro.doe.doptimal import d_optimal
+from repro.doe.registry import get_design
 from repro.errors import DesignError
-from repro.optimize.annealing import simulated_annealing
-from repro.optimize.genetic import genetic_algorithm
+from repro.optimize.registry import get_optimizer
 from repro.optimize.problem import Problem
 from repro.optimize.result import OptimizationResult
 from repro.rng import derive_seed
 from repro.rsm.coding import ParameterSpace
 from repro.rsm.diagnostics import FitDiagnostics, diagnostics
-from repro.rsm.model import ResponseSurface, fit_response_surface
+from repro.rsm.model import ResponseSurface
+from repro.rsm.registry import get_surrogate
 from repro.core.objective import SimulationObjective
 from repro.system.config import SystemConfig
+
+#: The paper's two surface maximisers, in its order.
+DEFAULT_OPTIMIZERS: Tuple[str, ...] = ("simulated-annealing", "genetic-algorithm")
 
 
 @dataclass
@@ -42,7 +53,13 @@ class OptimaEntry:
 
 @dataclass
 class ExplorationOutcome:
-    """Everything the paper's evaluation section reports."""
+    """Everything the paper's evaluation section reports.
+
+    ``metric`` names the response every value in here measures
+    (:data:`repro.core.objective.METRICS`); ``original_transmissions``
+    keeps its historical name but holds that metric's value for the
+    original design.
+    """
 
     space: ParameterSpace
     design: Design
@@ -53,6 +70,13 @@ class ExplorationOutcome:
     original_transmissions: float
     optima: List[OptimaEntry] = field(default_factory=list)
     n_simulations: int = 0
+    metric: str = "transmissions"
+
+    def format_value(self, value: float) -> str:
+        """One metric value as text (counts as integers, else 4 s.f.)."""
+        if self.metric == "transmissions":
+            return f"{value:.0f}"
+        return f"{value:.4g}"
 
     def best(self) -> OptimaEntry:
         """The optimiser entry with the highest *simulated* value."""
@@ -61,7 +85,12 @@ class ExplorationOutcome:
         return max(self.optima, key=lambda e: e.simulated_value)
 
     def improvement_factor(self) -> float:
-        """Best simulated transmissions relative to the original design."""
+        """Best simulated transmissions relative to the original design.
+
+        ``inf`` when the original design produced no transmissions at
+        all (any improvement over zero is unbounded); :meth:`summary`
+        renders that case as "n/a" instead of a meaningless ``infx``.
+        """
         if self.original_transmissions <= 0:
             return float("inf")
         return self.best().simulated_value / self.original_transmissions
@@ -72,16 +101,29 @@ class ExplorationOutcome:
             f"design: {self.design.name} ({self.design.n_runs} runs), "
             f"R^2 = {self.fit_diagnostics.r2:.3f}",
             f"original  {self.original_config.describe()}: "
-            f"{self.original_transmissions:.0f} transmissions",
+            f"{self.format_value(self.original_transmissions)} {self.metric}",
         ]
         for entry in self.optima:
             lines.append(
                 f"{entry.method:<20s} {entry.config.describe()}: "
-                f"{entry.simulated_value:.0f} transmissions "
-                f"(RSM predicted {entry.rsm_value:.0f})"
+                f"{self.format_value(entry.simulated_value)} {self.metric} "
+                f"(RSM predicted {self.format_value(entry.rsm_value)})"
             )
-        lines.append(f"improvement factor: {self.improvement_factor():.2f}x")
+        if self.original_transmissions <= 0:
+            lines.append(
+                f"improvement factor: n/a "
+                f"(original design produced 0 {self.metric})"
+            )
+        else:
+            lines.append(f"improvement factor: {self.improvement_factor():.2f}x")
         return "\n".join(lines)
+
+
+#: ``optimizers`` arguments accepted by the explorer: named registry
+#: entries (new) or a mapping of label -> callable (the original API).
+OptimizerArg = Union[
+    Sequence[str], Mapping[str, Callable[..., OptimizationResult]], None
+]
 
 
 class DesignSpaceExplorer:
@@ -102,48 +144,68 @@ class DesignSpaceExplorer:
     # -- pipeline stages --------------------------------------------------------
 
     def build_design(
-        self, n_runs: int = 10, method: str = "fedorov", seed: int = 0
+        self,
+        n_runs: int = 10,
+        method: str = "fedorov",
+        seed: int = 0,
+        design: str = "d-optimal",
+        options: Optional[Mapping[str, object]] = None,
     ) -> Design:
-        """Stage 1: the D-optimal design (paper: 10 runs, 3-level grid)."""
-        return d_optimal(
-            self.space.k,
-            n_runs,
-            kind="quadratic",
-            method=method,
-            seed=derive_seed(seed, 11),
-            space=self.space,
+        """Stage 1: a named design (paper: 10-run D-optimal, 3-level grid).
+
+        ``design`` names a :mod:`repro.doe.registry` generator;
+        ``method`` is kept for backward compatibility and feeds the
+        D-optimal exchange algorithm choice.
+        """
+        opts = dict(options or {})
+        if design == "d-optimal":
+            opts.setdefault("method", method)
+        return get_design(design)(
+            self.space, n_runs, derive_seed(seed, 11), **opts
         )
 
     def run_design(self, design: Design) -> np.ndarray:
         """Stage 2: simulate every design point."""
         return self.objective.evaluate_design(design.points)
 
-    def fit_model(self, design: Design, responses: np.ndarray) -> ResponseSurface:
-        """Stage 3: fit the quadratic response surface (eq. 9)."""
-        return fit_response_surface(
-            design.points, responses, kind="quadratic", space=self.space
+    def fit_model(
+        self,
+        design: Design,
+        responses: np.ndarray,
+        surrogate: str = "quadratic",
+        options: Optional[Mapping[str, object]] = None,
+    ) -> ResponseSurface:
+        """Stage 3: fit the named surrogate (default: eq. 9 quadratic)."""
+        return get_surrogate(surrogate)(
+            design.points, responses, space=self.space, **dict(options or {})
         )
 
     def optimise_model(
         self,
         model: ResponseSurface,
         seed: int = 0,
-        optimizers: Optional[Dict[str, Callable[..., OptimizationResult]]] = None,
+        optimizers: OptimizerArg = None,
+        optimizer_options: Optional[Mapping[str, Mapping[str, object]]] = None,
     ) -> List[OptimaEntry]:
-        """Stage 4+5: maximise the surface, then verify by simulation."""
+        """Stage 4+5: maximise the surface, then verify by simulation.
+
+        ``optimizers`` is a sequence of :mod:`repro.optimize.registry`
+        names (default: the paper's SA + GA) or, as before, a mapping of
+        label -> optimiser callable.  ``optimizer_options`` supplies
+        per-name keyword arguments for the named form.
+        """
         problem = Problem(
             objective=lambda x: float(model.predict_coded(x)),
             bounds=self.space.bounds_coded(),
             maximize=True,
             name="rsm-surface",
         )
-        methods = optimizers or {
-            "simulated-annealing": simulated_annealing,
-            "genetic-algorithm": genetic_algorithm,
-        }
         entries: List[OptimaEntry] = []
-        for i, (name, method) in enumerate(methods.items()):
-            result = method(problem, seed=derive_seed(seed, 100 + i))
+        options = dict(optimizer_options or {})
+        for i, (name, method) in enumerate(self._resolve(optimizers)):
+            result = method(
+                problem, seed=derive_seed(seed, 100 + i), **dict(options.get(name, {}))
+            )
             coded = self.space.clip_coded(result.x)
             config = self.objective.config_from_coded(coded)
             simulated = self.objective(coded)
@@ -159,6 +221,17 @@ class DesignSpaceExplorer:
             )
         return entries
 
+    @staticmethod
+    def _resolve(
+        optimizers: OptimizerArg,
+    ) -> List[Tuple[str, Callable[..., OptimizationResult]]]:
+        """Names -> registry lookups; mappings pass through unchanged."""
+        if optimizers is None:
+            optimizers = DEFAULT_OPTIMIZERS
+        if isinstance(optimizers, Mapping):
+            return list(optimizers.items())
+        return [(name, get_optimizer(name)) for name in optimizers]
+
     # -- one-call flow -----------------------------------------------------------
 
     def run(
@@ -167,19 +240,37 @@ class DesignSpaceExplorer:
         seed: int = 0,
         doe_method: str = "fedorov",
         design: Optional[Design] = None,
-        optimizers: Optional[Dict[str, Callable[..., OptimizationResult]]] = None,
+        optimizers: OptimizerArg = None,
+        design_name: str = "d-optimal",
+        design_options: Optional[Mapping[str, object]] = None,
+        surrogate: str = "quadratic",
+        surrogate_options: Optional[Mapping[str, object]] = None,
+        optimizer_options: Optional[Mapping[str, Mapping[str, object]]] = None,
     ) -> ExplorationOutcome:
         """Execute the full paper workflow and return every artefact."""
-        design = design or self.build_design(n_runs, method=doe_method, seed=seed)
+        design = design or self.build_design(
+            n_runs,
+            method=doe_method,
+            seed=seed,
+            design=design_name,
+            options=design_options,
+        )
         responses = self.run_design(design)
-        model = self.fit_model(design, responses)
-        X = design.model_matrix("quadratic")
+        model = self.fit_model(
+            design, responses, surrogate=surrogate, options=surrogate_options
+        )
+        X = model.basis.expand(design.points)
         diag = diagnostics(X, responses, model.fit)
         original_coded = self.space.to_coded(
             np.array(self.original_config.as_vector())
         )
         original_value = self.objective(original_coded)
-        optima = self.optimise_model(model, seed=seed, optimizers=optimizers)
+        optima = self.optimise_model(
+            model,
+            seed=seed,
+            optimizers=optimizers,
+            optimizer_options=optimizer_options,
+        )
         return ExplorationOutcome(
             space=self.space,
             design=design,
@@ -190,4 +281,5 @@ class DesignSpaceExplorer:
             original_transmissions=float(original_value),
             optima=optima,
             n_simulations=self.objective.n_simulations,
+            metric=getattr(self.objective, "metric", "transmissions"),
         )

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.batch import BatchRunner
+from repro.errors import ConfigError
 from repro.rng import derive_seed
 from repro.rsm.coding import ParameterSpace
 from repro.scenario import PartsSpec, Scenario
@@ -32,6 +33,31 @@ from repro.system.components import paper_system
 from repro.system.config import SystemConfig, paper_parameter_space
 from repro.system.result import SystemResult
 from repro.system.vibration import VibrationProfile
+
+#: Named objective metrics: how one :class:`SystemResult` becomes the
+#: scalar the DOE/RSM/optimiser pipeline maximises.  ``transmissions``
+#: is the paper's figure of merit; the others let a declarative
+#: :class:`~repro.core.study.StudySpec` study different responses of the
+#: same simulations.
+METRICS: Dict[str, Callable[[SystemResult], float]] = {
+    "transmissions": lambda r: float(r.transmissions),
+    "transmissions-per-hour": lambda r: float(r.transmissions_per_hour),
+    "final-voltage": lambda r: float(r.final_voltage),
+}
+
+
+def metric_names() -> "list[str]":
+    """Names accepted by ``SimulationObjective(metric=...)``."""
+    return sorted(METRICS)
+
+
+def get_metric(name: str) -> Callable[[SystemResult], float]:
+    """The metric extractor registered under ``name``."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        known = ", ".join(metric_names())
+        raise ConfigError(f"unknown metric {name!r} (known: {known})") from None
 
 
 class SimulationObjective:
@@ -63,6 +89,10 @@ class SimulationObjective:
         simulations are then persisted and shared across runs, so a
         repeated exploration (same seed, same horizon) re-simulates
         nothing.
+    metric:
+        Named :data:`METRICS` entry extracting the scalar objective from
+        each :class:`SystemResult` (default: the paper's transmission
+        count).
     """
 
     def __init__(
@@ -77,10 +107,9 @@ class SimulationObjective:
         backend: str = "envelope",
         jobs: int = 1,
         store=None,
+        metric: str = "transmissions",
     ):
         if parts is not None and parts_factory is not None:
-            from repro.errors import ConfigError
-
             raise ConfigError(
                 "pass either parts (declarative) or parts_factory "
                 "(opaque callable), not both"
@@ -94,6 +123,8 @@ class SimulationObjective:
         self.parts_spec = parts
         self.backend = backend
         self.jobs = int(jobs)
+        self.metric = metric
+        self._metric_fn = get_metric(metric)
         self._declarative_parts = parts_factory is None
         self._runner = BatchRunner(jobs=self.jobs, seed=seed, store=store)
         self._cache: Dict[Tuple[float, ...], float] = {}
@@ -127,6 +158,16 @@ class SimulationObjective:
             options=options,
         )
 
+    def scenario_key(self, coded: np.ndarray) -> str:
+        """Content key of the scenario an evaluation of ``coded`` runs.
+
+        Applies the same memo-key rounding as :meth:`__call__`, so this
+        is exactly the key a result store is probed/populated with --
+        what study resumption uses to derive completion state.
+        """
+        key = self._key(coded)
+        return self.scenario_for(self.config_from_coded(np.array(key))).cache_key()
+
     def simulate(self, config: SystemConfig, record_traces: bool = False) -> SystemResult:
         """Run one full simulation of ``config``."""
         self.n_simulations += 1
@@ -148,7 +189,7 @@ class SimulationObjective:
         key = self._key(coded)
         if key not in self._cache:
             result = self.simulate(self.config_from_coded(np.array(key)))
-            self._cache[key] = float(result.transmissions)
+            self._cache[key] = self._metric_fn(result)
         return self._cache[key]
 
     def evaluate_design(self, points_coded: np.ndarray) -> np.ndarray:
@@ -168,7 +209,7 @@ class SimulationObjective:
                 ]
                 self.n_simulations += len(missing)
                 for k, result in zip(missing, self._runner.run(scenarios)):
-                    self._cache[k] = float(result.transmissions)
+                    self._cache[k] = self._metric_fn(result)
         return np.array([self(row) for row in pts])
 
     def _key(self, coded: np.ndarray) -> Tuple[float, ...]:

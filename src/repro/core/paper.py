@@ -3,15 +3,18 @@
 These helpers pin the exact evaluation conditions of the paper's section V
 (60 mg, +5 Hz steps every 25 minutes, one hour, Table V ranges, 10-run
 D-optimal, SA + GA) so examples, tests and benches all reproduce the same
-artefacts.  ``backend`` and ``jobs`` thread through to the scenario-based
-:class:`~repro.core.objective.SimulationObjective`, so the whole flow can
-run on any registered backend and fan simulations out over workers.
+artefacts.  Since the declarative study API landed they are thin wrappers
+over the named ``"paper"`` :class:`~repro.core.study.StudySpec`:
+``run_paper_flow(...)`` is literally ``Study(paper_study_spec(...),
+store=store).run()``, so everything it produces is journaled, store-backed
+and resumable exactly like any other study.
 """
 
 from __future__ import annotations
 
 from repro.core.explorer import DesignSpaceExplorer, ExplorationOutcome
 from repro.core.objective import SimulationObjective
+from repro.core.study import Study, paper_study_spec, variant_name
 from repro.system.config import ORIGINAL_DESIGN, paper_parameter_space
 
 
@@ -67,9 +70,17 @@ def run_paper_flow(
     Returns the outcome whose pieces map to the paper's artefacts:
     ``outcome.model`` (eq. 9), ``outcome.design`` (the 10-run D-optimal
     design), ``outcome.optima`` + ``outcome.original_transmissions``
-    (Table VI).
+    (Table VI).  With ``store`` the run is journaled as the study
+    ``"paper"`` and can be resumed with ``Study.resume(store, "paper")``.
     """
-    explorer = paper_explorer(
-        seed=seed, horizon=horizon, backend=backend, jobs=jobs, store=store
+    # Cache-style API: only the canonical spec journals as "paper";
+    # tweaked settings journal under paper@<spec key> so re-running
+    # variants against one store never refuses (and never squats the
+    # canonical name) like an explicit `study run` name clash would.
+    spec = variant_name(
+        paper_study_spec(
+            seed=seed, n_runs=n_runs, horizon=horizon, backend=backend, jobs=jobs
+        ),
+        paper_study_spec(),
     )
-    return explorer.run(n_runs=n_runs, seed=seed)
+    return Study(spec, store=store, on_name_conflict="suffix").run()

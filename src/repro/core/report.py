@@ -54,9 +54,9 @@ def table_vi_rows(outcome: ExplorationOutcome) -> List[List[str]]:
             *[f"{e.config.tx_interval_s:g}" for e in outcome.optima],
         ],
         [
-            "transmissions",
-            f"{outcome.original_transmissions:.0f}",
-            *[f"{e.simulated_value:.0f}" for e in outcome.optima],
+            outcome.metric,
+            outcome.format_value(outcome.original_transmissions),
+            *[outcome.format_value(e.simulated_value) for e in outcome.optima],
         ],
     ]
     return rows

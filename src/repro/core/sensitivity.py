@@ -16,12 +16,13 @@ Two studies beyond the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.backends import quiet_options
 from repro.core.batch import BatchRunner
+from repro.core.explorer import ExplorationOutcome
 from repro.core.objective import SimulationObjective
 from repro.errors import DesignError
 from repro.rng import SeedLike, ensure_rng
@@ -170,7 +171,7 @@ def perturbation_family(
 
 
 def robustness_study(
-    config: SystemConfig,
+    config: Union[SystemConfig, ExplorationOutcome],
     seed: int = 0,
     accel_levels_mg: Sequence[float] = (45.0, 60.0, 75.0),
     f_starts: Sequence[float] = (62.0, 64.0, 66.0),
@@ -182,11 +183,19 @@ def robustness_study(
 ) -> RobustnessReport:
     """Evaluate ``config`` across a small grid of perturbed environments.
 
+    ``config`` is a :class:`SystemConfig`, or an
+    :class:`~repro.core.explorer.ExplorationOutcome` (e.g. fresh from a
+    :class:`~repro.core.study.Study`) whose best verified optimum is
+    studied -- the natural follow-up question "does the tuned optimum
+    survive conditions it was not optimised for?" in one call.
+
     The grid is :func:`perturbation_family` -- 9 scenarios by default,
     expanded with ``seed`` and dispatched as one scenario batch on
     ``jobs`` workers.  ``store`` (a :class:`~repro.store.ResultStore`)
     persists the evaluations for later queries and repeat studies.
     """
+    if isinstance(config, ExplorationOutcome):
+        config = config.best().config
     family = perturbation_family(
         config,
         accel_levels_mg=accel_levels_mg,

@@ -14,6 +14,9 @@ local/baseline methods a practitioner would sanity-check against:
 - :mod:`repro.optimize.nelder_mead` -- bounded Nelder-Mead simplex.
 - :mod:`repro.optimize.multistart` -- restart wrapper for local methods.
 - :mod:`repro.optimize.baselines` -- grid and random search.
+- :mod:`repro.optimize.registry` -- named optimisers
+  (:func:`~repro.optimize.registry.register_optimizer`) for declarative
+  studies.
 """
 
 from repro.optimize.annealing import simulated_annealing
@@ -24,6 +27,11 @@ from repro.optimize.nelder_mead import nelder_mead
 from repro.optimize.pareto import ParetoResult, nsga2, pareto_front
 from repro.optimize.pattern import pattern_search
 from repro.optimize.problem import Problem
+from repro.optimize.registry import (
+    get_optimizer,
+    optimizer_names,
+    register_optimizer,
+)
 from repro.optimize.result import OptimizationResult
 
 __all__ = [
@@ -31,12 +39,15 @@ __all__ = [
     "ParetoResult",
     "Problem",
     "genetic_algorithm",
+    "get_optimizer",
     "grid_search",
     "multistart",
     "nelder_mead",
     "nsga2",
+    "optimizer_names",
     "pareto_front",
     "pattern_search",
     "random_search",
+    "register_optimizer",
     "simulated_annealing",
 ]

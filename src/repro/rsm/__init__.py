@@ -10,6 +10,9 @@
   (the goodness-of-fit assessment the paper omits for space).
 - :mod:`repro.rsm.anova` -- ANOVA decomposition of the fit.
 - :mod:`repro.rsm.crossval` -- leave-one-out cross-validation.
+- :mod:`repro.rsm.registry` -- named surrogate fitters
+  (:func:`~repro.rsm.registry.register_surrogate`) for declarative
+  studies.
 """
 
 from repro.rsm.anova import AnovaTable, anova
@@ -18,6 +21,11 @@ from repro.rsm.coding import CodedTransform, Parameter, ParameterSpace
 from repro.rsm.crossval import kfold_rmse, loocv_rmse
 from repro.rsm.diagnostics import FitDiagnostics, diagnostics
 from repro.rsm.model import ResponseSurface, fit_response_surface
+from repro.rsm.registry import (
+    get_surrogate,
+    register_surrogate,
+    surrogate_names,
+)
 from repro.rsm.stepwise import backward_elimination, forward_selection
 
 __all__ = [
@@ -33,6 +41,9 @@ __all__ = [
     "diagnostics",
     "fit_response_surface",
     "forward_selection",
+    "get_surrogate",
     "kfold_rmse",
     "loocv_rmse",
+    "register_surrogate",
+    "surrogate_names",
 ]

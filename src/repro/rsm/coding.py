@@ -16,7 +16,7 @@ so we implement the standard half-*range* denominator, which does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,29 @@ class Parameter:
         """Whether a natural value lies within the range (with tolerance)."""
         span = self.high - self.low
         return self.low - tol * span <= natural <= self.high + tol * span
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Plain-JSON dictionary (``from_payload`` round-trips it)."""
+        return {
+            "name": self.name,
+            "low": self.low,
+            "high": self.high,
+            "coded_symbol": self.coded_symbol,
+            "unit": self.unit,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "Parameter":
+        """Rebuild a parameter from :meth:`to_payload` output."""
+        return cls(
+            name=str(payload["name"]),
+            low=float(payload["low"]),
+            high=float(payload["high"]),
+            coded_symbol=str(payload.get("coded_symbol", "x")),
+            unit=str(payload.get("unit", "")),
+        )
 
 
 class CodedTransform:
@@ -146,3 +169,34 @@ class ParameterSpace(CodedTransform):
             if p.name == name:
                 return p
         raise DesignError(f"no parameter named {name!r}")
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Plain-JSON dictionary (``from_payload`` round-trips it).
+
+        This is what lets a :class:`~repro.core.study.StudySpec` carry
+        its design space through JSON files and result-store journals.
+        """
+        return {"parameters": [p.to_payload() for p in self.parameters]}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ParameterSpace":
+        """Rebuild a space from :meth:`to_payload` output."""
+        parameters = payload.get("parameters")
+        if not parameters:
+            raise DesignError("parameter-space payload has no parameters")
+        return cls([Parameter.from_payload(p) for p in parameters])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParameterSpace):
+            return NotImplemented
+        return self.to_payload() == other.to_payload()
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                (p.name, p.low, p.high, p.coded_symbol, p.unit)
+                for p in self.parameters
+            )
+        )

@@ -31,6 +31,7 @@ from repro.store.db import (
     STORE_SCHEMA,
     ResultStore,
     StoredResult,
+    StoredStudy,
     StoreStats,
     canonical_json,
     scenario_family,
@@ -46,6 +47,7 @@ __all__ = [
     "STORE_SCHEMA",
     "ResultStore",
     "StoredResult",
+    "StoredStudy",
     "StoreStats",
     "Campaign",
     "CampaignStatus",

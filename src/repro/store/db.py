@@ -87,6 +87,17 @@ CREATE TABLE IF NOT EXISTS campaign_scenarios (
     PRIMARY KEY (campaign, idx)
 );
 CREATE INDEX IF NOT EXISTS idx_campaign_keys ON campaign_scenarios(key);
+CREATE TABLE IF NOT EXISTS studies (
+    name         TEXT PRIMARY KEY,
+    spec         TEXT NOT NULL,
+    spec_key     TEXT NOT NULL,
+    design_name  TEXT NOT NULL,
+    points       TEXT NOT NULL,
+    keys         TEXT NOT NULL,
+    total        INTEGER NOT NULL,
+    created_at   TEXT NOT NULL,
+    created_unix REAL NOT NULL
+);
 """
 
 
@@ -160,6 +171,30 @@ class StoredResult:
             "wall_time_s": self.wall_time_s,
             "created_at": self.created_at,
         }
+
+
+@dataclass(frozen=True)
+class StoredStudy:
+    """One study-journal row (:mod:`repro.core.study`), decoded.
+
+    ``keys`` holds the content keys of every simulation the study
+    issues, so progress is derivable from the journal alone -- no stage
+    registries (which a plugin-registered study's spec may need) are
+    required to *inspect* a store.
+    """
+
+    name: str
+    spec: dict
+    spec_key: str
+    design_name: str
+    points: list
+    keys: list
+    total: int
+    created_at: str
+
+    def done(self, store: "ResultStore") -> int:
+        """How many of this study's simulations ``store`` already holds."""
+        return store.count_keys(self.keys)
 
 
 @dataclass(frozen=True)
@@ -416,12 +451,122 @@ class ResultStore:
     def __len__(self) -> int:
         return int(self._conn().execute("SELECT COUNT(*) FROM results").fetchone()[0])
 
+    def count_keys(self, keys: List[str]) -> int:
+        """How many of ``keys`` (assumed distinct) have stored results.
+
+        One aggregated query per 500 keys instead of a SELECT per key --
+        what study/campaign progress polls want.
+        """
+        conn = self._conn()
+        total = 0
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            total += int(
+                conn.execute(
+                    f"SELECT COUNT(*) FROM results WHERE key IN ({placeholders})",
+                    chunk,
+                ).fetchone()[0]
+            )
+        return total
+
     def keys(self) -> List[str]:
         """Every stored content key, sorted."""
         return [
             row[0]
             for row in self._conn().execute(
                 "SELECT key FROM results ORDER BY key"
+            )
+        ]
+
+    # -- study journal ----------------------------------------------------------
+
+    def put_study(
+        self,
+        name: str,
+        spec: dict,
+        spec_key: str,
+        design_name: str,
+        points: list,
+        keys: list,
+    ) -> bool:
+        """Journal a study (spec + resolved design matrix) under ``name``.
+
+        ``keys`` are the content keys of every simulation the study
+        issues (deduplicated design points + the original design);
+        ``total`` is derived from them.  First writer wins, exactly
+        like :meth:`put`: when two runners race on the same name, one
+        row survives and both see it.  Returns ``True`` when this call
+        inserted the row.  Spec consistency (same name, different spec)
+        is the caller's check -- :class:`~repro.core.study.Study`
+        compares ``spec_key``.
+        """
+        now = _utc_now()
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO studies(name, spec, spec_key, "
+                "design_name, points, keys, total, created_at, created_unix) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name,
+                    canonical_json(spec),
+                    spec_key,
+                    design_name,
+                    canonical_json(points),
+                    canonical_json(list(keys)),
+                    len(keys),
+                    now.isoformat(),
+                    now.timestamp(),
+                ),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount == 1
+
+    _STUDY_COLUMNS = (
+        "name, spec, spec_key, design_name, points, keys, total, created_at"
+    )
+
+    @staticmethod
+    def _study_row(row) -> StoredStudy:
+        return StoredStudy(
+            name=row[0],
+            spec=json.loads(row[1]),
+            spec_key=row[2],
+            design_name=row[3],
+            points=json.loads(row[4]),
+            keys=json.loads(row[5]),
+            total=int(row[6]),
+            created_at=row[7],
+        )
+
+    def get_study(self, name: str) -> Optional[StoredStudy]:
+        """The decoded study-journal row for ``name``, or ``None``."""
+        row = self._conn().execute(
+            f"SELECT {self._STUDY_COLUMNS} FROM studies WHERE name=?",
+            (name,),
+        ).fetchone()
+        return None if row is None else self._study_row(row)
+
+    def studies(self) -> List[StoredStudy]:
+        """Every journaled study row, sorted by name."""
+        return [
+            self._study_row(row)
+            for row in self._conn().execute(
+                f"SELECT {self._STUDY_COLUMNS} FROM studies ORDER BY name"
+            )
+        ]
+
+    def study_names(self) -> List[str]:
+        """Names of every journaled study, sorted."""
+        return [
+            row[0]
+            for row in self._conn().execute(
+                "SELECT name FROM studies ORDER BY name"
             )
         ]
 

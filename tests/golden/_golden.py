@@ -86,14 +86,18 @@ CACHE_KEY_FAMILY = ("factory-floor", 2, 0)  # (name, n, seed)
 
 
 def build_cache_keys() -> dict:
-    """Compute ``Scenario.cache_key()`` for the pinned scenario set.
+    """Compute the pinned content-hash set.
 
-    These hex digests are the result store's on-disk row keys
-    (:mod:`repro.store`): if any of them changes, every existing store
+    ``Scenario.cache_key()`` digests are the result store's on-disk row
+    keys (:mod:`repro.store`); ``StudySpec.cache_key()`` digests (the
+    ``study:`` entries) are the study journal's spec identity -- a
+    drifted key makes every journaled study reject resumption as "a
+    different spec".  If any digest changes, every existing store
     silently stops matching its contents.  The fixture makes such a
     change loud -- regenerate only for an intentional, reviewed format
     break, and say so in the changelog.
     """
+    from repro.core.study import paper_study_spec
     from repro.system.stochastic import named_family
 
     keys = {
@@ -103,6 +107,10 @@ def build_cache_keys() -> dict:
     family_name, n, seed = CACHE_KEY_FAMILY
     for scenario in named_family(family_name).expand(n=n, seed=seed):
         keys[scenario.name] = scenario.cache_key()
+    keys["study:paper"] = paper_study_spec().cache_key()
+    keys["study:paper-seed1-20min"] = paper_study_spec(
+        seed=1, horizon=1200.0
+    ).cache_key()
     return keys
 
 
