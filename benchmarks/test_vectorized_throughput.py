@@ -1,0 +1,135 @@
+"""Throughput of the vectorized batch envelope backend.
+
+The acceptance case, written to ``BENCH_vectorized.json``:
+
+- ``BatchRunner(backend="vectorized")`` on a **256-scenario** stochastic
+  family batch must be at least **5x faster** than running the same
+  scenarios serially on the scalar envelope backend, and
+- for keys present in both stores, the canonical result rows written
+  through the batch path and through one-at-a-time execution must be
+  **byte-identical** (the batch engine is an optimisation, not a new
+  source of truth).
+
+The speedup comes from amortisation: the lockstep engine pays the
+interpreter cost of an integration step once per batch instead of once
+per scenario, while tuning sessions (rare, RNG-consuming) still run
+through the scalar machinery.  A batch of one therefore has *no*
+advantage -- the matrix in the README says so -- which is why the
+byte-identity cross-check uses a small serial subset.
+"""
+
+import json
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.backends import quiet_options
+from repro.core.batch import BatchRunner
+from repro.store import ResultStore
+from repro.system.stochastic import named_family
+from repro.system.vectorized import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="vectorized backend needs NumPy"
+)
+
+#: Acceptance batch size (the issue's 256-scenario family batch).
+N_SCENARIOS = 256
+#: Family expansion seed: the whole bench is reproducible.
+SEED = 42
+#: Required vectorized-batch over serial-envelope advantage.
+MIN_SPEEDUP = 5.0
+#: Scenarios re-run one at a time for the byte-identity cross-check
+#: (serial vectorized runs cost scalar-ish time, so the subset is small).
+N_SERIAL_CHECK = 8
+
+
+def _scenarios():
+    family = named_family("factory-floor")
+    return [
+        replace(s, options=quiet_options("envelope"))
+        for s in family.expand(n=N_SCENARIOS, seed=SEED)
+    ]
+
+
+def test_vectorized_batch_speedup_and_store_identity(
+    tmp_path, write_artifact
+):
+    scenarios = _scenarios()
+    assert len(scenarios) == N_SCENARIOS
+
+    # Serial envelope reference (the status quo every driver used to pay).
+    envelope_store = ResultStore(tmp_path / "envelope.db")
+    envelope_runner = BatchRunner(
+        jobs=1, cache_size=0, backend="envelope", store=envelope_store
+    )
+    started = time.perf_counter()
+    envelope_results = [envelope_runner.run_one(s) for s in scenarios]
+    envelope_s = time.perf_counter() - started
+
+    # One vectorized batch through the same runner machinery.
+    batch_store = ResultStore(tmp_path / "vectorized.db")
+    batch_runner = BatchRunner(
+        jobs=1, cache_size=0, backend="vectorized", store=batch_store
+    )
+    started = time.perf_counter()
+    batch_results = batch_runner.run(scenarios)
+    vectorized_s = time.perf_counter() - started
+
+    speedup = envelope_s / vectorized_s
+
+    # Same physics: the batch agrees with the scalar reference.
+    assert [r.transmissions for r in batch_results] == [
+        r.transmissions for r in envelope_results
+    ]
+    assert [r.final_voltage for r in batch_results] == [
+        r.final_voltage for r in envelope_results
+    ]
+
+    # Byte-identity: a one-at-a-time vectorized pass over a subset must
+    # write exactly the rows the batch pass wrote for those keys.
+    serial_store = ResultStore(tmp_path / "vectorized-serial.db")
+    serial_runner = BatchRunner(
+        jobs=1, cache_size=0, backend="vectorized", store=serial_store
+    )
+    subset = scenarios[:N_SERIAL_CHECK]
+    for scenario in subset:
+        serial_runner.run_one(scenario)
+    resolved = serial_runner.resolve_seeds(subset)
+    overlap = [s.cache_key() for s in resolved]
+    assert set(overlap) <= set(batch_store.keys())
+    mismatched = [
+        key
+        for key in overlap
+        if batch_store.get_payload_text(key) != serial_store.get_payload_text(key)
+    ]
+    assert not mismatched, (
+        f"{len(mismatched)} of {len(overlap)} overlapping store rows "
+        f"differ between batch and serial vectorized execution"
+    )
+
+    # Backend identity is part of the row key: the envelope pass and the
+    # vectorized pass share no keys, so neither can squat the other's rows.
+    assert not set(envelope_store.keys()) & set(batch_store.keys())
+
+    payload = {
+        "n_scenarios": N_SCENARIOS,
+        "family": "factory-floor",
+        "seed": SEED,
+        "serial_envelope_s": round(envelope_s, 3),
+        "vectorized_batch_s": round(vectorized_s, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "overlap_keys_checked": len(overlap),
+        "overlap_rows_byte_identical": not mismatched,
+    }
+    write_artifact(
+        "BENCH_vectorized.json", json.dumps(payload, indent=2, sort_keys=True)
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized batch must be >= {MIN_SPEEDUP}x faster than serial "
+        f"envelope (measured {speedup:.2f}x: envelope {envelope_s:.2f} s, "
+        f"vectorized {vectorized_s:.2f} s)"
+    )

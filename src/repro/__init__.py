@@ -71,6 +71,8 @@ _EXPORTS = {
     # backends (repro.backends)
     "Backend": "repro.backends",
     "run": "repro.backends",
+    "run_batch": "repro.backends",
+    "supports_batch": "repro.backends",
     "run_conformance": "repro.backends",
     "register_backend": "repro.backends",
     "get_backend": "repro.backends",

@@ -11,6 +11,15 @@ objective) never hard-code a fidelity level:
 >>> result = run(Scenario(horizon=60.0, seed=1))          # envelope
 >>> result = run(Scenario(horizon=0.5, backend="detailed", seed=1))
 
+Backends may additionally implement the optional **batch capability**
+``run_batch(scenarios) -> list[SystemResult]``; drivers that hold many
+scenarios hand the whole list over in one call so the backend can
+amortise per-scenario overhead (the ``vectorized`` backend integrates a
+batch as NumPy arrays in lockstep).  :func:`run_batch` here is the
+capability-aware dispatcher: it groups scenarios by backend, uses
+``run_batch`` where available and falls back to per-scenario
+:func:`run` otherwise, always preserving submission order.
+
 Third parties extend the registry with :func:`register_backend`; unknown
 names fail with a :class:`~repro.errors.ConfigError` that lists what is
 available.
@@ -18,9 +27,17 @@ available.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Protocol, Sequence, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.scenario import Scenario
 from repro.system.result import SystemResult
 
@@ -75,6 +92,28 @@ class DetailedBackend:
             **dict(scenario.options),
         )
         return sim.run(scenario.horizon).to_system_result()
+
+
+class VectorizedBackend:
+    """The NumPy lockstep batch integrator (envelope physics, SIMD).
+
+    Semantically the envelope backend; operationally it advances whole
+    scenario batches as ``(n_scenarios,)`` arrays per integration step
+    (:mod:`repro.system.vectorized`).  Requires NumPy: without it every
+    use raises a :class:`~repro.errors.ConfigError` naming the
+    ``[vectorized]`` extra, while registration itself always succeeds so
+    the name shows up in error listings.
+    """
+
+    name = "vectorized"
+
+    def simulate(self, scenario: Scenario) -> SystemResult:
+        return self.run_batch([scenario])[0]
+
+    def run_batch(self, scenarios: Sequence[Scenario]) -> List[SystemResult]:
+        from repro.system.vectorized import simulate_batch
+
+        return simulate_batch(scenarios)
 
 
 def _construct(cls, scenario: Scenario, *args, **kwargs):
@@ -134,6 +173,7 @@ def get_backend(name: str) -> Backend:
 
 register_backend("envelope", EnvelopeBackend)
 register_backend("detailed", DetailedBackend)
+register_backend("vectorized", VectorizedBackend)
 
 
 def run(scenario: Scenario) -> SystemResult:
@@ -141,8 +181,63 @@ def run(scenario: Scenario) -> SystemResult:
     return get_backend(scenario.backend).simulate(scenario)
 
 
+def supports_batch(backend: Backend) -> bool:
+    """Whether ``backend`` implements the batch capability."""
+    return callable(getattr(backend, "run_batch", None))
+
+
+def dispatch_batchable(
+    scenarios: Sequence[Scenario],
+) -> "tuple[List[Optional[SystemResult]], List[int]]":
+    """Run every batch-capable backend group in one call each.
+
+    Groups ``scenarios`` by backend name and hands each group whose
+    backend implements ``run_batch`` over in a single call; the returned
+    result list carries those results at their submission indices, with
+    ``None`` holes for the leftover indices (returned separately) whose
+    backends must run scenario by scenario.  This is the one shared
+    dispatch primitive behind :func:`run_batch` and
+    :class:`~repro.core.batch.BatchRunner`.
+    """
+    results: List[Optional[SystemResult]] = [None] * len(scenarios)
+    leftover: List[int] = []
+    groups: Dict[str, List[int]] = {}
+    for index, scenario in enumerate(scenarios):
+        groups.setdefault(scenario.backend, []).append(index)
+    for name, indices in groups.items():
+        backend = get_backend(name)
+        if not supports_batch(backend):
+            leftover.extend(indices)
+            continue
+        batch = [scenarios[i] for i in indices]
+        fresh = backend.run_batch(batch)
+        if len(fresh) != len(batch):
+            raise SimulationError(
+                f"backend {name!r} returned {len(fresh)} results for a "
+                f"{len(batch)}-scenario batch"
+            )
+        for i, result in zip(indices, fresh):
+            results[i] = result
+    return results, leftover
+
+
+def run_batch(scenarios: Sequence[Scenario]) -> List[SystemResult]:
+    """Execute many scenarios, batching where the backend allows it.
+
+    Scenarios are grouped by backend name; each batch-capable group is
+    handed to the backend's ``run_batch`` in one call, the rest run one
+    by one through :func:`run`.  Results align with the input order
+    regardless of grouping.
+    """
+    results, leftover = dispatch_batchable(scenarios)
+    for i in leftover:
+        results[i] = run(scenarios[i])
+    return results  # type: ignore[return-value]
+
+
 def run_conformance(
-    scenario: Scenario, backends: Sequence[str] = ("envelope", "detailed")
+    scenario: Scenario,
+    backends: Sequence[str] = ("envelope", "detailed", "vectorized"),
 ) -> Dict[str, SystemResult]:
     """Run one scenario on several backends under identical excitation.
 
@@ -174,7 +269,7 @@ def quiet_options(backend: str) -> dict:
     """Scenario options that suppress trace recording on ``backend``.
 
     Batch drivers (Monte Carlo, robustness grids, DOE evaluation) want
-    lean results; only the envelope backend records optional traces, so
-    this is the one place that capability knowledge lives.
+    lean results; only the envelope-physics backends record optional
+    traces, so this is the one place that capability knowledge lives.
     """
-    return {"record_traces": False} if backend == "envelope" else {}
+    return {"record_traces": False} if backend in ("envelope", "vectorized") else {}

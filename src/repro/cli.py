@@ -29,11 +29,14 @@ module run (``python -m repro.cli ...``).  Subcommands:
 - ``campaign``      -- resumable batch execution over a store:
   ``run MANIFEST``, ``resume NAME``, ``status [NAME]``.
 
-``--backend`` selects any registered simulation backend, ``--jobs``
-fans batch subcommands out over worker processes, and ``--store DB``
-(on ``run-scenario``, ``gen-scenarios``, ``explore``, ``montecarlo``)
-reads/writes simulations through a content-addressed on-disk store so
-repeated work is never simulated twice.
+``--backend`` selects any registered simulation backend (``envelope``,
+``detailed``, or ``vectorized`` -- the NumPy lockstep engine that runs
+whole scenario batches as arrays; batch subcommands dispatch it in one
+``run_batch`` call), ``--jobs`` fans batch subcommands out over worker
+processes, and ``--store DB`` (on ``run-scenario``, ``gen-scenarios``,
+``explore``, ``montecarlo``) reads/writes simulations through a
+content-addressed on-disk store so repeated work is never simulated
+twice.
 """
 
 from __future__ import annotations
@@ -53,7 +56,10 @@ def _add_backend_jobs(
         "--backend",
         type=str,
         default="envelope",
-        help="registered simulation backend (default: envelope)",
+        help=(
+            "registered simulation backend: envelope, detailed or "
+            "vectorized (default: envelope)"
+        ),
     )
     parser.add_argument("--jobs", type=int, default=1, help=jobs_help)
 

@@ -22,6 +22,12 @@ loop over :func:`repro.backends.run`:
   -> disk store -> simulate, with every fresh result written through to
   disk.  Results then survive the process and are shared with every
   other runner (or machine) pointed at the same store file.
+- **Batch-capable backend dispatch** -- scenarios whose backend
+  implements ``run_batch`` (the ``vectorized`` backend) are handed over
+  in one call per backend instead of being fanned out one scenario at a
+  time, so a 256-scenario batch is a single lockstep array integration.
+  The cache tiers and ``store_hits`` accounting sit *above* this
+  dispatch and behave identically for every backend.
 
 Results come back in submission order regardless of completion order.
 """
@@ -33,7 +39,7 @@ from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.backends import run
+from repro.backends import dispatch_batchable, get_backend, run
 from repro.errors import ConfigError
 from repro.rng import derive_seed
 from repro.scenario import Scenario
@@ -78,6 +84,15 @@ class BatchRunner:
         program.  Store writes happen in the coordinating process (the
         workers stay pure), which keeps process fan-out safe for any
         executor.
+    backend:
+        Optional backend-name override.  When set, every submitted
+        scenario is rewritten to run on this backend *before* seeding,
+        caching and store lookups, so cache keys and store provenance
+        name the backend that actually produced each result
+        (``BatchRunner(backend="vectorized")`` turns any scenario list
+        into one lockstep array integration).  Unknown names fail at
+        construction with a :class:`~repro.errors.ConfigError` listing
+        the registered alternatives.
     """
 
     def __init__(
@@ -87,6 +102,7 @@ class BatchRunner:
         cache_size: int = 256,
         executor: str = "process",
         store: Optional["ResultStore"] = None,
+        backend: Optional[str] = None,
     ):
         if jobs < 1:
             raise ConfigError("jobs must be >= 1")
@@ -96,11 +112,14 @@ class BatchRunner:
             raise ConfigError(
                 f"unknown executor {executor!r} (known: {', '.join(_EXECUTORS)})"
             )
+        if backend is not None:
+            get_backend(backend)  # fail fast, listing the alternatives
         self.jobs = int(jobs)
         self.seed = int(seed)
         self.cache_size = int(cache_size)
         self.executor = executor
         self.store = store
+        self.backend = backend
         self._cache: "OrderedDict[str, SystemResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -114,8 +133,12 @@ class BatchRunner:
         The derived seed depends only on the runner's base seed and the
         scenario's index, so a batch is reproducible for any ``jobs``.
         """
+        from dataclasses import replace
+
         resolved = []
         for index, scenario in enumerate(scenarios):
+            if self.backend is not None and scenario.backend != self.backend:
+                scenario = replace(scenario, backend=self.backend)
             if scenario.seed is None:
                 scenario = scenario.with_seed(derive_seed(self.seed, index))
             resolved.append(scenario)
@@ -181,10 +204,21 @@ class BatchRunner:
 
     def _execute(self, scenarios: List[Scenario]) -> List[SystemResult]:
         self.misses += len(scenarios)
-        if self.jobs == 1 or len(scenarios) == 1:
-            return [_run_scenario(s) for s in scenarios]
-        with self._make_executor(min(self.jobs, len(scenarios))) as pool:
-            return list(pool.map(_run_scenario, scenarios))
+        # Batch-capable backends take their whole group in one call (in
+        # the coordinating process -- a lockstep array integration beats
+        # per-scenario process fan-out); the leftovers keep the executor
+        # path.
+        results, serial = dispatch_batchable(scenarios)
+        if serial:
+            subset = [scenarios[i] for i in serial]
+            if self.jobs == 1 or len(subset) == 1:
+                fresh = [_run_scenario(s) for s in subset]
+            else:
+                with self._make_executor(min(self.jobs, len(subset))) as pool:
+                    fresh = list(pool.map(_run_scenario, subset))
+            for i, result in zip(serial, fresh):
+                results[i] = result
+        return results  # type: ignore[return-value]
 
     def _make_executor(self, workers: int) -> Executor:
         if self.executor == "thread":

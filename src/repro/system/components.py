@@ -133,9 +133,16 @@ def paper_tuning_map() -> TuningMap:
     return TuningMap(resonator, paper_tuner(resonator), n_positions=256)
 
 
-def paper_microgenerator() -> TunableMicrogenerator:
-    """The complete tunable microgenerator (map + actuator + envelope)."""
-    tuning_map = paper_tuning_map()
+def paper_microgenerator(
+    tuning_map: Optional[TuningMap] = None,
+) -> TunableMicrogenerator:
+    """The complete tunable microgenerator (map + actuator + envelope).
+
+    ``tuning_map`` lets callers share one pre-characterised map across
+    many instances (it is immutable during simulation); the default
+    builds a fresh one.
+    """
+    tuning_map = paper_tuning_map() if tuning_map is None else tuning_map
     actuator = LinearActuator(max_steps=255, steps_per_position=1)
     return TunableMicrogenerator(
         tuning_map,
@@ -187,6 +194,8 @@ def paper_system(
     v_init: float = STORE_V_INIT,
     initial_position: Optional[int] = None,
     initial_frequency: float = 64.0,
+    tuning_map: Optional[TuningMap] = None,
+    lut: Optional[FrequencyLut] = None,
 ) -> SystemParts:
     """Assemble the calibrated default system.
 
@@ -198,9 +207,14 @@ def paper_system(
         Actuator starting position; defaults to the LUT optimum for
         ``initial_frequency`` (the harvester was running and tuned before
         the evaluated hour begins, as in the paper's Fig. 5 setup).
+    tuning_map, lut:
+        Optional pre-characterised physics to share across instances
+        (both are immutable during simulation; the vectorized batch
+        backend builds them once per process instead of once per lane).
+        Defaults build fresh ones.
     """
-    micro = paper_microgenerator()
-    lut = paper_lut(micro.tuning_map)
+    micro = paper_microgenerator(tuning_map)
+    lut = paper_lut(micro.tuning_map) if lut is None else lut
     if initial_position is None:
         initial_position = lut.lookup(initial_frequency)
     micro.actuator.steps = micro.actuator.steps_for_position(initial_position)

@@ -1,0 +1,611 @@
+"""NumPy-vectorized batch envelope simulation (the SIMD backend).
+
+Every batch workload in the library -- Fig. 4 sweeps, Monte Carlo
+families, campaigns, studies -- bottoms out in the scalar
+:class:`~repro.system.envelope.EnvelopeSimulator`, one scenario at a
+time.  This module advances a whole *batch* of scenarios in lockstep
+instead: the per-scenario continuous state (time, stored energy, energy
+accounts, transmission counters) lives in ``(n_scenarios,)`` NumPy
+arrays and every integration step is a handful of elementwise array
+operations, so the Python interpreter cost of a step is paid once per
+batch rather than once per scenario.
+
+Semantics
+---------
+The engine is a *re-expression*, not a re-modelling, of the envelope
+integrator: per scenario it performs exactly the arithmetic of
+``EnvelopeSimulator._integrate_until`` (``dE/dt = P_harvest(V) -
+P_sleep - P_tx(V)``, steps clamped at vibration-profile changes, exact
+landings on the 2.7 / 2.8 V policy thresholds, sliding-mode pinning at
+a threshold) in the same operation order, so results agree with the
+scalar backend to the last bit on every platform where NumPy's
+elementwise kernels are IEEE-correctly rounded (the differential suite
+in ``tests/differential/`` machine-checks the agreement with explicit
+tolerance envelopes rather than assuming it).
+
+Two parts of a run stay scalar by design:
+
+- **Tuning sessions** (Algorithm 1 wake-ups) run through the untouched
+  sans-IO command machinery of the scalar simulator, per scenario, at
+  each scenario's own watchdog times.  Sessions are rare (one per
+  watchdog period) and consume the scenario's own RNG stream, so
+  measurement noise is identical to a scalar run.
+- **Harvest coefficients** (EMF peak, rectifier ceiling, mechanical
+  power limit) are evaluated through the scalar
+  :class:`~repro.harvester.envelope.EnvelopeHarvester` whenever a lane
+  enters a new vibration segment or moves its actuator -- they are
+  constant in between, which is what makes the hot loop pure array
+  math.
+
+NumPy is an optional dependency of this backend: :func:`require_numpy`
+raises a :class:`~repro.errors.ConfigError` naming the ``[vectorized]``
+extra when the import is unavailable (or when the
+``REPRO_DISABLE_NUMPY`` environment variable simulates its absence, the
+hook the no-NumPy CI leg uses).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via REPRO_DISABLE_NUMPY in tests
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.errors import ConfigError, SimulationError
+from repro.scenario import PartsSpec, Scenario
+from repro.system.components import (
+    SystemParts,
+    paper_lut,
+    paper_system,
+    paper_tuning_map,
+)
+from repro.system.envelope import _T_EPS, _V_EPS, EnvelopeSimulator
+from repro.system.result import SystemResult
+
+#: Environment variable that simulates a missing NumPy installation
+#: (set by the no-NumPy CI leg; see :func:`require_numpy`).
+DISABLE_ENV_VAR = "REPRO_DISABLE_NUMPY"
+
+#: Same runaway-protection bound as the scalar integrator.  The scalar
+#: guard resets per ``_integrate_until`` call (one inter-event stretch);
+#: the engine mirrors that by resetting whenever an event (wake-up or
+#: finalisation) is processed, so legitimately long runs never trip it.
+_MAX_ITERATIONS = 50_000_000
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run in this process."""
+    return np is not None and not os.environ.get(DISABLE_ENV_VAR)
+
+
+def require_numpy():
+    """Return the ``numpy`` module or raise a helpful ConfigError."""
+    if os.environ.get(DISABLE_ENV_VAR):
+        raise ConfigError(
+            "the 'vectorized' backend needs NumPy, which is disabled in "
+            f"this environment ({DISABLE_ENV_VAR} is set); install the "
+            "'vectorized' extra (pip install repro-wsn[vectorized]) or "
+            "pick another backend (e.g. 'envelope')"
+        )
+    if np is None:  # pragma: no cover - numpy is present in the test env
+        raise ConfigError(
+            "the 'vectorized' backend needs NumPy; install the "
+            "'vectorized' extra (pip install repro-wsn[vectorized]) or "
+            "pick another backend (e.g. 'envelope')"
+        )
+    return np
+
+
+# -- shared physics ----------------------------------------------------------
+
+#: Process-wide (tuning map, LUT) pair shared by every lane.  Both are
+#: immutable during simulation and deterministic functions of the paper
+#: constants, so sharing them changes nothing but the setup cost
+#: (building the 256-entry LUT dominates ``paper_system()``).
+_PHYSICS: Optional[Tuple[object, object]] = None
+
+
+def _shared_physics():
+    global _PHYSICS
+    if _PHYSICS is None:
+        tuning_map = paper_tuning_map()
+        _PHYSICS = (tuning_map, paper_lut(tuning_map))
+    return _PHYSICS
+
+
+def _build_parts(spec: PartsSpec) -> SystemParts:
+    """``spec.build()`` with the immutable physics shared across lanes.
+
+    Exactly :func:`repro.system.components.paper_system`, but reusing
+    one tuning map and LUT per process instead of re-characterising them
+    per scenario (building the 256-entry LUT dominates lane setup).
+    """
+    tuning_map, lut = _shared_physics()
+    return paper_system(
+        v_init=spec.v_init,
+        initial_position=spec.initial_position,
+        initial_frequency=spec.initial_frequency,
+        tuning_map=tuning_map,
+        lut=lut,
+    )
+
+
+# -- the batch engine --------------------------------------------------------
+
+
+class VectorizedEnvelopeEngine:
+    """Advance many :class:`EnvelopeSimulator` lanes in lockstep.
+
+    The engine owns the hot-path state as arrays; the lane simulators
+    own everything event-ish (RNG, actuator, tuning sessions, traces,
+    the watchdog schedule).  State is pushed into a lane's objects right
+    before its wake-up session runs (or before finalisation) and pulled
+    back after, so a session sees exactly the world a scalar run would.
+    """
+
+    def __init__(self, sims: Sequence[EnvelopeSimulator], horizons: Sequence[float]):
+        require_numpy()
+        if len(sims) != len(horizons):
+            raise SimulationError("one horizon per simulator required")
+        if not sims:
+            raise SimulationError("batch engine needs at least one lane")
+        for horizon in horizons:
+            if horizon <= 0.0:
+                raise SimulationError("horizon must be positive")
+        self.sims = list(sims)
+        n = len(self.sims)
+        self.horizon = np.asarray([float(h) for h in horizons], dtype=float)
+
+        # Per-lane constants.
+        self.cap = np.array([s.store.capacitance for s in sims], dtype=float)
+        self.emax = np.array([s.store.energy_max for s in sims], dtype=float)
+        self.dtmax = np.array([s.dt_max for s in sims], dtype=float)
+        self.v_off = np.array([s.policy.v_off for s in sims], dtype=float)
+        self.v_fast = np.array([s.policy.v_fast for s in sims], dtype=float)
+        self.int_mid = np.array([s.policy.mid_interval for s in sims], dtype=float)
+        self.int_fast = np.array([s.policy.fast_interval for s in sims], dtype=float)
+        self.rate_mid = 1.0 / self.int_mid
+        self.rate_fast = 1.0 / self.int_fast
+        self.sleep_i = np.array([s.node.sleep_current for s in sims], dtype=float)
+        self.mcu_slp = np.array([s.mcu.sleep_power() for s in sims], dtype=float)
+        self.q_tx = np.array([s.node.phases.total_charge for s in sims], dtype=float)
+        self.kc = np.array(
+            [s.micro.envelope.rectifier.conduction_factor for s in sims], dtype=float
+        )
+        self.rs = np.array(
+            [s.micro.envelope.source_resistance for s in sims], dtype=float
+        )
+        self.traced = np.array([s.record_traces for s in sims], dtype=bool)
+        self._any_traced = bool(self.traced.any())
+
+        # Vibration-profile geometry: per-lane segment start times padded
+        # with +inf so pointer reads never go out of bounds.
+        self._lane_starts: List[List[float]] = [
+            list(s._change_times) for s in sims
+        ]
+        width = max(len(st) for st in self._lane_starts) + 2
+        starts = np.full((n, width), np.inf, dtype=float)
+        for i, st in enumerate(self._lane_starts):
+            starts[i, : len(st)] = st
+        self.starts = starts
+        self.n_seg = np.array([len(st) for st in self._lane_starts], dtype=np.int64)
+        self.rows = np.arange(n)
+
+        # Dynamic state (mirrors of the lane objects' fields).
+        self.t = np.zeros(n)
+        self.energy = np.zeros(n)
+        self.dep = np.zeros(n)
+        self.drawn = np.zeros(n)
+        self.clip = np.zeros(n)
+        self.b_harv = np.zeros(n)
+        self.b_nsl = np.zeros(n)
+        self.b_msl = np.zeros(n)
+        self.b_ntx = np.zeros(n)
+        self.b_short = np.zeros(n)
+        self.frac = np.zeros(n)
+        self.tx_count = np.zeros(n, dtype=np.int64)
+        self.tx_e = np.zeros(n)
+
+        # Harvest coefficients of the current (segment, position) pair,
+        # and the position-dependent resonator constants they derive
+        # from (python floats: the refresh math runs through the same
+        # ``math`` functions as the scalar harvester).
+        self.voc = np.zeros(n)
+        self.plim = np.zeros(n)
+        self.freq = np.zeros(n)
+        self.seg_idx = np.zeros(n, dtype=np.int64)
+        self.chg_idx = np.zeros(n, dtype=np.int64)
+        self._wn = [0.0] * n
+        self._zt = [0.0] * n
+        self._ce = [0.0] * n
+        self._theta = [
+            s.micro.envelope.coupling.theta for s in sims
+        ]
+        self._vd = [
+            s.micro.envelope.rectifier.diode_drop for s in sims
+        ]
+        self._eff = [s.micro.envelope.mech_efficiency for s in sims]
+
+        # Flow control.
+        self.target = np.zeros(n)
+        self.final = np.zeros(n, dtype=bool)
+        self.done = np.zeros(n, dtype=bool)
+
+        for i in range(n):
+            self._pull(i)
+            self._resync(i)
+            self._set_target(i)
+
+    # -- object <-> array synchronisation -----------------------------------
+
+    def _pull(self, i: int) -> None:
+        sim = self.sims[i]
+        self.t[i] = sim.t
+        self.energy[i] = sim.store._energy
+        self.dep[i] = sim.store.total_deposited
+        self.drawn[i] = sim.store.total_drawn
+        self.clip[i] = sim.store.clipped_energy
+        self.b_harv[i] = sim.breakdown.harvested
+        self.b_nsl[i] = sim.breakdown.node_sleep
+        self.b_msl[i] = sim.breakdown.mcu_sleep
+        self.b_ntx[i] = sim.breakdown.node_tx
+        self.b_short[i] = sim.breakdown.shortfall
+        self.frac[i] = sim.log._fractional
+        self.tx_count[i] = sim.log._count
+        self.tx_e[i] = sim.log.total_energy
+
+    def _push(self, i: int) -> None:
+        sim = self.sims[i]
+        sim.t = float(self.t[i])
+        sim.store._energy = float(self.energy[i])
+        sim.store.total_deposited = float(self.dep[i])
+        sim.store.total_drawn = float(self.drawn[i])
+        sim.store.clipped_energy = float(self.clip[i])
+        sim.breakdown.harvested = float(self.b_harv[i])
+        sim.breakdown.node_sleep = float(self.b_nsl[i])
+        sim.breakdown.mcu_sleep = float(self.b_msl[i])
+        sim.breakdown.node_tx = float(self.b_ntx[i])
+        sim.breakdown.shortfall = float(self.b_short[i])
+        sim.log._fractional = float(self.frac[i])
+        sim.log._count = int(self.tx_count[i])
+        sim.log.total_energy = float(self.tx_e[i])
+
+    # -- segment bookkeeping -------------------------------------------------
+
+    def _retune(self, i: int) -> None:
+        """Re-derive the lane's position-dependent resonator constants.
+
+        Positions only move inside tuning sessions, so this runs at lane
+        setup and after each session; the values come from the lane's
+        own :class:`~repro.harvester.tuning_map.TuningMap`, exactly as
+        the scalar harvester derives them.
+        """
+        sim = self.sims[i]
+        resonator = sim.micro.tuning_map.resonator_at(sim.micro.position)
+        self._wn[i] = resonator.omega_n
+        self._zt[i] = resonator.zeta_total
+        self._ce[i] = resonator.damping_elec
+
+    def _refresh(self, i: int) -> None:
+        """Re-derive the lane's harvest coefficients for its segment.
+
+        Operation-for-operation the scalar chain
+        ``EnvelopeHarvester.emf_peak`` -> ``open_circuit_voltage`` and
+        ``mechanical_limit`` (same ``math`` calls, same order), with the
+        position-dependent constants cached by :meth:`_retune`.
+        """
+        sim = self.sims[i]
+        seg = sim.profile.segments[int(self.seg_idx[i])]
+        f = seg.frequency_hz
+        accel = seg.accel_mps2
+        w = 2.0 * math.pi * f
+        wn = self._wn[i]
+        denom = math.hypot(wn * wn - w * w, 2.0 * self._zt[i] * wn * w)
+        velocity = w * (accel / denom)
+        emf = self._theta[i] * velocity
+        self.voc[i] = max(emf - 2.0 * self._vd[i], 0.0)
+        self.plim[i] = self._eff[i] * (0.5 * self._ce[i] * velocity * velocity)
+        self.freq[i] = f
+
+    def _resync(self, i: int) -> None:
+        """Rebuild the lane's profile pointers after a scalar excursion."""
+        starts = self._lane_starts[i]
+        t = float(self.t[i])
+        self.seg_idx[i] = max(bisect.bisect_right(starts, t) - 1, 0)
+        self.chg_idx[i] = bisect.bisect_right(starts, t + _T_EPS)
+        self._retune(i)
+        self._refresh(i)
+
+    def _advance_pointers(self, mask) -> None:
+        """Incrementally track ``bisect`` over the monotone lane times."""
+        dirty = np.zeros(len(self.sims), dtype=bool)
+        while True:
+            nxt = self.starts[self.rows, self.seg_idx + 1]
+            adv = mask & (nxt <= self.t)
+            if not adv.any():
+                break
+            self.seg_idx[adv] += 1
+            dirty |= adv
+        te = self.t + _T_EPS
+        while True:
+            cur = self.starts[self.rows, self.chg_idx]
+            adv = mask & (cur <= te)
+            if not adv.any():
+                break
+            self.chg_idx[adv] += 1
+        if dirty.any():
+            for i in np.nonzero(dirty)[0]:
+                self._refresh(int(i))
+
+    # -- event handling -------------------------------------------------------
+
+    def _set_target(self, i: int) -> None:
+        sim = self.sims[i]
+        t_wake = sim.watchdog.next_wakeup(sim.t)
+        if t_wake >= self.horizon[i]:
+            self.target[i] = self.horizon[i]
+            self.final[i] = True
+        else:
+            self.target[i] = t_wake
+            self.final[i] = False
+
+    def _finalize(self, i: int) -> SystemResult:
+        sim = self.sims[i]
+        sim.breakdown.final_stored = sim.store.energy
+        sim.breakdown.clipped = sim.store.clipped_energy
+        return SystemResult(
+            config=sim.config,
+            horizon=sim.t,
+            transmissions=sim.log.count,
+            breakdown=sim.breakdown,
+            traces=sim.traces,
+            tuning_events=sim.tuning_events,
+            final_voltage=sim.store.voltage,
+            final_position=sim.micro.position,
+        )
+
+    # -- the run loop ----------------------------------------------------------
+
+    def run(self) -> List[SystemResult]:
+        results: List[Optional[SystemResult]] = [None] * len(self.sims)
+        guard = 0
+        while True:
+            due = (~self.done) & (self.t >= self.target - _T_EPS)
+            if due.any():
+                guard = 0
+                for idx in np.nonzero(due)[0]:
+                    i = int(idx)
+                    self._push(i)
+                    if self.final[i]:
+                        results[i] = self._finalize(i)
+                        self.done[i] = True
+                        continue
+                    self.sims[i]._run_wakeup()
+                    self._pull(i)
+                    self._resync(i)
+                    self._set_target(i)
+                if self.done.all():
+                    break
+            stepping = (~self.done) & (self.t < self.target - _T_EPS)
+            if not stepping.any():
+                continue
+            guard += 1
+            if guard > _MAX_ITERATIONS:  # pragma: no cover - runaway guard
+                raise SimulationError("vectorized integrator failed to advance")
+            self._step(stepping)
+        return results  # type: ignore[return-value]
+
+    # -- one lockstep integration step ---------------------------------------
+
+    def _step(self, mask) -> None:
+        """One envelope integration step for every lane in ``mask``.
+
+        Per lane this is operation-for-operation the scalar
+        ``_integrate_until`` body: step-size capping, threshold
+        detection, sliding-mode resolution, exact threshold landing and
+        the deposit/draw/transmit energy flows, evaluated with NumPy
+        ``where``-selected branches instead of Python ``if``.
+        """
+        t = self.t
+        E = self.energy
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # Step cap: dt_max, the integration target, the next
+            # vibration-profile change, floored at the time epsilon.
+            dt_cap = np.minimum(self.dtmax, self.target - t)
+            nxt_chg = self.starts[self.rows, self.chg_idx]
+            dt_cap = np.where(
+                np.isfinite(nxt_chg), np.minimum(dt_cap, nxt_chg - t), dt_cap
+            )
+            dt_cap = np.maximum(dt_cap, _T_EPS)
+
+            v = np.where(
+                E > 0.0, np.sqrt(np.maximum(2.0 * E, 0.0) / self.cap), 0.0
+            )
+
+            # Power terms at the step's starting voltage.
+            i_chg = (self.kc * (self.voc - v)) / self.rs
+            p_th = v * i_chg
+            p_th = np.where(self.voc > v, p_th, 0.0)
+            p_h = np.minimum(p_th, self.plim)
+            p_slp = (self.sleep_i * v) + self.mcu_slp
+            e_tx = self.q_tx * v
+
+            # Threshold geometry.
+            near_off = np.abs(v - self.v_off) < _V_EPS
+            near_fast = (~near_off) & (np.abs(v - self.v_fast) < _V_EPS)
+            at_thr = near_off | near_fast
+            thr = np.where(near_off, self.v_off, self.v_fast)
+            up_int = np.where(near_off, self.int_mid, self.int_fast)
+            lo_int = np.where(near_off, np.inf, self.int_mid)
+            up_rate = np.where(near_off, self.rate_mid, self.rate_fast)
+            lo_rate = np.where(near_off, 0.0, self.rate_mid)
+            drain_up = e_tx / up_int
+            drain_lo = e_tx / lo_int
+            p_up = (p_h - p_slp) - drain_up
+            p_lo = (p_h - p_slp) - drain_lo
+            sliding = at_thr & (p_up < 0.0) & (p_lo > 0.0)
+
+            # Sliding mode: pin the voltage, transmit the averaged mix.
+            lam = p_lo / (p_lo - p_up)
+            s_rate = (lam * up_rate) + ((1.0 - lam) * lo_rate)
+            s_drain = (lam * drain_up) + ((1.0 - lam) * drain_lo)
+
+            # Plain band step (also: moving cleanly off a threshold).
+            v_eval = np.where(
+                at_thr,
+                np.where(p_up >= 0.0, thr + _V_EPS, thr - _V_EPS),
+                v,
+            )
+            b_int = np.where(
+                v_eval < self.v_off,
+                np.inf,
+                np.where(v_eval < self.v_fast, self.int_mid, self.int_fast),
+            )
+            b_rate = np.where(
+                v_eval < self.v_off,
+                0.0,
+                np.where(v_eval < self.v_fast, self.rate_mid, self.rate_fast),
+            )
+            b_drain = e_tx / b_int
+            p_net = (p_h - p_slp) - b_drain
+
+            # Land exactly on the next threshold in the travel direction.
+            thr_up = np.where(
+                v < self.v_off - _V_EPS,
+                self.v_off,
+                np.where(v < self.v_fast - _V_EPS, self.v_fast, np.nan),
+            )
+            thr_dn = np.where(
+                v > self.v_fast + _V_EPS,
+                self.v_fast,
+                np.where(v > self.v_off + _V_EPS, self.v_off, np.nan),
+            )
+            thr_t = np.where(p_net > 0.0, thr_up, np.where(p_net < 0.0, thr_dn, np.nan))
+            e_target = (0.5 * self.cap) * thr_t * thr_t
+            dt_cross = (e_target - E) / p_net
+            dt_b = dt_cap
+            take = np.isfinite(dt_cross) & (dt_cross > 0.0) & (dt_cross < dt_b)
+            dt_b = np.where(take, dt_cross, dt_b)
+            dt_b = np.maximum(dt_b, _T_EPS)
+
+            # Select the branch each lane actually takes.
+            dt = np.where(sliding, dt_cap, dt_b)
+            drain = np.where(sliding, s_drain, b_drain)
+            rate = np.where(sliding, s_rate, b_rate)
+            n_tx = rate * dt
+
+            # Energy flows, in the scalar accounting order.
+            amount = p_h * dt
+            headroom = np.maximum(self.emax - E, 0.0)
+            stored = np.minimum(amount, headroom)
+            e1 = E + stored
+            nsl_e = (self.sleep_i * v) * dt
+            msl_e = self.mcu_slp * dt
+            sup1 = np.minimum(nsl_e, e1)
+            e2 = e1 - sup1
+            sup2 = np.minimum(msl_e, e2)
+            e3 = e2 - sup2
+            tx_e = drain * dt
+            sup3 = np.minimum(tx_e, e3)
+            e4 = e3 - sup3
+            new_t = t + dt
+
+            frac1 = self.frac + n_tx
+            whole = np.floor(frac1)
+            whole_i = whole.astype(np.int64)
+
+        # Masked write-back (np.copyto touches each array once; the
+        # accumulator sums stay sequential to match the scalar rounding
+        # order).  Off-mask lanes keep their state untouched.
+        m = mask
+        np.copyto(self.energy, e4, where=m)
+        np.copyto(self.t, new_t, where=m)
+        np.copyto(self.dep, self.dep + stored, where=m)
+        np.copyto(self.clip, self.clip + (amount - stored), where=m)
+        np.copyto(self.b_harv, self.b_harv + stored, where=m)
+        drawn = self.drawn + sup1
+        drawn = drawn + sup2
+        drawn = drawn + sup3
+        np.copyto(self.drawn, drawn, where=m)
+        np.copyto(self.b_nsl, self.b_nsl + nsl_e, where=m)
+        np.copyto(self.b_msl, self.b_msl + msl_e, where=m)
+        np.copyto(self.b_ntx, self.b_ntx + tx_e, where=m)
+        short = self.b_short + (nsl_e - sup1)
+        short = short + (msl_e - sup2)
+        short = short + (tx_e - sup3)
+        np.copyto(self.b_short, short, where=m)
+        np.copyto(self.frac, frac1 - whole, where=m)
+        np.copyto(self.tx_count, self.tx_count + whole_i, where=m)
+        np.copyto(self.tx_e, self.tx_e + tx_e, where=m)
+
+        # Enter any newly reached vibration segment before tracing (and
+        # before the next step reads the coefficients).
+        self._advance_pointers(mask)
+        if self._any_traced:
+            self._record_traces(mask & self.traced)
+
+    def _record_traces(self, mask) -> None:
+        """Mirror the scalar ``_trace_point`` for trace-enabled lanes."""
+        if not mask.any():
+            return
+        E = self.energy
+        with np.errstate(invalid="ignore"):
+            v = np.where(
+                E > 0.0, np.sqrt(np.maximum(2.0 * E, 0.0) / self.cap), 0.0
+            )
+            p_th = v * ((self.kc * (self.voc - v)) / self.rs)
+            p_th = np.where(self.voc > v, p_th, 0.0)
+            p_h = np.minimum(p_th, self.plim)
+        for idx in np.nonzero(mask)[0]:
+            i = int(idx)
+            sim = self.sims[i]
+            t = float(self.t[i])
+            traces = sim.traces
+            traces.trace("v_store").append(t, float(v[i]))
+            traces.trace("harvest_power").append(t, float(p_h[i]))
+            traces.trace("position").append(t, sim.micro.position)
+            traces.trace("input_frequency").append(t, float(self.freq[i]))
+
+
+# -- public entry point ------------------------------------------------------
+
+
+def simulate_batch(scenarios: Sequence[Scenario]) -> List[SystemResult]:
+    """Run a batch of scenarios through the vectorized envelope engine.
+
+    Results align with the input order and are canonical
+    :class:`~repro.system.result.SystemResult` values -- the same
+    payloads a scalar run of each scenario would produce, so store rows,
+    golden fixtures and resume bookkeeping are backend-agnostic.
+    """
+    require_numpy()
+    if not scenarios:
+        return []
+    from repro.backends import _construct
+
+    sims = []
+    for scenario in scenarios:
+        spec = scenario.parts if scenario.parts is not None else PartsSpec()
+        sims.append(
+            _construct(
+                EnvelopeSimulator,
+                scenario,
+                scenario.config,
+                parts=_build_parts(spec),
+                profile=scenario.profile,
+                seed=scenario.seed,
+                **dict(scenario.options),
+            )
+        )
+    engine = VectorizedEnvelopeEngine(sims, [s.horizon for s in scenarios])
+    return engine.run()
+
+
+def simulate(scenario: Scenario) -> SystemResult:
+    """One-call vectorized simulation (a batch of one)."""
+    return simulate_batch([scenario])[0]

@@ -128,3 +128,109 @@ def test_monte_carlo_parallel_matches_serial():
     parallel = monte_carlo(ORIGINAL_DESIGN, n_samples=4, horizon=300.0, seed=3, jobs=4)
     assert np.array_equal(serial.transmissions, parallel.transmissions)
     assert np.array_equal(serial.final_voltages, parallel.final_voltages)
+
+
+# -- batch-capable backend dispatch and the backend override ------------------
+
+
+needs_numpy = pytest.mark.skipif(
+    not __import__(
+        "repro.system.vectorized", fromlist=["numpy_available"]
+    ).numpy_available(),
+    reason="vectorized backend needs NumPy",
+)
+
+
+def test_backend_override_validates_eagerly():
+    with pytest.raises(ConfigError, match="unknown backend 'bogus'"):
+        BatchRunner(backend="bogus")
+
+
+@needs_numpy
+def test_backend_override_rewrites_scenarios_and_keys():
+    """The override is applied before seeding/caching, so the cache keys
+    (and hence store rows) name the backend that actually ran."""
+    runner = BatchRunner(jobs=1, seed=9, backend="vectorized")
+    resolved = runner.resolve_seeds(_scenarios(n=2))
+    assert all(s.backend == "vectorized" for s in resolved)
+    plain = BatchRunner(jobs=1, seed=9).resolve_seeds(_scenarios(n=2))
+    assert [s.cache_key() for s in resolved] != [s.cache_key() for s in plain]
+
+
+@needs_numpy
+def test_vectorized_runner_matches_envelope_runner():
+    envelope = BatchRunner(jobs=1, seed=9).run(_scenarios())
+    vectorized = BatchRunner(jobs=1, seed=9, backend="vectorized").run(
+        _scenarios()
+    )
+    assert [r.transmissions for r in envelope] == [
+        r.transmissions for r in vectorized
+    ]
+    assert [r.final_voltage for r in envelope] == [
+        r.final_voltage for r in vectorized
+    ]
+
+
+@needs_numpy
+def test_vectorized_batch_uses_one_run_batch_call(monkeypatch):
+    """With a batch-capable backend the runner must hand the pending
+    work over in one call instead of per-scenario fan-out."""
+    from repro import backends
+
+    calls = []
+    original = backends.VectorizedBackend.run_batch
+
+    def spy(self, scenarios):
+        calls.append(len(scenarios))
+        return original(self, scenarios)
+
+    monkeypatch.setattr(backends.VectorizedBackend, "run_batch", spy)
+    runner = BatchRunner(jobs=4, seed=9, backend="vectorized")
+    results = runner.run(_scenarios(n=5))
+    assert len(results) == 5
+    assert calls == [5]  # one call, whole batch, despite jobs=4
+
+
+@needs_numpy
+def test_vectorized_runner_cache_and_store_tiers(tmp_path):
+    """Memory LRU -> store -> simulate tiers and the store_hits counter
+    keep their semantics under batch dispatch."""
+    from repro.store import ResultStore
+
+    store = ResultStore(tmp_path / "results.db")
+    first = BatchRunner(jobs=1, seed=9, backend="vectorized", store=store)
+    results = first.run(_scenarios(n=4))
+    assert first.misses == 4 and first.store_hits == 0
+    assert len(store) == 4
+
+    # Same runner, same batch: memory tier serves everything.
+    again = first.run(_scenarios(n=4))
+    assert first.misses == 4 and first.hits == 4
+    # Fresh runner, same store: disk tier serves everything.
+    warm = BatchRunner(jobs=1, seed=9, backend="vectorized", store=store)
+    warmed = warm.run(_scenarios(n=4))
+    assert warm.misses == 0 and warm.store_hits == 4
+    assert [r.transmissions for r in results] == [
+        r.transmissions for r in again
+    ] == [r.transmissions for r in warmed]
+
+
+@needs_numpy
+def test_mixed_backend_batch_dispatch():
+    """A batch mixing plain and batch-capable backends comes back in
+    submission order with per-backend execution."""
+    from dataclasses import replace
+
+    base = _scenarios(n=4)
+    mixed = [
+        base[0],
+        replace(base[1], backend="vectorized"),
+        base[2],
+        replace(base[3], backend="vectorized"),
+    ]
+    resolved = BatchRunner(jobs=1, seed=9).resolve_seeds(mixed)
+    results = BatchRunner(jobs=1, seed=9).run(mixed)
+    singles = [BatchRunner(jobs=1, seed=9).run_one(s) for s in resolved]
+    assert [r.transmissions for r in results] == [
+        r.transmissions for r in singles
+    ]

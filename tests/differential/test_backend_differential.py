@@ -1,0 +1,195 @@
+"""Differential testing: the vectorized backend against its references.
+
+The vectorized backend's licence to exist is that it is *the same
+simulation* as the scalar envelope backend, just amortised over a batch.
+This harness machine-checks that claim instead of assuming it:
+
+- every **named scenario** runs through envelope and vectorized at its
+  full horizon,
+- ``expand(n, seed)`` samples of **all five stochastic families** run
+  through both backends as one batch per backend,
+- a **detailed** cross-check runs where it is cheap (a short window with
+  tuning sessions excluded, as in the conformance suite),
+
+and every comparison is judged against one explicit table of per-metric
+tolerance envelopes (:data:`TOLERANCES` / :data:`DETAILED_TOLERANCES`).
+The envelope-vs-vectorized envelopes are deliberately tight -- the
+vectorized integrator re-expresses the scalar arithmetic operation for
+operation, so agreement is at rounding level (byte-identical payloads on
+the development platform); the detailed envelopes are loose, mirroring
+the conformance suite's model-fidelity bands.
+
+Failures print a full metric diff table, not just the first bad number.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import pytest
+
+from repro.backends import quiet_options, run, run_batch
+from repro.scenario import Scenario, named_scenario, scenario_names
+from repro.system.result import SystemResult
+from repro.system.stochastic import family_names, named_family
+from repro.system.vectorized import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="vectorized backend needs NumPy"
+)
+
+#: Replicates per stochastic-family grid point and the expansion seed.
+FAMILY_N = 2
+FAMILY_SEED = 123
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Two-sided agreement envelope: ``|got - ref| <= abs + rel*|ref|``."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def holds(self, ref: float, got: float) -> bool:
+        return abs(got - ref) <= self.abs + self.rel * abs(ref)
+
+
+#: The single tolerance table for envelope vs vectorized.  These are
+#: *rounding-level* envelopes: both backends execute the same arithmetic
+#: per scenario, so anything beyond the last few ulps is a real bug.
+TOLERANCES: Dict[str, Tolerance] = {
+    "lifetime_s": Tolerance(rel=1e-9, abs=1e-6),
+    "transmissions": Tolerance(abs=1.0),
+    "final_voltage": Tolerance(abs=1e-6),
+    "harvested_j": Tolerance(rel=1e-6, abs=1e-9),
+    "consumed_j": Tolerance(rel=1e-6, abs=1e-9),
+}
+
+#: Model-fidelity envelopes for the detailed cross-check (the MNA model
+#: keeps the ring-up transient and discrete transmission notches the
+#: envelope physics averages away) -- mirrors the conformance suite.
+DETAILED_TOLERANCES: Dict[str, Tolerance] = {
+    "transmissions": Tolerance(rel=0.5, abs=2.0),
+    "final_voltage": Tolerance(abs=0.01),
+}
+
+
+def _metrics(result: SystemResult) -> Dict[str, float]:
+    return {
+        "lifetime_s": float(result.horizon),
+        "transmissions": float(result.transmissions),
+        "final_voltage": float(result.final_voltage),
+        "harvested_j": float(result.breakdown.harvested),
+        "consumed_j": float(result.breakdown.consumed),
+    }
+
+
+def assert_agreement(
+    label: str,
+    reference: SystemResult,
+    candidate: SystemResult,
+    tolerances: Dict[str, Tolerance],
+    ref_name: str = "envelope",
+    got_name: str = "vectorized",
+) -> None:
+    """Assert every tabled metric agrees; on failure, show them all."""
+    ref = _metrics(reference)
+    got = _metrics(candidate)
+    rows = []
+    failed = False
+    for metric, tol in tolerances.items():
+        ok = tol.holds(ref[metric], got[metric])
+        failed = failed or not ok
+        rows.append(
+            f"  {'ok ' if ok else 'FAIL'} {metric:<14s} "
+            f"{ref_name}={ref[metric]:.9g} {got_name}={got[metric]:.9g} "
+            f"delta={got[metric] - ref[metric]:+.3e} "
+            f"(allowed abs={tol.abs:g} rel={tol.rel:g})"
+        )
+    assert not failed, (
+        f"{label}: {got_name} disagrees with {ref_name} beyond the "
+        f"declared tolerance envelope:\n" + "\n".join(rows)
+    )
+
+
+def _pair(scenario: Scenario):
+    """Run one scenario on envelope and vectorized, traces off."""
+    base = replace(scenario, options=quiet_options("envelope"))
+    return run(base), run(replace(base, backend="vectorized"))
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_named_scenarios_differential(name):
+    envelope, vectorized = _pair(named_scenario(name))
+    assert_agreement(name, envelope, vectorized, TOLERANCES)
+
+
+@pytest.mark.parametrize("name", sorted(family_names()))
+def test_stochastic_families_differential(name):
+    """Family expansions agree scenario-for-scenario across backends.
+
+    Both sides run as *batches* (the vectorized side through one
+    ``run_batch`` call), so this also pins that lockstep batching does
+    not leak state between lanes.
+    """
+    family = named_family(name)
+    scenarios = [
+        replace(s, options=quiet_options("envelope"))
+        for s in family.expand(n=FAMILY_N, seed=FAMILY_SEED)
+    ]
+    envelope = [run(s) for s in scenarios]
+    vectorized = run_batch(
+        [replace(s, backend="vectorized") for s in scenarios]
+    )
+    for scenario, env, vec in zip(scenarios, envelope, vectorized):
+        assert_agreement(scenario.name or name, env, vec, TOLERANCES)
+
+
+def test_batch_order_and_duplicates():
+    """A shuffled batch with duplicates returns per-slot exact results."""
+    family = named_family("intermittent")
+    base = [
+        replace(s, backend="vectorized", options=quiet_options("vectorized"))
+        for s in family.expand(n=2, seed=7)
+    ]
+    batch = [base[1], base[0], base[1], base[0]]
+    results = run_batch(batch)
+    singles = [run(s) for s in batch]
+    for i, (got, want) in enumerate(zip(results, singles)):
+        assert_agreement(
+            f"slot {i}", want, got, TOLERANCES,
+            ref_name="single", got_name="batched",
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["paper", "cold-start"])
+def test_detailed_cross_check(name):
+    """Where the detailed backend is cheap (short window, no sessions),
+    the vectorized backend must sit inside the same fidelity band the
+    envelope backend is held to."""
+    scenario = named_scenario(name)
+    short = replace(
+        scenario,
+        config=replace(scenario.config, watchdog_s=1e4),
+        horizon=2.0,
+        seed=1,
+        options={},
+    )
+    detailed = run(replace(short, backend="detailed"))
+    vectorized = run(replace(short, backend="vectorized"))
+    assert_agreement(
+        name,
+        detailed,
+        vectorized,
+        DETAILED_TOLERANCES,
+        ref_name="detailed",
+        got_name="vectorized",
+    )
+
+
+def test_tolerance_table_is_complete():
+    """Every metric the harness compares has a declared envelope."""
+    result = run(
+        replace(named_scenario("low-vibration"), horizon=60.0, options={})
+    )
+    assert set(_metrics(result)) == set(TOLERANCES)

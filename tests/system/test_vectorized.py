@@ -1,0 +1,189 @@
+"""Unit tests for the vectorized batch envelope backend."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.backends import get_backend, quiet_options, run, run_batch
+from repro.errors import ConfigError
+from repro.scenario import PartsSpec, Scenario, named_scenario
+from repro.system.components import paper_system
+from repro.system.config import SystemConfig
+from repro.system.vectorized import (
+    DISABLE_ENV_VAR,
+    _build_parts,
+    numpy_available,
+    simulate_batch,
+)
+from repro.system.vibration import VibrationProfile
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="vectorized backend needs NumPy"
+)
+
+
+def _canonical(result) -> str:
+    return json.dumps(result.to_payload(), sort_keys=True)
+
+
+def _short(**overrides) -> Scenario:
+    base = dict(
+        config=SystemConfig(clock_hz=4e6, watchdog_s=120.0, tx_interval_s=2.0),
+        profile=VibrationProfile.paper_profile(horizon=600.0),
+        horizon=600.0,
+        seed=5,
+        backend="vectorized",
+        options=quiet_options("vectorized"),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestSharedPhysicsParts:
+    def test_matches_paper_system(self):
+        spec = PartsSpec(v_init=2.72, initial_frequency=66.0)
+        fast = _build_parts(spec)
+        slow = paper_system(v_init=2.72, initial_frequency=66.0)
+        assert fast.store.energy == slow.store.energy
+        assert fast.microgenerator.position == slow.microgenerator.position
+        assert fast.lut.positions == slow.lut.positions
+        assert fast.microgenerator.tuning_map.resonant_frequency(
+            100
+        ) == slow.microgenerator.tuning_map.resonant_frequency(100)
+
+    def test_explicit_position_override(self):
+        fast = _build_parts(PartsSpec(initial_position=37))
+        assert fast.microgenerator.position == 37
+
+    def test_lanes_do_not_share_mutable_state(self):
+        a = _build_parts(PartsSpec())
+        b = _build_parts(PartsSpec())
+        a.microgenerator.actuator.move_steps(5)
+        a.store.draw(0.1)
+        assert b.microgenerator.actuator.total_steps_moved == 0
+        assert b.store.energy != a.store.energy
+        # The heavyweight immutable physics *is* shared.
+        assert a.lut is b.lut
+        assert a.microgenerator.tuning_map is b.microgenerator.tuning_map
+
+
+class TestBackendContract:
+    def test_simulate_equals_batch_of_one(self):
+        scenario = _short()
+        backend = get_backend("vectorized")
+        assert _canonical(backend.simulate(scenario)) == _canonical(
+            backend.run_batch([scenario])[0]
+        )
+
+    def test_empty_batch(self):
+        assert simulate_batch([]) == []
+
+    def test_heterogeneous_batch_matches_scalar(self):
+        scenarios = [
+            _short(),
+            _short(
+                config=SystemConfig(
+                    clock_hz=1e6, watchdog_s=300.0, tx_interval_s=0.5
+                ),
+                seed=9,
+            ),
+            _short(
+                parts=PartsSpec(v_init=2.45),
+                horizon=450.0,
+                profile=None,
+            ),
+        ]
+        batched = run_batch(scenarios)
+        for scenario, got in zip(scenarios, batched):
+            want = run(replace(scenario, backend="envelope"))
+            assert _canonical(got) == _canonical(want)
+
+    def test_dt_max_option_matches_envelope(self):
+        scenario = _short(options={"dt_max": 0.5, "record_traces": False})
+        got = run(scenario)
+        want = run(replace(scenario, backend="envelope"))
+        assert _canonical(got) == _canonical(want)
+
+    def test_traces_match_envelope(self):
+        scenario = _short(options={})
+        got = run(scenario)
+        want = run(replace(scenario, backend="envelope"))
+        assert json.dumps(got.traces.to_payload(), sort_keys=True) == json.dumps(
+            want.traces.to_payload(), sort_keys=True
+        )
+
+    def test_unknown_option_is_config_error(self):
+        scenario = _short(options={"points_per_cycle": 10})
+        with pytest.raises(ConfigError, match="vectorized.*points_per_cycle"):
+            run(scenario)
+
+    def test_bad_dt_max_propagates(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="dt_max"):
+            run(_short(options={"dt_max": -1.0}))
+
+    def test_deterministic_across_calls(self):
+        scenario = _short(seed=11)
+        assert _canonical(run(scenario)) == _canonical(run(scenario))
+
+    def test_cache_keys_are_backend_specific(self):
+        """Vectorized rows never squat an envelope row (and vice versa):
+        the backend is part of the scenario identity."""
+        scenario = named_scenario("paper")
+        assert (
+            replace(scenario, backend="vectorized").cache_key()
+            != scenario.cache_key()
+        )
+
+
+class TestNumpyGuard:
+    def test_disable_env_var_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        assert not numpy_available()
+        with pytest.raises(ConfigError, match=r"vectorized.*NumPy"):
+            run(_short(horizon=30.0))
+
+    def test_error_names_the_extra_and_an_alternative(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        with pytest.raises(ConfigError, match=r"repro-wsn\[vectorized\]"):
+            simulate_batch([_short(horizon=30.0)])
+        with pytest.raises(ConfigError, match="envelope"):
+            simulate_batch([_short(horizon=30.0)])
+
+    def test_envelope_backend_unaffected(self, monkeypatch):
+        """Tier-1 physics must keep working with NumPy 'absent' for the
+        vectorized backend: the guard gates only the batch engine."""
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        result = run(
+            replace(_short(horizon=30.0), backend="envelope")
+        )
+        assert result.horizon >= 30.0
+
+    def test_registry_still_lists_vectorized(self, monkeypatch):
+        """The name stays registered (and advertised in error listings)
+        even when the dependency is missing -- failing at *use* with a
+        good message beats silently vanishing from the registry."""
+        from repro.backends import backend_names
+
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        assert "vectorized" in backend_names()
+
+
+def test_runaway_guard_resets_per_event_stretch(monkeypatch):
+    """Regression: the iteration guard must bound one inter-event
+    stretch (like the scalar integrator's per-_integrate_until guard),
+    not the whole run -- otherwise legitimately long runs with small
+    dt_max abort on vectorized while envelope completes them."""
+    import repro.system.vectorized as vec
+
+    monkeypatch.setattr(vec, "_MAX_ITERATIONS", 100)
+    # ~60 steps per watchdog stretch (< 100), ~5 stretches (> 100 total).
+    scenario = _short(
+        config=SystemConfig(clock_hz=4e6, watchdog_s=60.0, tx_interval_s=2.0),
+        horizon=300.0,
+        options={"dt_max": 1.0, "record_traces": False},
+    )
+    result = run(scenario)
+    assert result.horizon >= 300.0 - 1e-9

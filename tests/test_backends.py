@@ -126,3 +126,131 @@ def test_default_scenario_uses_backend_default_profile():
     direct = EnvelopeSimulator(ORIGINAL_DESIGN, seed=5).run(200.0)
     assert result.transmissions == direct.transmissions
     assert result.final_voltage == direct.final_voltage
+
+
+# -- vectorized backend: registry and batch capability ------------------------
+
+
+def test_vectorized_backend_registered():
+    assert "vectorized" in backend_names()
+
+
+def test_unknown_backend_error_lists_vectorized():
+    """Regression: the registry's alternatives listing must include the
+    vectorized backend (it previously only knew envelope/detailed)."""
+    with pytest.raises(ConfigError) as err:
+        get_backend("nope")
+    assert "vectorized" in str(err.value)
+
+
+def test_supports_batch_capability():
+    from repro.backends import supports_batch
+
+    assert supports_batch(get_backend("vectorized"))
+    assert not supports_batch(get_backend("envelope"))
+    assert not supports_batch(get_backend("detailed"))
+
+
+def test_run_batch_groups_by_backend_and_preserves_order():
+    from repro.backends import run_batch
+    from repro.system.vectorized import numpy_available
+
+    envelope = Scenario(
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile.constant(64.0),
+        horizon=60.0,
+        seed=1,
+        options={"record_traces": False},
+    )
+    scenarios = [envelope]
+    if numpy_available():
+        scenarios = [
+            envelope,
+            Scenario(
+                config=ORIGINAL_DESIGN,
+                profile=VibrationProfile.constant(64.0),
+                horizon=60.0,
+                seed=1,
+                backend="vectorized",
+                options={"record_traces": False},
+            ),
+            envelope,
+        ]
+    results = run_batch(scenarios)
+    assert len(results) == len(scenarios)
+    singles = [run(s) for s in scenarios]
+    assert [r.transmissions for r in results] == [
+        r.transmissions for r in singles
+    ]
+    assert [r.final_voltage for r in results] == [
+        r.final_voltage for r in singles
+    ]
+
+
+def test_run_conformance_default_includes_vectorized():
+    """Regression: run_conformance previously only knew envelope and
+    detailed; the default backend set now carries vectorized too."""
+    import inspect
+
+    from repro.backends import run_conformance
+
+    defaults = inspect.signature(run_conformance).parameters["backends"].default
+    assert "vectorized" in defaults
+
+
+def test_quiet_options_knows_vectorized():
+    from repro.backends import quiet_options
+
+    assert quiet_options("vectorized") == {"record_traces": False}
+    assert quiet_options("envelope") == {"record_traces": False}
+    assert quiet_options("detailed") == {}
+
+
+def test_vectorized_missing_numpy_regression(monkeypatch):
+    """The NumPy-missing path: registration survives, use fails with a
+    ConfigError that names the extra and a working alternative."""
+    from repro.system.vectorized import DISABLE_ENV_VAR, numpy_available
+
+    monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+    assert not numpy_available()
+    assert "vectorized" in backend_names()
+    scenario = Scenario(
+        config=ORIGINAL_DESIGN,
+        profile=VibrationProfile.constant(64.0),
+        horizon=30.0,
+        seed=1,
+        backend="vectorized",
+    )
+    with pytest.raises(ConfigError, match=r"repro-wsn\[vectorized\]"):
+        run(scenario)
+
+
+def test_run_batch_rejects_miscounting_backend():
+    """A buggy third-party run_batch that returns the wrong number of
+    results must fail fast at the dispatch site, not leave None holes."""
+    from repro.backends import run_batch
+    from repro.errors import SimulationError
+
+    class ShortChanging:
+        name = "short-changing"
+
+        def simulate(self, scenario):
+            raise NotImplementedError
+
+        def run_batch(self, scenarios):
+            return []  # always one short (or more)
+
+    register_backend("short-changing", ShortChanging)
+    try:
+        scenario = Scenario(
+            config=ORIGINAL_DESIGN,
+            horizon=30.0,
+            seed=1,
+            backend="short-changing",
+        )
+        with pytest.raises(SimulationError, match="0 results for a 1-scenario"):
+            run_batch([scenario])
+    finally:
+        from repro import backends
+
+        backends._REGISTRY.pop("short-changing", None)
