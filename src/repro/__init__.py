@@ -42,12 +42,19 @@ lazily (``import repro`` stays cheap)::
     spec = repro.named_study("paper")
     outcome = repro.Study(spec, store=store).run()   # kill it halfway...
     outcome = repro.Study.resume(store, "paper")     # ...zero re-simulation
+
+    # Simulation as a service: a durable job queue in the same store,
+    # drained by a worker pool, fronted by a stdlib HTTP JSON API
+    # (``repro-wsn serve``).
+    queue = repro.JobQueue(store)
+    job = queue.submit(family.manifest(n=40, seed=0))
+    repro.WorkerPool(store, workers=4).run_once()
 """
 
 import importlib
 from typing import List
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -131,6 +138,13 @@ _EXPORTS = {
     "run_paper_flow": "repro.core.paper",
     "save_outcome": "repro.core.campaign",
     "load_outcome": "repro.core.campaign",
+    # simulation service (repro.service)
+    "Job": "repro.service",
+    "JobQueue": "repro.service",
+    "JobCancelled": "repro.service",
+    "WorkerPool": "repro.service",
+    "ServiceApp": "repro.service",
+    "ServiceServer": "repro.service",
     # errors
     "ReproError": "repro.errors",
     "ConfigError": "repro.errors",

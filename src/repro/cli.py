@@ -28,6 +28,11 @@ module run (``python -m repro.cli ...``).  Subcommands:
   ``init``, ``stats``, ``gc``, ``export``.
 - ``campaign``      -- resumable batch execution over a store:
   ``run MANIFEST``, ``resume NAME``, ``status [NAME]``.
+- ``serve``         -- simulation as a service (:mod:`repro.service`):
+  an HTTP job API (submit scenario manifests or study specs, poll
+  status, fetch results, cancel) plus a worker pool draining the
+  store's durable job queue.  ``--once`` processes the queue and exits
+  (cron-style worker); SIGTERM drains in-flight jobs gracefully.
 
 ``--backend`` selects any registered simulation backend (``envelope``,
 ``detailed``, or ``vectorized`` -- the NumPy lockstep engine that runs
@@ -404,6 +409,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_st.add_argument(
         "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+
+    srv = sub.add_parser(
+        "serve", help="HTTP job API + worker pool over a result store"
+    )
+    srv.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 picks a free one)"
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2, help="worker threads draining the queue"
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="BatchRunner fan-out inside each job (default: 1)",
+    )
+    srv.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="scenarios per durable chunk (default: the campaign/study one)",
+    )
+    srv.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help="accepted bearer token (repeatable; omit for an open service)",
+    )
+    srv.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="rate limit per caller in requests/s (0 disables; 429 + Retry-After)",
+    )
+    srv.add_argument(
+        "--burst", type=int, default=None, help="rate-limit burst (default: 2*rate)"
+    )
+    srv.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle worker poll interval in seconds",
+    )
+    srv.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=60.0,
+        help="requeue a running job after this many silent seconds",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="graceful-shutdown window before in-flight jobs are requeued",
+    )
+    srv.add_argument(
+        "--once",
+        action="store_true",
+        help="no HTTP server: drain the queue once and exit (cron worker)",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
     )
 
     return parser
@@ -929,15 +1002,99 @@ def _cmd_campaign(args) -> int:
     if args.campaign_command == "status":
         if args.name is not None:
             print(Campaign(store, args.name).status().summary())
-            return 0
-        statuses = campaign_statuses(store)
-        if not statuses:
-            print("no campaigns in this store")
-            return 0
-        for status in statuses:
-            print(status.summary())
+        else:
+            statuses = campaign_statuses(store)
+            if not statuses:
+                print("no campaigns in this store")
+            for status in statuses:
+                print(status.summary())
+        _print_job_counts(store)
         return 0
     raise AssertionError(f"unhandled campaign command {args.campaign_command!r}")
+
+
+def _print_job_counts(store) -> None:
+    """One service-queue line for the store-aware status commands."""
+    from repro.service import JobQueue
+
+    counts = JobQueue(store).counts()
+    if any(counts.values()):
+        print(
+            "jobs: "
+            + ", ".join(f"{status} {count}" for status, count in counts.items())
+        )
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import JobQueue, ServiceApp, ServiceServer, WorkerPool
+
+    store = _open_store(args.store)
+    queue = JobQueue(store)
+    requeued = queue.requeue_orphans(args.heartbeat_timeout)
+    if requeued:
+        print(f"requeued {requeued} orphaned job(s)")
+    pool = WorkerPool(
+        store,
+        workers=max(args.workers, 1),
+        jobs=max(args.jobs, 1),
+        poll_interval=args.poll,
+        heartbeat_timeout=args.heartbeat_timeout,
+        chunk_size=args.chunk,
+    )
+
+    def _queue_line() -> str:
+        counts = queue.counts()
+        return ", ".join(f"{status} {count}" for status, count in counts.items())
+
+    if args.once:
+        processed = pool.run_once(requeue_orphans=False)
+        print(f"processed {processed} job(s); queue: {_queue_line()}")
+        return 0
+
+    app = ServiceApp(
+        store,
+        pool=pool,
+        tokens=tuple(args.token or ()),
+        rate=args.rate,
+        burst=args.burst,
+        verbose=args.verbose,
+    )
+    server = ServiceServer(app, host=args.host, port=args.port)
+    pool.start()
+    server.start()
+    print(
+        f"serving on {server.url} "
+        f"(store {args.store}, {pool.workers} worker(s), "
+        f"{args.jobs} fan-out job(s) each)"
+    )
+    if not args.token:
+        print("warning: no --token configured; the API is open")
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):  # noqa: ARG001 (signal API)
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("shutting down: draining in-flight jobs...")
+    server.shutdown()
+    drained = pool.stop(drain=True, timeout=args.drain_timeout)
+    if not drained:
+        print("warning: a worker did not exit; its job will requeue by heartbeat")
+    print(f"stopped; queue: {_queue_line()}")
+    return 0
 
 
 def _cmd_tradeoff(args) -> int:
@@ -1004,6 +1161,7 @@ _COMMANDS = {
     "montecarlo": _cmd_montecarlo,
     "store": _cmd_store,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
 }
 
 

@@ -622,7 +622,9 @@ class Study:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self) -> ExplorationOutcome:
+    def run(
+        self, on_chunk: Optional[Callable[[int, int], None]] = None
+    ) -> ExplorationOutcome:
         """Execute (or continue) the pipeline and return every artefact.
 
         With a store attached, design points are simulated in durable
@@ -631,12 +633,23 @@ class Study:
         re-simulated.  The optimisation stages are deterministic in the
         spec seed, so re-running a completed study costs only store
         reads and cheap surface maximisation.
+
+        ``on_chunk`` is the job-context hook: called as
+        ``on_chunk(done, total)`` over the design points at every
+        durable chunk boundary (before each chunk and once after the
+        last), where a supervising job runner heartbeats its claim and
+        checks for cancellation -- an exception raised from the hook
+        aborts between chunks, losing no stored work.
         """
         spec = self.spec
         design = self._ensure_journaled()
         points = design.points
         for start in range(0, len(points), self.chunk_size):
+            if on_chunk is not None:
+                on_chunk(start, len(points))
             self.objective.evaluate_design(points[start : start + self.chunk_size])
+        if on_chunk is not None:
+            on_chunk(len(points), len(points))
         return self.explorer.run(
             n_runs=spec.n_runs,
             seed=spec.seed,

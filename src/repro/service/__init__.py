@@ -1,0 +1,78 @@
+"""Simulation-as-a-service: HTTP job API, durable queue, worker pool.
+
+This package turns the library into a multi-tenant service without a
+single new dependency: jobs are rows in the same SQLite file as the
+:class:`~repro.store.ResultStore` they run against, workers are threads
+draining that queue through the existing
+:class:`~repro.store.Campaign` / :class:`~repro.core.study.Study`
+machinery, and the API is a stdlib ``ThreadingHTTPServer``.
+
+Because execution rides the store's content-addressed, first-writer-wins
+results table, the service inherits every durability property the
+library already proves: a SIGKILLed worker's job is requeued by
+heartbeat timeout and *resumed* -- zero re-simulation of stored rows --
+and results fetched over HTTP are byte-identical to a direct
+``Campaign.run()`` against the same store.
+
+Quickstart (server)::
+
+    repro-wsn serve --store results.db --port 8080 --workers 2
+
+Quickstart (client)::
+
+    import json, urllib.request
+
+    manifest = json.load(open("manifest.json"))
+    req = urllib.request.Request(
+        "http://127.0.0.1:8080/v1/jobs",
+        data=json.dumps(manifest).encode(),
+        method="POST",
+    )
+    job = json.load(urllib.request.urlopen(req))
+    # ... poll /v1/jobs/{id}, then fetch /v1/jobs/{id}/results
+
+In-process (tests, embedding)::
+
+    from repro.service import JobQueue, ServiceApp, ServiceServer, WorkerPool
+
+    queue = JobQueue(store)
+    job = queue.submit(manifest)
+    pool = WorkerPool(store, workers=2)
+    pool.run_once()                    # cron-style: drain queue, return
+    server = ServiceServer(ServiceApp(store, pool=pool)).start()
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.http import (
+    RateLimiter,
+    Request,
+    Response,
+    ServiceServer,
+    TokenAuth,
+)
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATUSES,
+    Job,
+    JobCancelled,
+    JobQueue,
+    validate_job,
+)
+from repro.service.worker import WorkerPool, execute_job
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "RateLimiter",
+    "Request",
+    "Response",
+    "ServiceApp",
+    "ServiceServer",
+    "TokenAuth",
+    "WorkerPool",
+    "execute_job",
+    "validate_job",
+]

@@ -1,0 +1,300 @@
+"""The simulation service's JSON API.
+
+:class:`ServiceApp` maps HTTP requests onto one
+:class:`~repro.service.jobs.JobQueue` (and, for liveness reporting, the
+:class:`~repro.service.worker.WorkerPool` draining it):
+
+====== ============================ ==========================================
+Method Path                         Meaning
+====== ============================ ==========================================
+POST   ``/v1/jobs``                 submit a scenario / manifest / study spec
+GET    ``/v1/jobs``                 list jobs (``?status=`` / ``?limit=``)
+GET    ``/v1/jobs/{id}``            claim state + progress from the store
+GET    ``/v1/jobs/{id}/results``    canonical payload page (``offset/limit``)
+DELETE ``/v1/jobs/{id}``            cancel (409 once terminal)
+GET    ``/v1/healthz``              cheap liveness probe (never auth-gated)
+GET    ``/v1/metrics``              queue depths, workers, store, requests
+====== ============================ ==========================================
+
+Error contract: anything wrong with a *submission* -- invalid JSON, an
+oversized body, a malformed manifest or spec, an unknown backend --
+surfaces as HTTP 400 carrying the library's own
+:class:`~repro.errors.ConfigError`/:class:`~repro.errors.DesignError`
+message, never as a 500; unknown jobs are 404s; cancelling a finished
+job is a 409; rate-limited requests are 429s with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.errors import ReproError
+from repro.service.http import (
+    RateLimiter,
+    Request,
+    Response,
+    TokenAuth,
+    error_response,
+)
+from repro.service.jobs import JOB_KINDS, JobQueue
+from repro.store.db import ResultStore
+
+#: Result-page size cap: keeps one response bounded however large the job.
+MAX_PAGE_LIMIT = 500
+
+
+class _HTTPError(Exception):
+    """Internal routing signal: becomes an error response, not a 500."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceApp:
+    """Routes + middleware over one store's job queue.
+
+    Parameters
+    ----------
+    store:
+        The shared result store (jobs, journals, results).
+    pool:
+        Optional :class:`~repro.service.worker.WorkerPool`, used only
+        for liveness in ``/v1/healthz`` and ``/v1/metrics`` (the API
+        works fine with external ``--once`` cron workers instead).
+    tokens:
+        Bearer tokens; empty means an open (unauthenticated) service.
+    rate, burst:
+        Token-bucket rate limit per caller (``rate <= 0`` disables).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        pool=None,
+        tokens: Tuple[str, ...] = (),
+        rate: float = 0.0,
+        burst: Optional[int] = None,
+        verbose: bool = False,
+    ):
+        self.store = store
+        self.queue = JobQueue(store)
+        self.pool = pool
+        self.auth = TokenAuth(tuple(tokens))
+        self.limiter = RateLimiter(rate=rate, burst=burst)
+        self.middleware = (self.auth, self.limiter)
+        self.verbose = verbose
+        self._lock = threading.Lock()
+        self._requests_total = 0
+        self._requests_by_status: Dict[str, int] = {}
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """Middleware chain -> route -> error mapping.  Never raises."""
+        try:
+            response = self._dispatch_inner(request)
+        except _HTTPError as exc:
+            response = error_response(exc.status, str(exc))
+        except ReproError as exc:
+            # The library's own validation errors are the client's
+            # fault by definition: 400 with the real message.
+            response = error_response(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 -- last-resort boundary
+            response = error_response(
+                500, f"internal error: {type(exc).__name__}: {exc}"
+            )
+        with self._lock:
+            self._requests_total += 1
+            key = str(response.status)
+            self._requests_by_status[key] = (
+                self._requests_by_status.get(key, 0) + 1
+            )
+        return response
+
+    def _dispatch_inner(self, request: Request) -> Response:
+        if request.method == "GET" and request.path == "/v1/healthz":
+            return self._healthz()  # probes bypass auth and rate limits
+        for middleware in self.middleware:
+            refused = middleware(request)
+            if refused is not None:
+                return refused
+        parts = [p for p in request.path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "v1":
+            raise _HTTPError(404, f"no such path {request.path!r}")
+        if parts[1] == "metrics" and len(parts) == 2:
+            self._require(request, "GET")
+            return self._metrics()
+        if parts[1] == "jobs":
+            if len(parts) == 2:
+                if request.method == "POST":
+                    return self._submit(request)
+                self._require(request, "GET")
+                return self._list_jobs(request)
+            if len(parts) == 3:
+                if request.method == "DELETE":
+                    return self._cancel(parts[2])
+                self._require(request, "GET")
+                return self._job_status(parts[2])
+            if len(parts) == 4 and parts[3] == "results":
+                self._require(request, "GET")
+                return self._job_results(request, parts[2])
+        raise _HTTPError(404, f"no such path {request.path!r}")
+
+    @staticmethod
+    def _require(request: Request, method: str) -> None:
+        if request.method != method:
+            raise _HTTPError(
+                405, f"{request.method} is not supported on {request.path}"
+            )
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _submit(self, request: Request) -> Response:
+        try:
+            body = request.json()
+        except ValueError as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        # Enveloped ({"kind", "payload", ...}) or bare (the payload
+        # itself -- manifests, specs and scenarios are sniffable).
+        if "payload" in body:
+            payload = body["payload"]
+            kind = body.get("kind")
+            name = body.get("name")
+            priority = body.get("priority", 0)
+        else:
+            payload, kind, name, priority = body, body.pop("kind", None), None, 0
+        if kind is not None and kind not in JOB_KINDS:
+            raise _HTTPError(
+                400,
+                f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})",
+            )
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise _HTTPError(400, "job priority must be an integer")
+        if name is not None and not isinstance(name, str):
+            raise _HTTPError(400, "job name must be a string")
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "job payload must be a JSON object")
+        job = self.queue.submit(
+            payload,
+            kind=kind,
+            name=name,
+            priority=priority,
+            owner=request.token() or request.client,
+        )
+        doc = job.to_payload()
+        doc["url"] = f"/v1/jobs/{job.id}"
+        return Response(201, doc, headers={"Location": doc["url"]})
+
+    def _list_jobs(self, request: Request) -> Response:
+        status = request.query.get("status")
+        limit = self._int_param(request, "limit", default=100, minimum=1)
+        jobs = self.queue.jobs(status=status, limit=limit)
+        return Response(
+            200,
+            {"count": len(jobs), "jobs": [job.to_payload() for job in jobs]},
+        )
+
+    def _job_status(self, job_id: str) -> Response:
+        job = self._get_job(job_id)
+        done, total = self.queue.progress(job)
+        doc = job.to_payload()
+        doc.update(done=done, total=total)
+        return Response(200, doc)
+
+    def _job_results(self, request: Request, job_id: str) -> Response:
+        job = self._get_job(job_id)
+        offset = self._int_param(request, "offset", default=0, minimum=0)
+        limit = self._int_param(request, "limit", default=100, minimum=1)
+        limit = min(limit, MAX_PAGE_LIMIT)
+        count, entries = self.queue.result_entries(
+            job, offset=offset, limit=limit
+        )
+        return Response(
+            200,
+            {
+                "job": job.id,
+                "status": job.status,
+                "count": count,
+                "offset": offset,
+                "limit": limit,
+                "results": entries,
+            },
+            canonical=True,  # embedded payloads keep their stored bytes
+        )
+
+    def _cancel(self, job_id: str) -> Response:
+        job = self._get_job(job_id)
+        if job.terminal:
+            raise _HTTPError(
+                409, f"job {job.id} is already {job.status}"
+            )
+        return Response(200, self.queue.cancel(job.id).to_payload())
+
+    def _healthz(self) -> Response:
+        doc = {
+            "status": "ok",
+            "version": repro.__version__,
+            "store": str(self.store.path),
+        }
+        if self.pool is not None:
+            states = self.pool.worker_states()
+            doc["workers"] = {
+                "configured": len(states),
+                "alive": sum(1 for s in states if s["alive"]),
+            }
+        return Response(200, doc)
+
+    def _metrics(self) -> Response:
+        stats = self.store.stats()
+        with self._lock:
+            requests = {
+                "total": self._requests_total,
+                "by_status": dict(self._requests_by_status),
+                "rate_limited": self.limiter.rejected,
+            }
+        doc = {
+            "jobs": self.queue.counts(),
+            "store": {
+                "results": stats.n_results,
+                "campaigns": stats.n_campaigns,
+                "studies": len(self.store.study_names()),
+                "payload_bytes": stats.payload_bytes,
+                "file_bytes": stats.file_bytes,
+                "wall_time_banked_s": stats.total_wall_time_s,
+            },
+            "requests": requests,
+            "workers": (
+                None if self.pool is None else self.pool.worker_states()
+            ),
+        }
+        return Response(200, doc)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _get_job(self, job_id: str):
+        from repro.errors import ConfigError
+
+        try:
+            return self.queue.get(job_id)
+        except ConfigError as exc:
+            raise _HTTPError(404, str(exc)) from exc
+
+    @staticmethod
+    def _int_param(
+        request: Request, name: str, default: int, minimum: int
+    ) -> int:
+        raw = request.query.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise _HTTPError(400, f"query parameter {name!r} must be an integer")
+        if value < minimum:
+            raise _HTTPError(400, f"query parameter {name!r} must be >= {minimum}")
+        return value

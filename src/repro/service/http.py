@@ -1,0 +1,260 @@
+"""Stdlib HTTP plumbing for the simulation service.
+
+:mod:`repro.service.app` owns the routes; this module owns everything
+HTTP-shaped around them: the request/response value objects, the
+middleware chain (bearer-token auth, token-bucket rate limiting), the
+:class:`~http.server.BaseHTTPRequestHandler` adapter and a
+:class:`ServiceServer` wrapper around ``ThreadingHTTPServer`` that
+binds, serves from a background thread and shuts down cleanly.
+
+Everything is JSON: responses carry a ``payload`` object serialised
+with sorted keys -- and endpoints that return stored result documents
+mark themselves *canonical* so their bytes re-serialise exactly as the
+store wrote them (``canonical_json``), which is what the byte-identity
+tests pin.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.store.db import canonical_json
+
+#: Requests with bodies beyond this many bytes are refused (HTTP 400,
+#: per the service's "bad submissions are 400s, never 500s" contract).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request, free of socket machinery."""
+
+    method: str
+    path: str
+    query: Mapping[str, str]
+    headers: Mapping[str, str]
+    body: bytes
+    client: str = ""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises ``ValueError`` on garbage)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    def token(self) -> Optional[str]:
+        """The bearer token carried by the request, if any."""
+        auth = self.headers.get("authorization", "")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip()
+        return None
+
+
+@dataclass
+class Response:
+    """One JSON response: status, payload, extra headers.
+
+    ``canonical=True`` serialises the payload with the store's own
+    :func:`~repro.store.db.canonical_json` (sorted keys, fixed
+    separators) so embedded result documents keep their stored bytes.
+    """
+
+    status: int
+    payload: object
+    headers: Dict[str, str] = field(default_factory=dict)
+    canonical: bool = False
+
+    def body_bytes(self) -> bytes:
+        if self.canonical:
+            text = canonical_json(self.payload)
+        else:
+            text = json.dumps(self.payload, indent=2, sort_keys=True)
+        return (text + "\n").encode("utf-8")
+
+
+def error_response(status: int, message: str, **extra) -> Response:
+    """The one error shape every failure path uses."""
+    payload = {"error": message, "status": status}
+    headers = {str(k).replace("_", "-").title(): str(v) for k, v in extra.items()}
+    return Response(status, payload, headers=headers)
+
+
+# -- middleware ----------------------------------------------------------------
+
+
+class TokenAuth:
+    """Bearer-token gate.
+
+    With no configured tokens the service is open (a local dev
+    convenience the CLI makes explicit); with tokens, every request
+    except the health probe must present one of them.  Comparison is
+    constant-time.
+    """
+
+    def __init__(self, tokens: Tuple[str, ...] = ()):
+        self.tokens = tuple(t for t in tokens if t)
+
+    def __call__(self, request: Request) -> Optional[Response]:
+        if not self.tokens:
+            return None
+        presented = request.token()
+        if presented is not None and any(
+            hmac.compare_digest(presented, token) for token in self.tokens
+        ):
+            return None
+        refusal = error_response(401, "missing or invalid bearer token")
+        refusal.headers["WWW-Authenticate"] = 'Bearer realm="repro-wsn"'
+        return refusal
+
+
+class RateLimiter:
+    """Per-caller token bucket: ``rate`` requests/s, ``burst`` deep.
+
+    Buckets are keyed by bearer token when one is presented, else by
+    client address, so one noisy client cannot starve the rest.  A
+    refused request gets a 429 with ``Retry-After`` rounded up to the
+    next whole second a token becomes available.
+    """
+
+    def __init__(self, rate: float = 0.0, burst: Optional[int] = None):
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(rate * 2.0, 1.0))
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._lock = threading.Lock()
+        self.rejected = 0
+
+    def __call__(self, request: Request) -> Optional[Response]:
+        if self.rate <= 0.0:
+            return None
+        key = request.token() or request.client or "anonymous"
+        now = time.monotonic()
+        with self._lock:
+            level, stamp = self._buckets.get(key, (self.burst, now))
+            level = min(self.burst, level + (now - stamp) * self.rate)
+            if level >= 1.0:
+                self._buckets[key] = (level - 1.0, now)
+                return None
+            self._buckets[key] = (level, now)
+            self.rejected += 1
+            retry_after = max(math.ceil((1.0 - level) / self.rate), 1)
+        return error_response(
+            429,
+            f"rate limit exceeded ({self.rate:g} requests/s); retry in "
+            f"{retry_after} s",
+            retry_after=retry_after,
+        )
+
+
+# -- server --------------------------------------------------------------------
+
+
+def _make_handler(app) -> type:
+    """A request-handler class bound to one application object."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Keep-alive is safe: every response carries Content-Length.
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-wsn-service"
+
+        def _respond(self, response: Response) -> None:
+            body = response.body_bytes()
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY_BYTES:
+                self._respond(
+                    error_response(
+                        400,
+                        f"request body must be 0..{MAX_BODY_BYTES} bytes "
+                        f"with a valid Content-Length",
+                    )
+                )
+                return
+            body = self.rfile.read(length) if length else b""
+            split = urlsplit(self.path)
+            request = Request(
+                method=method,
+                path=split.path,
+                query=dict(parse_qsl(split.query)),
+                headers={k.lower(): v for k, v in self.headers.items()},
+                body=body,
+                client=self.client_address[0] if self.client_address else "",
+            )
+            self._respond(app.dispatch(request))
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("DELETE")
+
+        def log_message(self, format: str, *args) -> None:
+            if getattr(app, "verbose", False):
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    return Handler
+
+
+class ServiceServer:
+    """A ``ThreadingHTTPServer`` hosting one service application.
+
+    Binds eagerly (so ``port=0`` resolves to a real port before any
+    client needs it), serves from a daemon thread, and ``shutdown()``
+    unblocks cleanly -- the shape both the CLI and the tests want.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve from a background thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-http",
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()

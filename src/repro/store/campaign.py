@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.batch import BatchRunner
 from repro.errors import ConfigError
@@ -233,6 +233,7 @@ class Campaign:
         chunk_size: Optional[int] = None,
         executor: str = "process",
         runner: Optional[BatchRunner] = None,
+        on_chunk: Optional[Callable[[int, int], None]] = None,
     ) -> List[SystemResult]:
         """Simulate everything still missing; return all results in order.
 
@@ -242,6 +243,13 @@ class Campaign:
         stored scenarios are never re-simulated.  A custom ``runner``
         must carry this campaign's store (that write-through *is* the
         journal of completed work).
+
+        ``on_chunk`` is the job-context hook: called as
+        ``on_chunk(done, total)`` at every durable chunk boundary
+        (before each chunk starts and once after the last), where a
+        supervising job runner heartbeats its claim and checks for
+        cancellation -- an exception raised from the hook aborts
+        between chunks, losing no stored work.
         """
         if runner is None:
             runner = BatchRunner(jobs=jobs, executor=executor, store=self.store)
@@ -279,10 +287,16 @@ class Campaign:
             else:
                 by_key[key] = None
                 pending.append(scenario)
+        done = len(scenarios) - len(pending)
         for start in range(0, len(pending), chunk):
+            if on_chunk is not None:
+                on_chunk(done, len(scenarios))
             batch = pending[start : start + chunk]
             for scenario, result in zip(batch, runner.run(batch)):
                 by_key[scenario.cache_key()] = result
+            done += len(batch)
+        if on_chunk is not None:
+            on_chunk(done, len(scenarios))
         return [by_key[s.cache_key()] for s in scenarios]
 
     def resume(

@@ -42,7 +42,11 @@ from repro.scenario import Scenario
 from repro.system.result import SystemResult
 
 #: On-disk layout version, recorded in ``store_meta``; a store created by
-#: an incompatible future layout is refused instead of misread.
+#: an incompatible future layout is refused instead of misread.  Purely
+#: *additive* layout growth (the ``jobs`` table the service layer added)
+#: keeps the version: ``CREATE TABLE IF NOT EXISTS`` inside the
+#: version-checked ``_init_schema`` transaction migrates an older file in
+#: place, and older readers simply never touch the extra table.
 STORE_SCHEMA = 1
 
 _TABLES = """
@@ -98,6 +102,25 @@ CREATE TABLE IF NOT EXISTS studies (
     created_at   TEXT NOT NULL,
     created_unix REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS jobs (
+    id             TEXT PRIMARY KEY,
+    kind           TEXT NOT NULL,
+    name           TEXT NOT NULL,
+    payload        TEXT NOT NULL,
+    status         TEXT NOT NULL DEFAULT 'queued',
+    priority       INTEGER NOT NULL DEFAULT 0,
+    owner          TEXT NOT NULL DEFAULT '',
+    worker         TEXT,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    error          TEXT,
+    total          INTEGER NOT NULL DEFAULT 0,
+    submitted_at   TEXT NOT NULL,
+    submitted_unix REAL NOT NULL,
+    started_unix   REAL,
+    finished_unix  REAL,
+    heartbeat_unix REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs(status, priority, submitted_unix);
 """
 
 
@@ -211,6 +234,7 @@ class StoreStats:
     total_wall_time_s: float
     oldest: Optional[str]
     newest: Optional[str]
+    by_job_status: Tuple[Tuple[str, int], ...] = ()
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -222,6 +246,13 @@ class StoreStats:
             f"campaigns: {self.n_campaigns}",
             f"simulated wall time banked: {self.total_wall_time_s:.2f} s",
         ]
+        if self.by_job_status:
+            lines.append(
+                "jobs: "
+                + ", ".join(
+                    f"{status} {count}" for status, count in self.by_job_status
+                )
+            )
         if self.by_backend:
             lines.append(
                 "by backend: "
@@ -730,6 +761,13 @@ class ResultStore:
                 "GROUP BY family ORDER BY family"
             )
         )
+        by_job_status = tuple(
+            (row[0], int(row[1]))
+            for row in conn.execute(
+                "SELECT status, COUNT(*) FROM jobs "
+                "GROUP BY status ORDER BY status"
+            )
+        )
         payload_bytes, wall_time, oldest, newest = conn.execute(
             "SELECT COALESCE(SUM(LENGTH(payload)), 0), "
             "COALESCE(SUM(wall_time_s), 0.0), "
@@ -747,6 +785,7 @@ class ResultStore:
             total_wall_time_s=float(wall_time),
             oldest=oldest,
             newest=newest,
+            by_job_status=by_job_status,
         )
 
     def gc(

@@ -1,0 +1,172 @@
+"""The ``serve`` subcommand: once-mode draining, status surfacing, and
+the full server lifecycle (bind, serve, SIGTERM, graceful drain) as a
+real subprocess -- the deployment shape the CI smoke job exercises.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.service import JobQueue
+from repro.store import ResultStore
+from repro.system.stochastic import named_family
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "serve.db")
+
+
+def _manifest(n=2, seed=3, horizon=60.0):
+    family = replace(named_family("factory-floor"), horizon=horizon)
+    return family.manifest(n=n, seed=seed)
+
+
+def _submit(db, manifest=None, **kwargs):
+    return JobQueue(ResultStore(db)).submit(manifest or _manifest(), **kwargs)
+
+
+# -- once mode -----------------------------------------------------------------
+
+
+def test_serve_once_drains_the_queue(db, capsys):
+    job = _submit(db)
+    assert main(["serve", "--store", db, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "processed 1 job(s)" in out
+    assert "done 1" in out
+    assert JobQueue(ResultStore(db)).get(job.id).status == "done"
+
+
+def test_serve_once_with_empty_queue(db, capsys):
+    assert main(["serve", "--store", db, "--once"]) == 0
+    assert "processed 0 job(s)" in capsys.readouterr().out
+
+
+def test_serve_once_requeues_orphans_first(db, capsys):
+    store = ResultStore(db)
+    queue = JobQueue(store)
+    job = queue.submit(_manifest())
+    queue.claim("dead-worker")
+    conn = store._conn()
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute(
+        "UPDATE jobs SET heartbeat_unix = heartbeat_unix - 3600 WHERE id=?",
+        (job.id,),
+    )
+    conn.execute("COMMIT")
+    assert main(["serve", "--store", db, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "requeued 1 orphaned job(s)" in out
+    assert queue.get(job.id).status == "done"
+
+
+# -- queue state in existing tooling -------------------------------------------
+
+
+def test_store_stats_reports_job_counts(db, capsys):
+    _submit(db)
+    main(["serve", "--store", db, "--once"])
+    capsys.readouterr()
+    assert main(["store", "stats", db]) == 0
+    assert "jobs: done 1" in capsys.readouterr().out
+
+
+def test_campaign_status_reports_job_counts(db, capsys):
+    _submit(db)
+    main(["serve", "--store", db, "--once"])
+    capsys.readouterr()
+    assert main(["campaign", "status", "--store", db]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 done" in out
+    assert "jobs: queued 0, running 0, done 1, failed 0, cancelled 0" in out
+
+
+def test_store_stats_without_jobs_stays_quiet(db, capsys):
+    assert main(["store", "init", db]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", db]) == 0
+    assert "jobs:" not in capsys.readouterr().out
+
+
+# -- the real process ----------------------------------------------------------
+
+
+def test_serve_subprocess_full_lifecycle(db, tmp_path):
+    """Bind on port 0, submit over the wire, SIGTERM, graceful exit 0."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--store",
+            db,
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--poll",
+            "0.1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # The first line announces the bound address.
+        banner = process.stdout.readline()
+        assert "serving on http://127.0.0.1:" in banner
+        port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0].split("/")[0])
+        base = f"http://127.0.0.1:{port}"
+
+        with urllib.request.urlopen(f"{base}/v1/healthz", timeout=10) as resp:
+            assert json.loads(resp.read())["status"] == "ok"
+
+        request = urllib.request.Request(
+            f"{base}/v1/jobs",
+            data=json.dumps(_manifest()).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            job = json.loads(resp.read())
+        assert resp.status == 201
+
+        deadline = time.monotonic() + 60.0
+        while True:
+            with urllib.request.urlopen(
+                f"{base}/v1/jobs/{job['id']}", timeout=10
+            ) as resp:
+                doc = json.loads(resp.read())
+            if doc["status"] == "done":
+                break
+            assert time.monotonic() < deadline, f"job stuck: {doc}"
+            time.sleep(0.2)
+
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=60)
+        assert process.returncode == 0
+        assert "shutting down: draining" in out
+        assert "done 1" in out
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+
+    # The work the service did is plain store state afterwards.
+    store = ResultStore(db)
+    assert len(store) == 2
+    assert JobQueue(store).counts()["done"] == 1

@@ -1,0 +1,287 @@
+"""The worker pool: draining, failure capture, drains and kill-safety.
+
+The centrepiece is the service-layer acceptance property: a worker
+SIGKILLed mid-job loses only its *claim* -- after the heartbeat-timeout
+requeue, the next worker finishes the job while re-simulating **zero**
+of the scenarios the dead worker already wrote through to the store
+(counted by an instrumented backend, exactly like the campaign-level
+kill test one layer down).
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.backends import EnvelopeBackend, register_backend
+from repro.errors import ConfigError, SimulationError
+from repro.service import JobQueue, WorkerPool
+from repro.service.worker import DrainRequeue, execute_job
+from repro.scenario import PartsSpec, Scenario
+from repro.store import Campaign, ResultStore
+from repro.system.config import SystemConfig
+from repro.system.stochastic import named_family
+
+
+class CountingServiceBackend:
+    """Envelope backend that logs (and can crash after) N simulations."""
+
+    name = "counting-service"
+
+    simulated = []
+    crash_after = None
+    delay_s = 0.0
+
+    def simulate(self, scenario):
+        if (
+            CountingServiceBackend.crash_after is not None
+            and len(CountingServiceBackend.simulated)
+            >= CountingServiceBackend.crash_after
+        ):
+            raise SimulationError("simulated crash (power loss)")
+        if CountingServiceBackend.delay_s:
+            time.sleep(CountingServiceBackend.delay_s)
+        CountingServiceBackend.simulated.append(scenario.cache_key())
+        return EnvelopeBackend().simulate(replace(scenario, backend="envelope"))
+
+
+register_backend("counting-service", CountingServiceBackend, overwrite=True)
+
+
+@pytest.fixture(autouse=True)
+def _reset_counting_backend():
+    CountingServiceBackend.simulated = []
+    CountingServiceBackend.crash_after = None
+    CountingServiceBackend.delay_s = 0.0
+    yield
+    CountingServiceBackend.simulated = []
+    CountingServiceBackend.crash_after = None
+    CountingServiceBackend.delay_s = 0.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "worker.db")
+
+
+@pytest.fixture
+def queue(store):
+    return JobQueue(store)
+
+
+def _manifest(n=2, seed=3, horizon=60.0, backend="counting-service"):
+    family = replace(
+        named_family("factory-floor"), horizon=horizon, backend=backend
+    )
+    return family.manifest(n=n, seed=seed)
+
+
+def _scenario_payload(seed=0, backend="counting-service"):
+    return Scenario(
+        config=SystemConfig(tx_interval_s=2.0),
+        parts=PartsSpec(v_init=2.85),
+        horizon=60.0,
+        seed=seed,
+        backend=backend,
+        name=f"svc-{seed}",
+    ).to_dict()
+
+
+def _backdate_heartbeat(store, job_id, by_s=3600.0):
+    conn = store._conn()
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute(
+        "UPDATE jobs SET heartbeat_unix = heartbeat_unix - ? WHERE id=?",
+        (by_s, job_id),
+    )
+    conn.execute("COMMIT")
+
+
+# -- construction --------------------------------------------------------------
+
+
+def test_pool_validates_parameters(store):
+    with pytest.raises(ConfigError):
+        WorkerPool(store, workers=0)
+    with pytest.raises(ConfigError):
+        WorkerPool(store, jobs=0)
+    with pytest.raises(ConfigError):
+        WorkerPool(store, poll_interval=0.0)
+    with pytest.raises(ConfigError):
+        WorkerPool(store, heartbeat_timeout=0.0)
+
+
+# -- run_once ------------------------------------------------------------------
+
+
+def test_run_once_drains_mixed_queue(store, queue):
+    campaign_id = queue.submit(_manifest(n=2, seed=3)).id
+    scenario_id = queue.submit(_scenario_payload(seed=9)).id
+    pool = WorkerPool(store, workers=2, poll_interval=0.05)
+    assert pool.run_once() == 2
+    assert queue.get(campaign_id).status == "done"
+    assert queue.get(scenario_id).status == "done"
+    assert len(store) == 3  # two family scenarios + the one-off
+    assert len(CountingServiceBackend.simulated) == 3
+    # Campaign jobs journal under the job name and are fully stored.
+    assert Campaign(store, "factory-floor-n2-s3").status().complete
+
+
+def test_run_once_on_empty_queue_returns_zero(store):
+    assert WorkerPool(store, workers=1, poll_interval=0.05).run_once() == 0
+
+
+def test_rerunning_a_done_jobs_payload_simulates_nothing(store, queue):
+    job_id = queue.submit(_manifest(n=2, seed=3)).id
+    pool = WorkerPool(store, workers=1, poll_interval=0.05)
+    assert pool.run_once() == 1
+    first = len(CountingServiceBackend.simulated)
+    # Same manifest resubmitted: the campaign journal and every result
+    # are already in the store, so the second job costs zero sims.
+    queue.submit(_manifest(n=2, seed=3))
+    assert pool.run_once() == 1
+    assert len(CountingServiceBackend.simulated) == first
+    assert queue.get(job_id).status == "done"
+
+
+def test_failed_job_records_backend_error(store, queue):
+    CountingServiceBackend.crash_after = 0
+    job_id = queue.submit(_scenario_payload()).id
+    pool = WorkerPool(store, workers=1, poll_interval=0.05)
+    assert pool.run_once() == 1
+    job = queue.get(job_id)
+    assert job.status == "failed"
+    assert "simulated crash" in job.error
+    assert pool.failed == 1 and pool.processed == 0
+
+
+def test_study_job_runs_through_study_machinery(store, queue):
+    from repro.core.study import paper_study_spec
+
+    spec = replace(
+        paper_study_spec(), name="ignored", seed=3, horizon=600.0
+    )
+    job_id = queue.submit(spec.to_dict(), name="svc-study").id
+    pool = WorkerPool(store, workers=1, poll_interval=0.05)
+    assert pool.run_once() == 1
+    job = queue.get(job_id)
+    assert job.status == "done"
+    # The study journaled under the *job* name, and progress derives
+    # from that journal.
+    row = store.get_study("svc-study")
+    assert row is not None
+    assert JobQueue(store).progress(job) == (row.total, row.total)
+
+
+# -- lifecycle -----------------------------------------------------------------
+
+
+def test_start_stop_drains_inflight_work(store, queue):
+    job_id = queue.submit(_manifest(n=2, seed=3)).id
+    pool = WorkerPool(store, workers=1, poll_interval=0.05)
+    pool.start()
+    with pytest.raises(ConfigError):
+        pool.start()  # double start is a usage error
+    deadline = time.monotonic() + 30.0
+    while queue.get(job_id).status != "done":
+        assert time.monotonic() < deadline, "job never finished"
+        time.sleep(0.05)
+    assert pool.stop(drain=True, timeout=10.0)
+    assert pool.processed == 1
+    # The pool can be started again after a clean stop.
+    pool.start()
+    assert pool.stop()
+
+
+def test_stop_without_drain_requeues_at_chunk_boundary(store, queue):
+    job_id = queue.submit(_manifest(n=4, seed=3)).id
+    pool = WorkerPool(store, workers=1, poll_interval=0.05, chunk_size=1)
+    worker_id = pool._ids[0]
+    job = pool.queue.claim(worker_id)
+    # Flip the pool into stopping-without-drain before "running" the
+    # claim: the job-context hook fires DrainRequeue at the very first
+    # chunk boundary and the job goes back to the queue untouched.
+    pool._requeue_on_stop.set()
+    pool._run_claim(worker_id, job)
+    requeued = queue.get(job_id)
+    assert requeued.status == "queued"
+    assert requeued.worker is None
+    assert CountingServiceBackend.simulated == []  # nothing ran
+
+
+def test_pulse_keeps_slow_chunks_alive(store, queue):
+    """A single chunk far longer than the heartbeat timeout must not be
+    stolen by the orphan sweeper while its worker is still healthy."""
+    CountingServiceBackend.delay_s = 0.2
+    job_id = queue.submit(_manifest(n=4, seed=3)).id
+    pool = WorkerPool(
+        store,
+        workers=1,
+        poll_interval=0.05,
+        heartbeat_timeout=0.4,  # pulse cadence 0.1 s << 0.8 s chunk
+        chunk_size=4,
+    )
+    assert pool.run_once() == 1
+    job = queue.get(job_id)
+    assert job.status == "done"
+    assert job.attempts == 1  # never requeued from under the worker
+    assert len(CountingServiceBackend.simulated) == 4
+
+
+def test_worker_states_snapshot(store):
+    pool = WorkerPool(store, workers=2, poll_interval=0.05)
+    states = pool.worker_states()
+    assert len(states) == 2
+    assert all(not s["alive"] and s["job"] is None for s in states)
+    pool.start()
+    try:
+        deadline = time.monotonic() + 5.0
+        while not all(s["alive"] for s in pool.worker_states()):
+            assert time.monotonic() < deadline, "workers never reported in"
+            time.sleep(0.02)
+    finally:
+        assert pool.stop()
+
+
+# -- the acceptance property ---------------------------------------------------
+
+
+def test_killed_worker_job_resumes_with_zero_resimulation(store, queue):
+    """SIGKILL-equivalent: a worker dies mid-job; after the heartbeat
+    timeout the job requeues and the next worker simulates only what the
+    store does not already hold."""
+    job_id = queue.submit(_manifest(n=8, seed=3)).id
+
+    # A "worker" claims the job and dies mid-run: the backend crashes
+    # after 4 simulations (mid-campaign, chunked so some work is
+    # durable), and the process never gets to fail/requeue its claim --
+    # exactly what SIGKILL leaves behind.
+    dead = queue.claim("dead-worker")
+    CountingServiceBackend.crash_after = 4
+    with pytest.raises(SimulationError):
+        execute_job(store, dead, jobs=1, chunk_size=2)
+    assert queue.get(job_id).status == "running"  # the orphaned claim
+    stored_before = set(store.keys())
+    assert 0 < len(stored_before) < 8  # durable chunks survived the kill
+    # Progress is derived from the store, so it is accurate even while
+    # the claim is orphaned: exactly the stored rows count as done.
+    assert queue.progress(queue.get(job_id)) == (len(stored_before), 8)
+
+    # Heartbeats go stale; the sweep releases the claim.
+    CountingServiceBackend.crash_after = None
+    CountingServiceBackend.simulated = []
+    _backdate_heartbeat(store, job_id)
+    assert queue.requeue_orphans(60.0) == 1
+
+    # A healthy pool picks the job up and finishes it.
+    pool = WorkerPool(store, workers=1, poll_interval=0.05)
+    assert pool.run_once(requeue_orphans=False) == 1
+
+    job = queue.get(job_id)
+    assert job.status == "done"
+    assert job.attempts == 2  # dead worker + successor
+    resimulated = set(CountingServiceBackend.simulated) & stored_before
+    assert resimulated == set()  # zero re-simulation of stored rows
+    assert len(CountingServiceBackend.simulated) == 8 - len(stored_before)
+    assert len(store) == 8
+    assert Campaign(store, job.name).status().complete

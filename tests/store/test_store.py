@@ -160,6 +160,20 @@ def test_stats(store):
     assert stats.payload_bytes > 0
     assert stats.total_wall_time_s == pytest.approx(1.5)
     assert stats.oldest is not None and stats.newest is not None
+    assert stats.by_job_status == ()  # no service jobs in this store
+    assert "jobs:" not in stats.summary()
+
+
+def test_stats_count_service_jobs(store):
+    from repro.service import JobQueue
+
+    queue = JobQueue(store)
+    for seed in range(2):
+        queue.submit(_scenarios(1)[0].with_seed(seed).to_dict())
+    queue.claim("w")
+    stats = store.stats()
+    assert stats.by_job_status == (("queued", 1), ("running", 1))
+    assert "jobs: queued 1, running 1" in stats.summary()
 
 
 def test_gc_requires_selector_and_deletes(store):
