@@ -1,0 +1,19 @@
+"""Repo-root pytest options.
+
+``pytest_addoption`` only takes effect from a rootdir ``conftest.py``,
+so the one flag shared by every bench lives here: by default the
+benches under ``benchmarks/`` write their regenerated artefacts
+(tables, CSV series, ``BENCH_*.json``) to a session temp directory, and
+``--update-bench`` opts in to refreshing the tracked copies under
+``benchmarks/results/``.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-bench",
+        action="store_true",
+        default=False,
+        help="write bench artefacts to benchmarks/results/ (the tracked "
+        "copies) instead of a session temp directory",
+    )

@@ -54,7 +54,7 @@ lazily (``import repro`` stays cheap)::
 import importlib
 from typing import List
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -88,12 +88,18 @@ _EXPORTS = {
     "BatchRunner": "repro.core.batch",
     # persistence (repro.store)
     "ResultStore": "repro.store",
+    "ShardedResultStore": "repro.store",
     "StoredResult": "repro.store",
     "StoreStats": "repro.store",
     "Campaign": "repro.store",
+    "CampaignPartition": "repro.store",
     "CampaignStatus": "repro.store",
     "campaign_names": "repro.store",
     "campaign_statuses": "repro.store",
+    "open_store": "repro.store",
+    "merge_stores": "repro.store",
+    "sync_stores": "repro.store",
+    "MergeReport": "repro.store",
     # system model (repro.system)
     "SystemConfig": "repro.system.config",
     "ORIGINAL_DESIGN": "repro.system.config",
@@ -150,6 +156,7 @@ _EXPORTS = {
     "ConfigError": "repro.errors",
     "DesignError": "repro.errors",
     "SimulationError": "repro.errors",
+    "StoreError": "repro.errors",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

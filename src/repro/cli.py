@@ -79,10 +79,12 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _open_store(path: str):
-    from repro.store import ResultStore
+def _open_store(path: str, shards=None):
+    from repro.store import open_store
 
-    return ResultStore(path)
+    # A directory is a sharded store, a file is a plain one -- every
+    # --store flag accepts both shapes.
+    return open_store(path, shards=shards)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -319,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sto_init = sto_sub.add_parser("init", help="create an empty store")
     sto_init.add_argument("path", type=str, help="store database file")
+    sto_init.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="create a sharded store: PATH becomes a directory of N "
+        "shard files (N independent writers instead of one)",
+    )
 
     sto_stats = sto_sub.add_parser("stats", help="summarise a store")
     sto_stats.add_argument("path", type=str, help="store database file")
@@ -341,6 +351,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sto_gc.add_argument(
         "--dry-run", action="store_true", help="count, do not delete"
+    )
+    sto_gc.add_argument(
+        "--force",
+        action="store_true",
+        help="delete even rows an active (queued/running) job derives "
+        "its progress from",
+    )
+
+    sto_mrg = sto_sub.add_parser(
+        "merge", help="import other stores' rows (byte-identity checked)"
+    )
+    sto_mrg.add_argument(
+        "dest", type=str, help="destination store (file or shard directory)"
+    )
+    sto_mrg.add_argument(
+        "sources", type=str, nargs="+", help="source store(s) to import"
+    )
+    sto_mrg.add_argument(
+        "--no-journals",
+        action="store_true",
+        help="import result rows only (skip campaign/study journals)",
+    )
+
+    sto_syn = sto_sub.add_parser(
+        "sync", help="merge two stores both ways so they converge"
+    )
+    sto_syn.add_argument("a", type=str, help="first store")
+    sto_syn.add_argument("b", type=str, help="second store")
+    sto_syn.add_argument(
+        "--no-journals",
+        action="store_true",
+        help="sync result rows only (skip campaign/study journals)",
     )
 
     sto_exp = sto_sub.add_parser("export", help="export rows as JSON or CSV")
@@ -387,6 +429,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="scenarios per durable chunk (default: max(4*jobs, 16))",
+    )
+    camp_run.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the campaign into N disjoint partitions; alone, fan "
+        "out over N local processes (scratch stores, merged back); with "
+        "--partition I, run only slice I against --store",
+    )
+    camp_run.add_argument(
+        "--partition",
+        type=int,
+        default=None,
+        metavar="I",
+        help="with --partitions N: run only the I-th (1-based) slice as "
+        "sub-campaign NAME@pIofN -- the distributed mode, where each "
+        "process writes its own store and 'store merge' reconstitutes "
+        "the canonical one",
+    )
+    camp_run.add_argument(
+        "--workdir",
+        type=str,
+        default=None,
+        help="scratch directory for partition stores (fan-out mode; "
+        "default: next to --store)",
     )
 
     camp_res = camp_sub.add_parser(
@@ -900,12 +968,38 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_store(args) -> int:
-    store = _open_store(args.path)
+    if args.store_command == "merge":
+        from repro.store import merge_stores
+
+        dest = _open_store(args.dest)
+        for source_path in args.sources:
+            source = _open_store(source_path)
+            report = merge_stores(dest, source, journals=not args.no_journals)
+            print(report.summary())
+        return 0
+    if args.store_command == "sync":
+        from repro.store import sync_stores
+
+        reports = sync_stores(
+            _open_store(args.a),
+            _open_store(args.b),
+            journals=not args.no_journals,
+        )
+        for report in reports:
+            print(report.summary())
+        return 0
     if args.store_command == "init":
         from repro.store import STORE_SCHEMA
 
-        print(f"store initialised at {args.path} (layout version {STORE_SCHEMA})")
+        store = _open_store(args.path, shards=args.shards)
+        shards = getattr(store, "n_shards", 1)
+        layout = f"{shards} shard(s), " if shards > 1 else ""
+        print(
+            f"store initialised at {args.path} "
+            f"({layout}layout version {STORE_SCHEMA})"
+        )
         return 0
+    store = _open_store(args.path)
     if args.store_command == "stats":
         print(store.stats().summary())
         return 0
@@ -926,6 +1020,7 @@ def _cmd_store(args) -> int:
             family=args.family,
             orphans=args.orphans,
             dry_run=args.dry_run,
+            force=args.force,
         )
         verb = "would delete" if args.dry_run else "deleted"
         print(f"{verb} {count} result row(s)")
@@ -975,6 +1070,43 @@ def _cmd_campaign(args) -> int:
             f"{payload.get('family', 'manifest')}"
             f"-n{payload.get('n', len(scenarios))}-s{payload.get('seed', 0)}"
         )
+        if args.partition is not None and args.partitions is None:
+            print(
+                "error: --partition needs --partitions (the total N)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.partitions is not None and args.partition is not None:
+            # Distributed mode: this process owns one slice, written to
+            # its own --store; 'store merge' reconstitutes the whole.
+            from repro.store import CampaignPartition, partition_scenarios
+
+            groups = partition_scenarios(scenarios, args.partitions)
+            if not 1 <= args.partition <= args.partitions:
+                print(
+                    f"error: --partition must be 1..{args.partitions}, "
+                    f"got {args.partition}",
+                    file=sys.stderr,
+                )
+                return 2
+            part = CampaignPartition(
+                campaign=name,
+                index=args.partition,
+                of=args.partitions,
+                scenarios=tuple(groups[args.partition - 1]),
+            )
+            print(
+                f"partition {part.index}/{part.of} of {name!r}: "
+                f"{len(part.scenarios)} scenario(s) -> {args.store}"
+            )
+            results = part.run(
+                store, jobs=max(args.jobs, 1), chunk_size=args.chunk
+            )
+            print(Campaign(store, part.name).status().summary())
+            print(
+                f"total transmissions: {sum(r.transmissions for r in results)}"
+            )
+            return 0
         campaign = Campaign.create(
             store,
             name,
@@ -984,7 +1116,15 @@ def _cmd_campaign(args) -> int:
         )
         before = campaign.status()
         print(before.summary())
-        results = campaign.run(jobs=max(args.jobs, 1), chunk_size=args.chunk)
+        if args.partitions is not None:
+            results = campaign.run_partitioned(
+                args.partitions,
+                jobs=max(args.jobs, 1),
+                chunk_size=args.chunk,
+                workdir=args.workdir,
+            )
+        else:
+            results = campaign.run(jobs=max(args.jobs, 1), chunk_size=args.chunk)
         print(campaign.status().summary())
         print(f"total transmissions: {sum(r.transmissions for r in results)}")
         return 0

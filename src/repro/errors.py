@@ -63,3 +63,14 @@ class OptimizationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid system configurations (out-of-range parameters)."""
+
+
+class StoreError(ReproError):
+    """Raised for result-store integrity violations.
+
+    The store is content-addressed with first-writer-wins canonical
+    rows, so two stores holding the same key must hold byte-identical
+    rows.  A merge or sync that finds diverging bytes under one key --
+    or a ``gc`` about to delete rows an active job derives its progress
+    from -- raises this instead of silently corrupting or regressing.
+    """

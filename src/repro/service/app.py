@@ -94,6 +94,12 @@ class ServiceApp:
 
     def dispatch(self, request: Request) -> Response:
         """Middleware chain -> route -> error mapping.  Never raises."""
+        if request.method == "HEAD":
+            # HEAD is GET without the body; the HTTP handler suppresses
+            # the bytes, so routing can treat the two identically.
+            from dataclasses import replace
+
+            request = replace(request, method="GET")
         try:
             response = self._dispatch_inner(request)
         except _HTTPError as exc:
@@ -166,6 +172,22 @@ class ServiceApp:
             kind = body.get("kind")
             name = body.get("name")
             priority = body.get("priority", 0)
+            # Envelope sugar for partitioned campaigns: {"partitions":
+            # N, "partition": I} folds into the payload's partition
+            # object (validated, like everything else, in validate_job).
+            partitions = body.get("partitions")
+            part_index = body.get("partition")
+            if partitions is not None or part_index is not None:
+                if partitions is None or part_index is None:
+                    raise _HTTPError(
+                        400,
+                        "partitioned submissions need both 'partitions' "
+                        "(N) and 'partition' (1-based index)",
+                    )
+                if not isinstance(payload, dict):
+                    raise _HTTPError(400, "job payload must be a JSON object")
+                payload = dict(payload)
+                payload["partition"] = {"index": part_index, "of": partitions}
         else:
             payload, kind, name, priority = body, body.pop("kind", None), None, 0
         if kind is not None and kind not in JOB_KINDS:

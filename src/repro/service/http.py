@@ -170,7 +170,10 @@ def _make_handler(app) -> type:
             for name, value in response.headers.items():
                 self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(body)
+            # HEAD carries the GET response's headers (including the
+            # Content-Length the body *would* have) and no body.
+            if self.command != "HEAD":
+                self.wfile.write(body)
 
         def _dispatch(self, method: str) -> None:
             try:
@@ -200,6 +203,11 @@ def _make_handler(app) -> type:
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             self._dispatch("GET")
+
+        def do_HEAD(self) -> None:  # noqa: N802
+            # Same middleware and routing as GET (load balancers probe
+            # HEAD /v1/healthz); _respond drops the body.
+            self._dispatch("HEAD")
 
         def do_POST(self) -> None:  # noqa: N802
             self._dispatch("POST")

@@ -138,6 +138,37 @@ def _detect_kind(payload: dict) -> str:
     )
 
 
+def job_partition(payload: dict, total: int) -> Optional[Tuple[int, int]]:
+    """Decode and validate a payload's ``partition`` request, if any.
+
+    A campaign payload may carry ``{"partition": {"index": I, "of": N}}``
+    (``I`` 1-based) to run only its I-th of N disjoint slices -- the
+    service-side face of :meth:`~repro.store.Campaign.partition`, so N
+    workers with local shards can split one manifest and the shards
+    merge afterwards.  Returns ``(index, of)`` or ``None``.
+    """
+    part = payload.get("partition")
+    if part is None:
+        return None
+    if not isinstance(part, dict) or set(part) != {"index", "of"}:
+        raise DesignError(
+            'a job partition must be {"index": I, "of": N} (I is 1-based)'
+        )
+    index, of = part["index"], part["of"]
+    for label, value in (("index", index), ("of", of)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise DesignError(f"partition {label!r} must be an integer")
+    if not 1 <= of <= total:
+        raise DesignError(
+            f"cannot split {total} scenario(s) into {of} partition(s)"
+        )
+    if not 1 <= index <= of:
+        raise DesignError(
+            f"partition index must be in 1..{of}, got {index}"
+        )
+    return index, of
+
+
 def validate_job(
     kind: Optional[str], payload: dict, name: Optional[str] = None
 ) -> Tuple[str, str, int]:
@@ -163,6 +194,10 @@ def validate_job(
         raise ConfigError(
             f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})"
         )
+    if kind != "campaign" and payload.get("partition") is not None:
+        raise DesignError(
+            f"only campaign jobs can be partitioned, not {kind} jobs"
+        )
     if kind == "campaign":
         scenarios = manifest_scenarios(payload)
         for backend in {s.backend for s in scenarios}:
@@ -173,7 +208,20 @@ def validate_job(
             if payload.get("family")
             else ""
         )
-        return kind, str(name or payload.get("name") or default), len(scenarios)
+        job_name = str(name or payload.get("name") or default)
+        total = len(scenarios)
+        part = job_partition(payload, total)
+        if part is not None:
+            from repro.store.campaign import partition_name, partition_slices
+
+            index, of = part
+            start, stop = partition_slices(total, of)[index - 1]
+            total = stop - start
+            if job_name:
+                # The journal name always carries the slice, so N
+                # partition jobs of one manifest never collide on it.
+                job_name = partition_name(job_name, index, of)
+        return kind, job_name, total
     if kind == "study":
         spec = StudySpec.from_dict(payload)
         get_backend(spec.backend)

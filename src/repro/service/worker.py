@@ -76,9 +76,18 @@ def execute_job(
         study.run(on_chunk=on_chunk)
         return
     if job.kind == "campaign":
+        from repro.service.jobs import job_partition
+        from repro.store.campaign import partition_scenarios
         from repro.system.stochastic import manifest_scenarios
 
         scenarios = manifest_scenarios(job.payload)
+        part = job_partition(job.payload, len(scenarios))
+        if part is not None:
+            # Same full-list seed resolution, then this job's slice --
+            # so the keys match a single-store run of the whole
+            # manifest and the shards merge without collisions.
+            index, of = part
+            scenarios = partition_scenarios(scenarios, of)[index - 1]
     else:
         from repro.scenario import Scenario
 

@@ -69,13 +69,27 @@ class Trace:
         """Linear interpolation at ``time`` (clamped at the ends)."""
         if not self._times:
             raise SimulationError(f"trace {self.name!r} is empty")
-        return float(np.interp(time, self._times, self._values))
+        value = float(np.interp(time, self._times, self._values))
+        if not np.isfinite(value):
+            # A subnormal gap between samples overflows the slope in
+            # (v1-v0)/(t1-t0); a gap that small is below any meaningful
+            # time resolution, so the step lookup is the honest answer
+            # (and stays within the sampled value range).
+            return float(self.at(time))
+        return value
 
     def resample(self, times: Sequence[float]) -> np.ndarray:
         """Linearly interpolate the trace onto the given time grid."""
         if not self._times:
             raise SimulationError(f"trace {self.name!r} is empty")
-        return np.interp(np.asarray(times, dtype=float), self._times, self._values)
+        grid = np.asarray(times, dtype=float)
+        out = np.interp(grid, self._times, self._values)
+        bad = ~np.isfinite(out)
+        if bad.any():
+            # Same subnormal-gap overflow as interp(): fall back to the
+            # zero-order-hold sample at each affected grid point.
+            out[bad] = [self.at(t) for t in grid[bad]]
+        return out
 
     def to_payload(self) -> dict:
         """Plain-JSON representation (parallel time/value lists)."""

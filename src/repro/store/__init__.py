@@ -25,9 +25,21 @@ Quickstart::
     camp.resume(jobs=4)       # ...and only the missing scenarios run
 
     rows = store.query(family="factory-floor", min_transmissions=100)
+
+Scaling out: a :class:`ShardedResultStore` spreads the result rows over
+N per-shard SQLite files behind the same API (N independent writers
+instead of one), :func:`merge_stores`/:func:`sync_stores` fold stores
+into each other with byte-identity checks, and
+:meth:`Campaign.run_partitioned` fans a campaign out over processes
+with local scratch stores and merges at the end::
+
+    store = ShardedResultStore("results.d", shards=4)
+    camp = Campaign.create(store, "floor-study", family.expand(n=40, seed=0))
+    camp.run_partitioned(parts=4)    # 4 processes, 4 local stores, merged
 """
 
 from repro.store.db import (
+    RESULT_COLUMNS,
     STORE_SCHEMA,
     ResultStore,
     StoredResult,
@@ -38,21 +50,44 @@ from repro.store.db import (
 )
 from repro.store.campaign import (
     Campaign,
+    CampaignPartition,
     CampaignStatus,
     campaign_names,
     campaign_statuses,
+    partition_name,
+    partition_scenarios,
+    partition_slices,
+)
+from repro.store.merge import MergeReport, merge_stores, sync_stores
+from repro.store.shard import (
+    DEFAULT_SHARDS,
+    ShardedResultStore,
+    open_store,
+    shard_index,
 )
 
 __all__ = [
+    "DEFAULT_SHARDS",
+    "RESULT_COLUMNS",
     "STORE_SCHEMA",
+    "MergeReport",
     "ResultStore",
+    "ShardedResultStore",
     "StoredResult",
     "StoredStudy",
     "StoreStats",
     "Campaign",
+    "CampaignPartition",
     "CampaignStatus",
     "campaign_names",
     "campaign_statuses",
     "canonical_json",
+    "merge_stores",
+    "open_store",
+    "partition_name",
+    "partition_scenarios",
+    "partition_slices",
     "scenario_family",
+    "shard_index",
+    "sync_stores",
 ]

@@ -19,6 +19,21 @@ Scenarios are journaled with concrete seeds (``seed=None`` entries get
 :func:`repro.rng.derive_seed`-derived ones at creation time), because a
 floating seed would change the content key between runs and defeat
 resumption.
+
+Partitioned execution
+---------------------
+:meth:`Campaign.partition` splits the journaled scenario list into N
+disjoint, contiguous :class:`CampaignPartition` slices; each runs as an
+ordinary sub-campaign (``<name>@p<i>of<N>``) against whatever store its
+process holds locally -- typically a scratch file or shard on its own
+machine -- and :func:`~repro.store.merge.merge_stores` folds the rows
+back into the canonical store afterwards.  Seeds are resolved over the
+*full* list before slicing, so a partitioned run journals exactly the
+content keys a single-store run would, and the final
+``Campaign.run()`` against the merged store re-simulates **nothing**.
+:meth:`Campaign.run_partitioned` drives the whole cycle (fan out over
+processes -> merge -> assemble) in one call; every stage is kill-safe
+because completion stays derived from the results tables.
 """
 
 from __future__ import annotations
@@ -26,7 +41,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.batch import BatchRunner
 from repro.errors import ConfigError
@@ -196,27 +212,38 @@ class Campaign:
             )
         ]
 
-    def pending(self) -> List[Scenario]:
-        """Journaled scenarios whose results are not stored yet."""
+    def _journal_rows(self) -> List[Tuple[str, str]]:
+        """(key, scenario document) journal rows, in campaign order."""
         return [
-            Scenario.from_dict(json.loads(row[0]))
+            (row[0], row[1])
             for row in self.store._conn().execute(
-                "SELECT cs.scenario FROM campaign_scenarios cs "
-                "LEFT JOIN results r ON r.key = cs.key "
-                "WHERE cs.campaign=? AND r.key IS NULL ORDER BY cs.idx",
+                "SELECT key, scenario FROM campaign_scenarios "
+                "WHERE campaign=? ORDER BY idx",
                 (self.name,),
             )
         ]
 
+    def pending(self) -> List[Scenario]:
+        """Journaled scenarios whose results are not stored yet.
+
+        Membership goes through the store's key API (not a SQL join
+        against the results table) because the journal and the result
+        rows need not share a database file -- on a sharded store the
+        journal lives in the meta shard and the rows are spread out.
+        """
+        rows = self._journal_rows()
+        present = self.store.have_keys([key for key, _ in rows])
+        return [
+            Scenario.from_dict(json.loads(doc))
+            for key, doc in rows
+            if key not in present
+        ]
+
     def status(self) -> CampaignStatus:
         """Progress derived from the durable results table."""
-        done = int(
-            self.store._conn().execute(
-                "SELECT COUNT(*) FROM campaign_scenarios cs "
-                "JOIN results r ON r.key = cs.key WHERE cs.campaign=?",
-                (self.name,),
-            ).fetchone()[0]
-        )
+        keys = [key for key, _ in self._journal_rows()]
+        present = self.store.have_keys(keys)
+        done = sum(1 for key in keys if key in present)
         return CampaignStatus(
             name=self.name,
             total=self.total,
@@ -316,6 +343,179 @@ class Campaign:
         """(scenario, result-or-None) pairs in campaign order."""
         scenarios = self.scenarios()
         return [(s, self.store.get(s)) for s in scenarios]
+
+    # -- partitioned execution ---------------------------------------------------
+
+    def partition(self, parts: int) -> List["CampaignPartition"]:
+        """Split the journaled scenario list into ``parts`` disjoint slices.
+
+        Contiguous, near-equal slices in journal order; seeds are
+        already concrete in the journal, so every partition's content
+        keys are exactly the canonical campaign's.
+        """
+        groups = partition_scenarios(self.scenarios(), parts)
+        return [
+            CampaignPartition(
+                campaign=self.name,
+                index=i + 1,
+                of=parts,
+                scenarios=tuple(group),
+            )
+            for i, group in enumerate(groups)
+        ]
+
+    def run_partitioned(
+        self,
+        parts: int,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        workdir: Optional[Union[str, Path]] = None,
+    ) -> List[SystemResult]:
+        """Fan the campaign out over ``parts`` processes, merge, assemble.
+
+        Each partition runs in its own process against its own local
+        scratch store (``<workdir>/p<i>of<N>.db``; ``workdir`` defaults
+        to ``<campaign>.parts`` next to the canonical store), so the N
+        writers never contend on one SQLite file.  When every partition
+        finishes, the scratch rows merge into the canonical store
+        (byte-identity checked, scratch journals left behind) and the
+        ordinary :meth:`run` assembles the result list with zero
+        re-simulation.
+
+        Kill-safe at every stage: partitions resume from their scratch
+        stores, the merge is idempotent, and re-running the whole call
+        only redoes what never reached a durable store.  ``jobs`` is
+        the *inner* fan-out per partition (default 1: the partition
+        processes are the parallelism).
+        """
+        import concurrent.futures
+
+        partitions = self.partition(parts)
+        if workdir is None:
+            safe = self.name.replace("/", "_")
+            workdir = self.store.path.parent / f"{safe}.parts"
+        workdir = Path(workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        paths = [
+            workdir / f"p{p.index}of{p.of}.db" for p in partitions
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len(partitions)
+        ) as pool:
+            futures = [
+                pool.submit(_run_partition, str(path), part, jobs, chunk_size)
+                for path, part in zip(paths, partitions)
+            ]
+            for future in futures:
+                future.result()  # re-raise the first partition failure
+        from repro.store.merge import merge_stores
+
+        for path in paths:
+            merge_stores(self.store, ResultStore(path), journals=False)
+        return self.run(jobs=1)
+
+
+def partition_slices(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Deterministic ``[start, stop)`` slices: N contiguous, sizes +/-1."""
+    if parts < 1:
+        raise ConfigError(f"partition count must be >= 1, got {parts}")
+    if parts > total:
+        raise ConfigError(
+            f"cannot split {total} scenario(s) into {parts} partitions "
+            f"(every partition needs at least one)"
+        )
+    base, extra = divmod(total, parts)
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def partition_scenarios(
+    scenarios: Sequence[Scenario], parts: int, seed: int = 0
+) -> List[List[Scenario]]:
+    """Seed-resolve the *full* list, then slice it into ``parts`` groups.
+
+    Resolution happens before slicing with the same derivation
+    :meth:`Campaign.create` uses, so a scenario's content key is
+    identical whether it runs in partition 3 of 4 or in one big run --
+    the invariant the final merge depends on.
+    """
+    resolved = [
+        s if s.seed is not None else s.with_seed(derive_seed(seed, i))
+        for i, s in enumerate(scenarios)
+    ]
+    return [
+        resolved[start:stop]
+        for start, stop in partition_slices(len(resolved), parts)
+    ]
+
+
+def partition_name(campaign: str, index: int, of: int) -> str:
+    """The sub-campaign name of one partition (``index`` is 1-based)."""
+    return f"{campaign}@p{index}of{of}"
+
+
+@dataclass(frozen=True)
+class CampaignPartition:
+    """One disjoint slice of a campaign, runnable against any store.
+
+    Picklable (it travels into partition worker processes); running it
+    journals an ordinary sub-campaign named
+    ``<campaign>@p<index>of<of>`` in the target store, so partitions
+    inherit the full kill/resume machinery for free.
+    """
+
+    campaign: str
+    index: int  # 1-based
+    of: int
+    scenarios: Tuple[Scenario, ...]
+
+    @property
+    def name(self) -> str:
+        return partition_name(self.campaign, self.index, self.of)
+
+    def run(
+        self,
+        store: ResultStore,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        executor: str = "process",
+        on_chunk: Optional[Callable[[int, int], None]] = None,
+    ) -> List[SystemResult]:
+        """Execute this slice as a sub-campaign of ``store``."""
+        sub = Campaign.create(
+            store,
+            self.name,
+            list(self.scenarios),
+            source=f"partition {self.index}/{self.of} of {self.campaign}",
+            exist_ok=True,
+        )
+        return sub.run(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            executor=executor,
+            on_chunk=on_chunk,
+        )
+
+
+def _run_partition(
+    path: str,
+    partition: CampaignPartition,
+    jobs: int,
+    chunk_size: Optional[int],
+) -> int:
+    """Partition worker body (module-level so it pickles into processes)."""
+    results = partition.run(
+        ResultStore(path),
+        jobs=jobs,
+        chunk_size=chunk_size,
+        executor="thread",
+    )
+    return len(results)
 
 
 def campaign_names(store: ResultStore) -> List[str]:

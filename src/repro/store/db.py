@@ -37,7 +37,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import ConfigError, DesignError
+from repro.errors import ConfigError, DesignError, StoreError
 from repro.scenario import Scenario
 from repro.system.result import SystemResult
 
@@ -122,6 +122,19 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs(status, priority, submitted_unix);
 """
+
+#: Every ``results`` column, in table order -- the raw-row shape
+#: :meth:`ResultStore.iter_raw` yields and :meth:`ResultStore.put_raw`
+#: accepts.  Merges copy rows in this shape so the destination keeps the
+#: source's exact canonical bytes *and* provenance (who simulated it,
+#: when, on which library version).
+RESULT_COLUMNS = (
+    "key", "name", "family", "backend", "horizon", "seed",
+    "clock_hz", "watchdog_s", "tx_interval_s",
+    "transmissions", "final_voltage",
+    "scenario", "payload", "repro_version", "wall_time_s",
+    "created_at", "created_unix",
+)
 
 
 def canonical_json(payload: object) -> str:
@@ -235,6 +248,7 @@ class StoreStats:
     oldest: Optional[str]
     newest: Optional[str]
     by_job_status: Tuple[Tuple[str, int], ...] = ()
+    n_shards: int = 1
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -246,6 +260,8 @@ class StoreStats:
             f"campaigns: {self.n_campaigns}",
             f"simulated wall time banked: {self.total_wall_time_s:.2f} s",
         ]
+        if self.n_shards > 1:
+            lines.insert(1, f"shards: {self.n_shards}")
         if self.by_job_status:
             lines.append(
                 "jobs: "
@@ -434,6 +450,63 @@ class ResultStore:
             raise
         return cursor.rowcount == 1
 
+    def put_raw(self, row: Tuple, source: str = "") -> bool:
+        """Import one raw results row (a :data:`RESULT_COLUMNS` tuple).
+
+        The merge/sync primitive: unlike :meth:`put` it preserves the
+        source row's exact canonical bytes and provenance columns.
+        First writer wins, but a key collision with *different*
+        canonical bytes (scenario or payload) is a hard
+        :class:`~repro.errors.StoreError` -- content-addressed rows may
+        only ever collide identically.  ``source`` labels where the row
+        came from in that error.  Returns ``True`` when this call
+        inserted the row.
+        """
+        if len(row) != len(RESULT_COLUMNS):
+            raise StoreError(
+                f"raw result row must have {len(RESULT_COLUMNS)} columns "
+                f"({', '.join(RESULT_COLUMNS)}), got {len(row)}"
+            )
+        placeholders = ",".join("?" * len(RESULT_COLUMNS))
+        conn = self._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
+                f"INSERT OR IGNORE INTO results ({', '.join(RESULT_COLUMNS)}) "
+                f"VALUES ({placeholders})",
+                tuple(row),
+            )
+            existing = None
+            if cursor.rowcount != 1:
+                existing = conn.execute(
+                    "SELECT scenario, payload FROM results WHERE key=?",
+                    (row[0],),
+                ).fetchone()
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if existing is None:
+            return True
+        scenario_idx = RESULT_COLUMNS.index("scenario")
+        payload_idx = RESULT_COLUMNS.index("payload")
+        if (row[scenario_idx], row[payload_idx]) != tuple(existing):
+            diverged = [
+                label
+                for label, mine, theirs in (
+                    ("scenario", existing[0], row[scenario_idx]),
+                    ("payload", existing[1], row[payload_idx]),
+                )
+                if mine != theirs
+            ]
+            raise StoreError(
+                f"result {row[0]} in {self.path} and "
+                f"{source or 'the incoming row'} share a content key but "
+                f"their canonical bytes differ ({', '.join(diverged)}); "
+                f"one of the stores is corrupt or non-deterministic"
+            )
+        return False
+
     # -- reading ----------------------------------------------------------------
 
     @staticmethod
@@ -501,6 +574,28 @@ class ResultStore:
             )
         return total
 
+    def have_keys(self, keys: List[str]) -> set:
+        """The subset of ``keys`` that have stored results.
+
+        The set-valued sibling of :meth:`count_keys`, for callers that
+        need to know *which* keys are done (campaign progress over a
+        sharded store), again one aggregated query per 500 keys.
+        """
+        conn = self._conn()
+        present: set = set()
+        distinct = list(dict.fromkeys(keys))
+        for start in range(0, len(distinct), 500):
+            chunk = distinct[start : start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            present.update(
+                row[0]
+                for row in conn.execute(
+                    f"SELECT key FROM results WHERE key IN ({placeholders})",
+                    chunk,
+                )
+            )
+        return present
+
     def keys(self) -> List[str]:
         """Every stored content key, sorted."""
         return [
@@ -509,6 +604,19 @@ class ResultStore:
                 "SELECT key FROM results ORDER BY key"
             )
         ]
+
+    def iter_raw(self) -> Iterator[Tuple]:
+        """Every results row as a raw :data:`RESULT_COLUMNS` tuple.
+
+        Key-ordered and streamed from the reader's own connection; the
+        merge primitives feed these straight into :meth:`put_raw` on
+        another store.
+        """
+        cursor = self._conn().execute(
+            f"SELECT {', '.join(RESULT_COLUMNS)} FROM results ORDER BY key"
+        )
+        for row in cursor:
+            yield tuple(row)
 
     # -- study journal ----------------------------------------------------------
 
@@ -794,6 +902,7 @@ class ResultStore:
         family: Optional[str] = None,
         orphans: bool = False,
         dry_run: bool = False,
+        force: bool = False,
     ) -> int:
         """Delete matching result rows and reclaim their space.
 
@@ -803,7 +912,37 @@ class ResultStore:
         must be an explicit decision -- pass ``older_than_days=0``).
         Returns the number of (to-be-)deleted rows; ``dry_run`` only
         counts.
+
+        Rows an *active* (queued/running) job derives its progress from
+        are protected: deleting them would silently regress the job and
+        force re-simulation, so matching any of them raises
+        :class:`~repro.errors.StoreError` naming the jobs.  ``force``
+        overrides the guard (and the jobs re-simulate).
         """
+        if older_than_days is None and family is None and not orphans:
+            return 0
+        candidates = self._gc_candidates(older_than_days, family, orphans)
+        if candidates and not force:
+            protected = self._active_job_keys()
+            hit = protected.keys() & set(candidates)
+            if hit:
+                jobs = sorted({job for key in hit for job in protected[key]})
+                raise StoreError(
+                    f"gc would delete {len(hit)} result row(s) that active "
+                    f"job(s) {', '.join(jobs)} derive their progress from; "
+                    f"wait for them or pass force=True (--force)"
+                )
+        if dry_run:
+            return len(candidates)
+        return self._delete_keys(candidates)
+
+    def _gc_candidates(
+        self,
+        older_than_days: Optional[float],
+        family: Optional[str],
+        orphans: bool,
+    ) -> List[str]:
+        """Keys of the rows the given gc selectors match."""
         clauses: List[str] = []
         params: List[object] = []
         if older_than_days is not None:
@@ -814,23 +953,30 @@ class ResultStore:
             clauses.append("family = ?")
             params.append(family)
         if orphans:
-            clauses.append(
-                "key NOT IN (SELECT key FROM campaign_scenarios)"
+            clauses.append("key NOT IN (SELECT key FROM campaign_scenarios)")
+        where = " AND ".join(clauses) or "1"
+        return [
+            row[0]
+            for row in self._conn().execute(
+                f"SELECT key FROM results WHERE {where}", params
             )
-        if not clauses:
+        ]
+
+    def _delete_keys(self, keys: List[str]) -> int:
+        """Delete rows by key (chunked), compact, return the count."""
+        if not keys:
             return 0
-        where = " AND ".join(clauses)
         conn = self._conn()
-        if dry_run:
-            return int(
-                conn.execute(
-                    f"SELECT COUNT(*) FROM results WHERE {where}", params
-                ).fetchone()[0]
-            )
+        deleted = 0
         conn.execute("BEGIN IMMEDIATE")
         try:
-            cursor = conn.execute(f"DELETE FROM results WHERE {where}", params)
-            deleted = cursor.rowcount
+            for start in range(0, len(keys), 500):
+                chunk = keys[start : start + 500]
+                placeholders = ",".join("?" * len(chunk))
+                deleted += conn.execute(
+                    f"DELETE FROM results WHERE key IN ({placeholders})",
+                    chunk,
+                ).rowcount
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
@@ -838,3 +984,35 @@ class ResultStore:
         if deleted:
             conn.execute("VACUUM")
         return int(deleted)
+
+    def _active_job_keys(self) -> Dict[str, List[str]]:
+        """Result keys active (queued/running) jobs derive progress from.
+
+        Maps each protected key to the job ids that reference it:
+        campaign/scenario jobs reference their journaled campaign's
+        keys, study jobs the study journal's key list.  Jobs whose
+        journal does not exist yet protect nothing -- there is nothing
+        stored to lose.
+        """
+        conn = self._conn()
+        protected: Dict[str, List[str]] = {}
+        for job_id, kind, name in conn.execute(
+            "SELECT id, kind, name FROM jobs "
+            "WHERE status IN ('queued', 'running')"
+        ).fetchall():
+            if kind == "study":
+                row = conn.execute(
+                    "SELECT keys FROM studies WHERE name=?", (name,)
+                ).fetchone()
+                keys = json.loads(row[0]) if row is not None else []
+            else:
+                keys = [
+                    r[0]
+                    for r in conn.execute(
+                        "SELECT key FROM campaign_scenarios WHERE campaign=?",
+                        (name,),
+                    )
+                ]
+            for key in keys:
+                protected.setdefault(key, []).append(job_id)
+        return protected

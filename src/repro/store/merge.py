@@ -1,0 +1,215 @@
+"""Merging and syncing content-addressed stores.
+
+Because every result row is keyed by its scenario's content hash and
+written first-writer-wins in one canonical byte shape, two stores are
+trivially mergeable: copy the rows the destination lacks, verify that
+rows both sides hold are *byte-identical*, and refuse loudly when they
+are not (:class:`~repro.errors.StoreError` -- diverging bytes under one
+content key mean corruption or non-determinism, never a policy choice).
+
+:func:`merge_stores` copies raw rows (exact canonical bytes *and*
+provenance columns) from a source store into a destination;
+:func:`sync_stores` runs the merge both ways so two stores converge on
+the union.  Both accept any mix of plain :class:`~repro.store.db.ResultStore`
+files and :class:`~repro.store.shard.ShardedResultStore` directories --
+routing is just :meth:`put_raw` on the destination.
+
+Campaign and study *journals* merge with the same semantics: a name
+both sides know must journal identical content (keys for campaigns,
+``spec_key`` + keys for studies), otherwise :class:`StoreError`.  The
+``jobs`` table never merges -- claim state (who is running what, with
+which heartbeat) is meaningful only inside one deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import StoreError
+from repro.store.db import ResultStore
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one :func:`merge_stores` call did."""
+
+    source: str
+    dest: str
+    imported: int
+    identical: int
+    campaigns_imported: int
+    campaigns_shared: int
+    studies_imported: int
+    studies_shared: int
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        parts = [
+            f"merged {self.source} -> {self.dest}: "
+            f"{self.imported} row(s) imported, "
+            f"{self.identical} already present"
+        ]
+        if self.campaigns_imported or self.campaigns_shared:
+            parts.append(
+                f"campaigns: {self.campaigns_imported} imported, "
+                f"{self.campaigns_shared} shared"
+            )
+        if self.studies_imported or self.studies_shared:
+            parts.append(
+                f"studies: {self.studies_imported} imported, "
+                f"{self.studies_shared} shared"
+            )
+        return "; ".join(parts)
+
+
+def merge_stores(
+    dest: ResultStore, source: ResultStore, journals: bool = True
+) -> MergeReport:
+    """Import every row of ``source`` into ``dest``; return the tally.
+
+    Result rows copy raw (byte- and provenance-preserving); colliding
+    keys must match byte-for-byte or the merge dies with
+    :class:`StoreError` naming both stores.  ``journals=False`` limits
+    the merge to result rows (what partitioned campaign execution wants
+    -- the canonical campaign journal already lives in the destination
+    and the partitions' scratch journals should not follow it there).
+
+    Idempotent and kill-safe: every imported row is durable the moment
+    its transaction commits, and re-running the merge just counts the
+    survivors as already-present.
+    """
+    source_label = _store_label(source)
+    imported = identical = 0
+    for row in source.iter_raw():
+        if dest.put_raw(row, source=source_label):
+            imported += 1
+        else:
+            identical += 1
+    campaigns = studies = shared_campaigns = shared_studies = 0
+    if journals:
+        campaigns, shared_campaigns = _merge_campaigns(dest, source)
+        studies, shared_studies = _merge_studies(dest, source)
+    return MergeReport(
+        source=source_label,
+        dest=_store_label(dest),
+        imported=imported,
+        identical=identical,
+        campaigns_imported=campaigns,
+        campaigns_shared=shared_campaigns,
+        studies_imported=studies,
+        studies_shared=shared_studies,
+    )
+
+
+def sync_stores(
+    a: ResultStore, b: ResultStore, journals: bool = True
+) -> Tuple[MergeReport, MergeReport]:
+    """Merge both ways so ``a`` and ``b`` converge on the union."""
+    return merge_stores(a, b, journals=journals), merge_stores(
+        b, a, journals=journals
+    )
+
+
+def _store_label(store: ResultStore) -> str:
+    return str(getattr(store, "root", store.path))
+
+
+def _merge_campaigns(
+    dest: ResultStore, source: ResultStore
+) -> Tuple[int, int]:
+    """Copy campaign journals ``source`` has and ``dest`` lacks."""
+    imported = shared = 0
+    src_conn = source._conn()
+    for name, src, total, created_at, created_unix in src_conn.execute(
+        "SELECT name, source, total, created_at, created_unix "
+        "FROM campaigns ORDER BY name"
+    ).fetchall():
+        rows = src_conn.execute(
+            "SELECT idx, key, scenario FROM campaign_scenarios "
+            "WHERE campaign=? ORDER BY idx",
+            (name,),
+        ).fetchall()
+        conn = dest._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            existing = conn.execute(
+                "SELECT 1 FROM campaigns WHERE name=?", (name,)
+            ).fetchone()
+            if existing is None:
+                conn.execute(
+                    "INSERT INTO campaigns(name, source, total, created_at, "
+                    "created_unix) VALUES (?, ?, ?, ?, ?)",
+                    (name, src, total, created_at, created_unix),
+                )
+                conn.executemany(
+                    "INSERT INTO campaign_scenarios(campaign, idx, key, "
+                    "scenario) VALUES (?, ?, ?, ?)",
+                    [(name, idx, key, doc) for idx, key, doc in rows],
+                )
+                imported += 1
+                journaled = None
+            else:
+                journaled = conn.execute(
+                    "SELECT idx, key, scenario FROM campaign_scenarios "
+                    "WHERE campaign=? ORDER BY idx",
+                    (name,),
+                ).fetchall()
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if journaled is not None:
+            if [tuple(r) for r in journaled] != [tuple(r) for r in rows]:
+                raise StoreError(
+                    f"campaign {name!r} exists in both "
+                    f"{_store_label(dest)} and {_store_label(source)} "
+                    f"with different journaled scenarios; rename one "
+                    f"before merging"
+                )
+            shared += 1
+    return imported, shared
+
+
+def _merge_studies(dest: ResultStore, source: ResultStore) -> Tuple[int, int]:
+    """Copy study journals ``source`` has and ``dest`` lacks."""
+    imported = shared = 0
+    src_conn = source._conn()
+    columns = (
+        "name, spec, spec_key, design_name, points, keys, total, "
+        "created_at, created_unix"
+    )
+    for row in src_conn.execute(
+        f"SELECT {columns} FROM studies ORDER BY name"
+    ).fetchall():
+        name, spec_key, keys_doc = row[0], row[2], row[5]
+        conn = dest._conn()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            existing = conn.execute(
+                "SELECT spec_key, keys FROM studies WHERE name=?", (name,)
+            ).fetchone()
+            if existing is None:
+                conn.execute(
+                    f"INSERT INTO studies({columns}) "
+                    f"VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    tuple(row),
+                )
+                imported += 1
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if existing is not None:
+            if (existing[0], json.loads(existing[1])) != (
+                spec_key,
+                json.loads(keys_doc),
+            ):
+                raise StoreError(
+                    f"study {name!r} exists in both {_store_label(dest)} "
+                    f"and {_store_label(source)} with a different spec or "
+                    f"design; rename one before merging"
+                )
+            shared += 1
+    return imported, shared

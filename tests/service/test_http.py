@@ -298,3 +298,67 @@ def test_healthz_reports_pool_liveness(store):
         assert workers == {"configured": 2, "alive": 0}  # not started
     finally:
         server.shutdown()
+
+
+# -- HEAD ----------------------------------------------------------------------
+
+
+def test_head_healthz_is_get_without_the_body(served):
+    """Load balancers probe ``HEAD /v1/healthz``; it must not be a 501."""
+    get_status, _, get_body = _call(served.url, "GET", "/v1/healthz")
+    status, headers, body = _call(served.url, "HEAD", "/v1/healthz")
+    assert (get_status, status) == (200, 200)
+    assert body == b""
+    # Same headers a GET would carry, including the suppressed body's
+    # true Content-Length.
+    assert headers["Content-Length"] == str(len(get_body))
+    assert headers["Content-Type"] == "application/json"
+
+
+def test_head_routes_and_errors_like_get(served):
+    status, _, body = _call(served.url, "HEAD", "/v1/jobs")
+    assert status == 200 and body == b""
+    status, _, body = _call(served.url, "HEAD", "/v1/nope")
+    assert status == 404 and body == b""
+
+
+def test_head_passes_through_auth_middleware(store):
+    server = ServiceServer(ServiceApp(store, tokens=("s3cret",))).start()
+    try:
+        # The probe stays open...
+        status, _, _ = _call(server.url, "HEAD", "/v1/healthz")
+        assert status == 200
+        # ...everything else still needs the token, HEAD included.
+        status, _, _ = _call(server.url, "HEAD", "/v1/jobs")
+        assert status == 401
+        status, _, _ = _call(server.url, "HEAD", "/v1/jobs", token="s3cret")
+        assert status == 200
+    finally:
+        server.shutdown()
+
+
+# -- partitioned submissions ---------------------------------------------------
+
+
+def test_envelope_partition_sugar_names_and_slices(store, served):
+    manifest = _manifest(n=4)
+    body = {"kind": "campaign", "name": "px", "payload": manifest,
+            "partitions": 2, "partition": 1}
+    status, _, raw = _call(served.url, "POST", "/v1/jobs", body=body)
+    job = _json(raw)
+    assert status == 201
+    assert job["name"] == "px@p1of2"
+    full_total = len(manifest_scenarios(manifest))
+    assert 0 < job["total"] < full_total
+
+
+def test_envelope_partition_requires_both_fields(served):
+    body = {"kind": "campaign", "payload": _manifest(), "partitions": 2}
+    status, _, raw = _call(served.url, "POST", "/v1/jobs", body=body)
+    assert status == 400
+    assert "partition" in _json(raw)["error"]
+    body = {"kind": "campaign", "payload": _manifest(),
+            "partitions": 2, "partition": 5}
+    status, _, raw = _call(served.url, "POST", "/v1/jobs", body=body)
+    assert status == 400
+    assert "1..2" in _json(raw)["error"]

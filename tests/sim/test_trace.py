@@ -50,6 +50,21 @@ def test_linear_interpolation():
     assert tr.interp(20.0) == pytest.approx(10.0)
 
 
+def test_interp_subnormal_gap_stays_within_value_range():
+    # (v1-v0)/(t1-t0) overflows to inf when the time gap is subnormal;
+    # interp/resample must fall back to the step lookup, never leak a
+    # non-finite value out of the sampled range.
+    gap = 2.225073858507203e-309
+    tr = Trace("v")
+    tr.append(0.0, 0.0)
+    tr.append(gap, 1.0)
+    for q in np.linspace(0.0, gap, 7):
+        assert 0.0 <= tr.interp(q) <= 1.0
+    grid = tr.resample(np.linspace(0.0, gap, 7))
+    assert np.isfinite(grid).all()
+    assert ((grid >= 0.0) & (grid <= 1.0)).all()
+
+
 def test_resample_grid():
     tr = Trace("v")
     tr.append(0.0, 0.0)

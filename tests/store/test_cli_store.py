@@ -209,3 +209,75 @@ def test_montecarlo_with_store_dedupes_repeat(db, capsys):
     assert len(store) == 3
     assert main(argv) == 0  # second run: all served from the store
     assert len(store) == 3
+
+
+# -- sharding, merge, partitioned runs -----------------------------------------
+
+
+def test_store_init_sharded_and_stats(tmp_path, capsys):
+    root = str(tmp_path / "sharded")
+    assert main(["store", "init", root, "--shards", "4"]) == 0
+    assert "4 shard(s)" in capsys.readouterr().out
+    assert main(["store", "stats", root]) == 0
+    assert "shards: 4" in capsys.readouterr().out
+
+
+def _cli_manifest(tmp_path, n="2", seed="1"):
+    manifest = tmp_path / "m.json"
+    main(
+        ["gen-scenarios", "hvac", "--n", n, "--seed", seed,
+         "--horizon", "90", "--out", str(manifest)]
+    )
+    return str(manifest)
+
+
+def test_cli_partitioned_run_and_merge_matches_single(tmp_path, capsys):
+    manifest = _cli_manifest(tmp_path, n="4")
+    single = str(tmp_path / "single.db")
+    assert main(["campaign", "run", manifest, "--store", single,
+                 "--name", "acc"]) == 0
+    # Two processes' worth of slices, each into a private store...
+    for i in ("1", "2"):
+        part = str(tmp_path / f"p{i}.db")
+        assert main(["campaign", "run", manifest, "--store", part,
+                     "--name", "acc", "--partitions", "2",
+                     "--partition", i]) == 0
+    capsys.readouterr()
+    # ...merged into a sharded canonical store.
+    canonical = str(tmp_path / "canonical")
+    assert main(["store", "init", canonical, "--shards", "4"]) == 0
+    assert main(["store", "merge", canonical,
+                 str(tmp_path / "p1.db"), str(tmp_path / "p2.db")]) == 0
+    out = capsys.readouterr().out
+    assert "imported" in out
+    # The canonical campaign pass finds everything already stored.
+    assert main(["campaign", "run", manifest, "--store", canonical,
+                 "--name", "acc"]) == 0
+    from repro.store import open_store
+
+    a, b = ResultStore(single), open_store(canonical)
+    assert a.keys() == b.keys()
+    for key in a.keys():
+        assert a.get_payload_text(key) == b.get_payload_text(key)
+
+
+def test_cli_partition_flag_validation(tmp_path, capsys):
+    manifest = _cli_manifest(tmp_path)
+    db = str(tmp_path / "x.db")
+    assert main(["campaign", "run", manifest, "--store", db,
+                 "--partition", "1"]) == 2
+    assert "--partitions" in capsys.readouterr().err
+    assert main(["campaign", "run", manifest, "--store", db,
+                 "--partitions", "2", "--partition", "7"]) == 2
+    assert "1..2" in capsys.readouterr().err
+
+
+def test_cli_store_sync(tmp_path, capsys):
+    a, b = str(tmp_path / "a.db"), str(tmp_path / "b.db")
+    main(["run-scenario", "low-vibration", "--seed", "1", "--store", a])
+    main(["run-scenario", "low-vibration", "--seed", "2", "--store", b])
+    capsys.readouterr()
+    assert main(["store", "sync", a, b]) == 0
+    out = capsys.readouterr().out
+    assert out.count("merged") == 2
+    assert ResultStore(a).keys() == ResultStore(b).keys()
