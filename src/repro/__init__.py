@@ -54,7 +54,7 @@ lazily (``import repro`` stays cheap)::
 import importlib
 from typing import List
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -151,6 +151,17 @@ _EXPORTS = {
     "WorkerPool": "repro.service",
     "ServiceApp": "repro.service",
     "ServiceServer": "repro.service",
+    # observability (repro.obs)
+    "MetricsRegistry": "repro.obs",
+    "MetricsSnapshot": "repro.obs",
+    "render_prometheus": "repro.obs",
+    "span": "repro.obs",
+    "event": "repro.obs",
+    "read_events": "repro.obs",
+    "configure_logging": "repro.obs",
+    "get_logger": "repro.obs",
+    "log_context": "repro.obs",
+    "summarize_events": "repro.obs.report",
     # errors
     "ReproError": "repro.errors",
     "ConfigError": "repro.errors",

@@ -33,6 +33,12 @@ module run (``python -m repro.cli ...``).  Subcommands:
   status, fetch results, cancel) plus a worker pool draining the
   store's durable job queue.  ``--once`` processes the queue and exits
   (cron-style worker); SIGTERM drains in-flight jobs gracefully.
+  ``--log-json`` switches service logs to JSON lines, ``--events PATH``
+  records telemetry spans, and ``/v1/metrics?format=prometheus``
+  exports the registry (:mod:`repro.obs`).
+- ``obs``           -- inspect telemetry event logs: ``summary LOG``
+  aggregates spans/events by name, ``tail LOG [-n N]`` shows the last
+  records.
 
 ``--backend`` selects any registered simulation backend (``envelope``,
 ``detailed``, or ``vectorized`` -- the NumPy lockstep engine that runs
@@ -545,6 +551,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    srv.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit service logs as JSON lines (default: human text)",
+    )
+    srv.add_argument(
+        "--events",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write telemetry spans/events as JSON lines to PATH",
+    )
+    srv.add_argument(
+        "--stats-ttl",
+        type=float,
+        default=5.0,
+        help="seconds /v1/metrics may serve cached store stats "
+        "(0 rescans every scrape)",
+    )
+
+    ob = sub.add_parser(
+        "obs", help="inspect telemetry event logs (spans and events)"
+    )
+    ob_sub = ob.add_subparsers(dest="obs_command", required=True)
+    ob_sum = ob_sub.add_parser(
+        "summary", help="aggregate a span/event log by name"
+    )
+    ob_sum.add_argument("log", type=str, help="JSON-lines event log path")
+    ob_tail = ob_sub.add_parser(
+        "tail", help="render the last records of an event log"
+    )
+    ob_tail.add_argument("log", type=str, help="JSON-lines event log path")
+    ob_tail.add_argument(
+        "-n", type=int, default=20, help="records to show (default: 20)"
     )
 
     return parser
@@ -1169,13 +1210,21 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    import repro.obs as obs
     from repro.service import JobQueue, ServiceApp, ServiceServer, WorkerPool
+
+    # Every service line flows through the shared "repro" logger tree,
+    # so --log-json switches the whole process (HTTP access lines,
+    # worker claims, these status lines) to JSON lines at once.
+    obs.configure_logging(json_lines=args.log_json)
+    obs.configure(metrics=True, events=args.events)
+    log = obs.get_logger("repro.service.serve")
 
     store = _open_store(args.store)
     queue = JobQueue(store)
     requeued = queue.requeue_orphans(args.heartbeat_timeout)
     if requeued:
-        print(f"requeued {requeued} orphaned job(s)")
+        log.info("requeued %d orphaned job(s)", requeued)
     pool = WorkerPool(
         store,
         workers=max(args.workers, 1),
@@ -1191,7 +1240,7 @@ def _cmd_serve(args) -> int:
 
     if args.once:
         processed = pool.run_once(requeue_orphans=False)
-        print(f"processed {processed} job(s); queue: {_queue_line()}")
+        log.info("processed %d job(s); queue: %s", processed, _queue_line())
         return 0
 
     app = ServiceApp(
@@ -1201,17 +1250,20 @@ def _cmd_serve(args) -> int:
         rate=args.rate,
         burst=args.burst,
         verbose=args.verbose,
+        stats_ttl=args.stats_ttl,
     )
     server = ServiceServer(app, host=args.host, port=args.port)
     pool.start()
     server.start()
-    print(
-        f"serving on {server.url} "
-        f"(store {args.store}, {pool.workers} worker(s), "
-        f"{args.jobs} fan-out job(s) each)"
+    log.info(
+        "serving on %s (store %s, %d worker(s), %d fan-out job(s) each)",
+        server.url,
+        args.store,
+        pool.workers,
+        args.jobs,
     )
     if not args.token:
-        print("warning: no --token configured; the API is open")
+        log.warning("no --token configured; the API is open")
 
     stop = threading.Event()
 
@@ -1228,12 +1280,25 @@ def _cmd_serve(args) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
-    print("shutting down: draining in-flight jobs...")
+    log.info("shutting down: draining in-flight jobs...")
     server.shutdown()
     drained = pool.stop(drain=True, timeout=args.drain_timeout)
     if not drained:
-        print("warning: a worker did not exit; its job will requeue by heartbeat")
-    print(f"stopped; queue: {_queue_line()}")
+        log.warning(
+            "a worker did not exit; its job will requeue by heartbeat"
+        )
+    log.info("stopped; queue: %s", _queue_line())
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.report import format_event_line, summarize_events, tail_events
+
+    if args.obs_command == "summary":
+        print(summarize_events(args.log).render())
+        return 0
+    for record in tail_events(args.log, n=args.n):
+        print(format_event_line(record))
     return 0
 
 
@@ -1302,6 +1367,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
 
 
@@ -1315,6 +1381,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Piping into ``head``/``grep -q`` closes stdout early; that is
+        # the consumer's prerogative, not an error worth a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -41,6 +41,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.backends import dispatch_batchable, get_backend, run
 from repro.errors import ConfigError
+from repro.obs.metrics import metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.rng import derive_seed
 from repro.scenario import Scenario
 from repro.system.result import SystemResult
@@ -51,10 +54,39 @@ if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
 #: Accepted ``executor`` values.
 _EXECUTORS = ("process", "thread")
 
+#: Batch cache-tier telemetry: how lookups resolved and what each tier
+#: cost.  ``tier`` is ``memory`` / ``store`` (hits per cache tier) or
+#: ``simulate`` (the miss path); the timer covers store lookups and the
+#: simulate phase (memory hits are not worth a clock read).
+_TIER_TOTAL = metrics().counter(
+    "repro_batch_tier_total",
+    "Batch scenario lookups resolved per cache tier",
+    ("tier",),
+)
+_TIER_SECONDS = metrics().histogram(
+    "repro_batch_tier_seconds",
+    "Wall time spent per batch cache tier",
+    ("tier",),
+)
+
 
 def _run_scenario(scenario: Scenario) -> SystemResult:
     """Module-level worker so process pools can pickle it."""
     return run(scenario)
+
+
+def _run_scenario_metered(scenario: Scenario):
+    """Process-pool worker that ships its metrics delta home.
+
+    The worker's registry is reset before the run and snapshotted after,
+    so each returned snapshot holds exactly this scenario's telemetry;
+    the coordinating runner merges them, which is how counters collected
+    inside process workers survive the pool.
+    """
+    registry = metrics()
+    registry.reset()
+    result = run(scenario)
+    return result, registry.snapshot()
 
 
 class BatchRunner:
@@ -151,38 +183,66 @@ class BatchRunner:
         resolved = self.resolve_seeds(scenarios)
         results: List[Optional[SystemResult]] = [None] * len(resolved)
 
-        # Serve memory-tier hits, then disk-tier hits, and collect the
-        # unique missing work.
-        pending: "Dict[str, List[int]]" = {}
-        for i, scenario in enumerate(resolved):
-            key = scenario.cache_key()
-            cached = self._cache_get(key)
-            if cached is None and self.store is not None:
-                stored = self.store.get(key)
-                if stored is not None:
-                    self.store_hits += 1
-                    self._cache_put(key, stored)
-                    cached = stored
-            if cached is not None:
-                results[i] = cached
-            else:
-                pending.setdefault(key, []).append(i)
-
-        if pending:
-            unique = [resolved[indices[0]] for indices in pending.values()]
-            started = time.perf_counter()
-            fresh = self._execute(unique)
-            # Attribute the batch's wall time evenly across its members:
-            # per-scenario timing is meaningless under a shared pool.
-            per_scenario = (time.perf_counter() - started) / len(unique)
-            for (key, indices), scenario, result in zip(
-                pending.items(), unique, fresh
-            ):
-                self._cache_put(key, result)
+        with span("batch.run", n=len(resolved)) as batch_span:
+            # Serve memory-tier hits, then disk-tier hits, and collect
+            # the unique missing work.
+            memory_hits = 0
+            store_hits = 0
+            store_seconds = 0.0
+            pending: "Dict[str, List[int]]" = {}
+            for i, scenario in enumerate(resolved):
+                key = scenario.cache_key()
+                cached = self._cache_get(key)
+                if cached is not None:
+                    memory_hits += 1
+                elif self.store is not None:
+                    t0 = time.perf_counter() if _OBS.metrics_on else 0.0
+                    stored = self.store.get(key)
+                    if _OBS.metrics_on:
+                        store_seconds += time.perf_counter() - t0
+                    if stored is not None:
+                        self.store_hits += 1
+                        store_hits += 1
+                        self._cache_put(key, stored)
+                        cached = stored
+                if cached is not None:
+                    results[i] = cached
+                else:
+                    pending.setdefault(key, []).append(i)
+            if _OBS.metrics_on:
+                if memory_hits:
+                    _TIER_TOTAL.inc(memory_hits, tier="memory")
+                if store_hits:
+                    _TIER_TOTAL.inc(store_hits, tier="store")
                 if self.store is not None:
-                    self.store.put(scenario, result, wall_time_s=per_scenario)
-                for i in indices:
-                    results[i] = result
+                    _TIER_SECONDS.observe(store_seconds, tier="store")
+
+            if pending:
+                unique = [resolved[indices[0]] for indices in pending.values()]
+                started = time.perf_counter()
+                with span("batch.simulate", n=len(unique)):
+                    fresh = self._execute(unique)
+                # Attribute the batch's wall time evenly across its
+                # members: per-scenario timing is meaningless under a
+                # shared pool.
+                elapsed = time.perf_counter() - started
+                per_scenario = elapsed / len(unique)
+                if _OBS.metrics_on:
+                    _TIER_TOTAL.inc(len(unique), tier="simulate")
+                    _TIER_SECONDS.observe(elapsed, tier="simulate")
+                for (key, indices), scenario, result in zip(
+                    pending.items(), unique, fresh
+                ):
+                    self._cache_put(key, result)
+                    if self.store is not None:
+                        self.store.put(scenario, result, wall_time_s=per_scenario)
+                    for i in indices:
+                        results[i] = result
+            batch_span.annotate(
+                memory_hits=memory_hits,
+                store_hits=store_hits,
+                simulated=len(pending),
+            )
         return results  # type: ignore[return-value]
 
     def run_one(self, scenario: Scenario) -> SystemResult:
@@ -213,6 +273,17 @@ class BatchRunner:
             subset = [scenarios[i] for i in serial]
             if self.jobs == 1 or len(subset) == 1:
                 fresh = [_run_scenario(s) for s in subset]
+            elif self.executor == "process" and _OBS.metrics_on:
+                # Each worker item ships its metrics delta home as a
+                # picklable snapshot; merging here is what keeps the
+                # registry whole across the process pool.
+                with self._make_executor(min(self.jobs, len(subset))) as pool:
+                    pairs = list(pool.map(_run_scenario_metered, subset))
+                registry = metrics()
+                fresh = []
+                for result, snapshot in pairs:
+                    fresh.append(result)
+                    registry.merge(snapshot)
             else:
                 with self._make_executor(min(self.jobs, len(subset))) as pool:
                     fresh = list(pool.map(_run_scenario, subset))

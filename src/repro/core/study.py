@@ -49,6 +49,7 @@ from repro.core.objective import SimulationObjective, get_metric
 from repro.doe.design import Design
 from repro.doe.registry import get_design
 from repro.errors import ConfigError, DesignError
+from repro.obs.trace import span
 from repro.optimize.registry import get_optimizer
 from repro.rsm.coding import ParameterSpace
 from repro.rsm.registry import get_surrogate
@@ -644,12 +645,21 @@ class Study:
         spec = self.spec
         design = self._ensure_journaled()
         points = design.points
-        for start in range(0, len(points), self.chunk_size):
+        with span("study.run", study=self.name, points=len(points)):
+            for start in range(0, len(points), self.chunk_size):
+                if on_chunk is not None:
+                    on_chunk(start, len(points))
+                with span(
+                    "study.chunk",
+                    study=self.name,
+                    start=start,
+                    size=min(self.chunk_size, len(points) - start),
+                ):
+                    self.objective.evaluate_design(
+                        points[start : start + self.chunk_size]
+                    )
             if on_chunk is not None:
-                on_chunk(start, len(points))
-            self.objective.evaluate_design(points[start : start + self.chunk_size])
-        if on_chunk is not None:
-            on_chunk(len(points), len(points))
+                on_chunk(len(points), len(points))
         return self.explorer.run(
             n_runs=spec.n_runs,
             seed=spec.seed,

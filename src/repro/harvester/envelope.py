@@ -66,6 +66,10 @@ class EnvelopeHarvester:
         if not 0.0 < mech_efficiency <= 1.0:
             raise ModelError("envelope: mech efficiency must be in (0, 1]")
         self.mech_efficiency = mech_efficiency
+        #: Analytic power evaluations served (always on: a plain int
+        #: increment is far cheaper than a registry hit at this call
+        #: rate; the simulator reads the delta into telemetry per run).
+        self.power_evals = 0
 
     # -- mechanical/electrical chain ---------------------------------------
 
@@ -96,6 +100,7 @@ class EnvelopeHarvester:
         store_voltage: float,
     ) -> float:
         """Average power (W) delivered into the storage capacitor."""
+        self.power_evals += 1
         emf = self.emf_peak(frequency_hz, accel_amplitude, position)
         thevenin = self.rectifier.charging_power(
             emf, self.source_resistance, store_voltage

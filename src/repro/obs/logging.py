@@ -1,0 +1,108 @@
+"""Shared structured-logging configuration.
+
+One stdlib-``logging`` setup for the whole stack: every component logs
+through a named child of the ``repro`` logger (``repro.service.http``,
+``repro.service.worker``, ...), and :func:`configure_logging` decides
+once -- per process -- whether those lines render as human text or as
+one JSON object per line (``--log-json`` on the service CLI).
+
+Nothing configures itself implicitly: a library user who never calls
+:func:`configure_logging` sees the stdlib default (warnings and up to
+stderr), exactly as before this module existed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+#: Root of every logger this library emits through.
+ROOT_LOGGER = "repro"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg (+ extras)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        extra = getattr(record, "ctx", None)
+        if isinstance(extra, dict):
+            payload.update(extra)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TextLogFormatter(logging.Formatter):
+    """The human shape: ``HH:MM:SS level logger: message``."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        text = super().format(record)
+        extra = getattr(record, "ctx", None)
+        if isinstance(extra, dict) and extra:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+            text = f"{text} ({pairs})"
+        return text
+
+
+def configure_logging(
+    json_lines: bool = False,
+    level: str = "INFO",
+    stream=None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; returns its root.
+
+    Idempotent: calling again replaces the handler (so tests and
+    long-lived processes can switch formats) instead of stacking
+    duplicates.  ``stream`` defaults to stderr -- stdout stays reserved
+    for command output.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(getattr(logging, str(level).upper(), logging.INFO))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter() if json_lines else TextLogFormatter())
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A named logger under the shared ``repro`` root."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_context(**ctx) -> dict:
+    """Build the ``extra=`` mapping carrying structured fields.
+
+    Usage: ``log.info("claimed", extra=log_context(job=job.id))`` --
+    the fields land as top-level keys in JSON mode and as trailing
+    ``key=value`` pairs in text mode.
+    """
+    return {"ctx": ctx}
+
+
+def logging_configured() -> bool:
+    """Has :func:`configure_logging` installed a handler?"""
+    return bool(logging.getLogger(ROOT_LOGGER).handlers)

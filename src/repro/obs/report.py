@@ -1,0 +1,150 @@
+"""Render span/event logs for humans (the ``repro-wsn obs`` commands).
+
+:func:`summarize_events` aggregates a JSON-lines event log into one
+table per record kind: spans grouped by name with count and wall-time
+statistics (total, mean, max -- the "where did the time go" view), and
+instant events grouped by name with counts.  :func:`tail_events`
+renders the last N records chronologically, one line each, for eyeball
+debugging of a live service's sink file.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.trace import read_events
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing for one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class EventLogSummary:
+    """Everything :func:`summarize_events` extracted from one log."""
+
+    path: str
+    n_records: int = 0
+    n_spans: int = 0
+    n_events: int = 0
+    n_traces: int = 0
+    span_stats: Dict[str, SpanStats] = field(default_factory=dict)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+
+    def render(self) -> str:
+        from repro.core.report import format_table
+
+        lines = [
+            f"{self.path}: {self.n_records} records "
+            f"({self.n_spans} spans, {self.n_events} events, "
+            f"{self.n_traces} traces)"
+        ]
+        if self.first_ts is not None and self.last_ts is not None:
+            window = self.last_ts - self.first_ts
+            lines.append(f"window: {window:.1f} s")
+        if self.span_stats:
+            rows = [
+                [
+                    stats.name,
+                    str(stats.count),
+                    f"{stats.total_s:.3f}",
+                    f"{stats.mean_s * 1e3:.2f}",
+                    f"{stats.max_s * 1e3:.2f}",
+                    str(stats.errors),
+                ]
+                for stats in sorted(
+                    self.span_stats.values(),
+                    key=lambda s: s.total_s,
+                    reverse=True,
+                )
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["span", "count", "total (s)", "mean (ms)", "max (ms)", "errors"],
+                    rows,
+                    title="spans by total wall time",
+                )
+            )
+        if self.event_counts:
+            rows = [
+                [name, str(count)]
+                for name, count in sorted(
+                    self.event_counts.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ]
+            lines.append("")
+            lines.append(format_table(["event", "count"], rows, title="events"))
+        return "\n".join(lines)
+
+
+def summarize_events(path) -> EventLogSummary:
+    """Aggregate a JSON-lines event log (see module docstring)."""
+    summary = EventLogSummary(path=str(path))
+    traces = set()
+    for record in read_events(path):
+        summary.n_records += 1
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if summary.first_ts is None or ts < summary.first_ts:
+                summary.first_ts = ts
+            if summary.last_ts is None or ts > summary.last_ts:
+                summary.last_ts = ts
+        trace = record.get("trace")
+        if trace:
+            traces.add(trace)
+        name = str(record.get("name", "?"))
+        if record.get("kind") == "span":
+            summary.n_spans += 1
+            stats = summary.span_stats.setdefault(name, SpanStats(name))
+            stats.count += 1
+            duration = float(record.get("dur_s") or 0.0)
+            stats.total_s += duration
+            stats.max_s = max(stats.max_s, duration)
+            if record.get("error"):
+                stats.errors += 1
+        else:
+            summary.n_events += 1
+            summary.event_counts[name] = summary.event_counts.get(name, 0) + 1
+    summary.n_traces = len(traces)
+    return summary
+
+
+def format_event_line(record: dict) -> str:
+    """One record as one human-readable line."""
+    ts = record.get("ts")
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(ts))
+        if isinstance(ts, (int, float))
+        else "--:--:--"
+    )
+    name = record.get("name", "?")
+    kind = record.get("kind", "?")
+    attrs = record.get("attrs") or {}
+    attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    if kind == "span":
+        duration = float(record.get("dur_s") or 0.0)
+        error = f" ERROR={record['error']}" if record.get("error") else ""
+        return f"{stamp} span  {name:<24s} {duration * 1e3:9.2f} ms{error}  {attr_text}"
+    return f"{stamp} event {name:<24s} {'':>12s}  {attr_text}"
+
+
+def tail_events(path, n: int = 20) -> List[dict]:
+    """The last ``n`` records of an event log, oldest first."""
+    return list(deque(read_events(path), maxlen=max(int(n), 1)))

@@ -1,0 +1,66 @@
+"""Process-wide telemetry switches.
+
+One tiny mutable object, imported by every instrumented module, holding
+the two questions the hot paths ask:
+
+- are **metrics** being collected? (``STATE.metrics_on``)
+- is there a **span/event sink**? (``STATE.sink_path`` -> a lazily
+  opened :class:`~repro.obs.trace.EventSink`)
+
+Both default *off*, so an uninstrumented program pays one attribute
+read per instrumentation point and nothing else.  They are seeded from
+the environment (``REPRO_OBS_METRICS``, ``REPRO_OBS_EVENTS``) at import
+-- and :func:`repro.obs.configure` writes the same variables back --
+so :class:`~repro.core.batch.BatchRunner` process workers and
+partitioned-campaign subprocesses inherit the session's telemetry
+configuration whether they fork or spawn.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class ObsState:
+    """The mutable telemetry switchboard (one instance per process)."""
+
+    __slots__ = ("metrics_on", "sink_path", "_sink")
+
+    def __init__(self) -> None:
+        self.metrics_on: bool = _env_flag("REPRO_OBS_METRICS")
+        self.sink_path: Optional[str] = os.environ.get("REPRO_OBS_EVENTS") or None
+        self._sink = None  # lazily opened EventSink
+
+    def sink(self):
+        """The open event sink, or ``None`` when tracing is off."""
+        if self.sink_path is None:
+            return None
+        if self._sink is None or str(self._sink.path) != self.sink_path:
+            from repro.obs.trace import EventSink
+
+            self._sink = EventSink(self.sink_path)
+        return self._sink
+
+    def close_sink(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+#: The process-wide switchboard every instrumented module reads.
+STATE = ObsState()
+
+
+def metrics_enabled() -> bool:
+    """Cheap hot-path guard: is the metrics registry collecting?"""
+    return STATE.metrics_on
+
+
+def tracing_enabled() -> bool:
+    """Is a span/event sink configured?"""
+    return STATE.sink_path is not None

@@ -1,0 +1,226 @@
+"""Lightweight span tracing with a JSON-lines event sink.
+
+A *span* is a timed region of work; an *event* is an instant marker.
+Both serialise as one JSON object per line into the configured sink
+file, carrying enough context to reconstruct where wall time went:
+
+.. code-block:: json
+
+    {"kind": "span", "name": "campaign.chunk", "ts": 1754550000.1,
+     "dur_s": 0.84, "trace": "6f1c...", "span": "a41b...",
+     "parent": "930d...", "pid": 4242, "thread": "MainThread",
+     "attrs": {"campaign": "smoke", "start": 16, "size": 16}}
+
+Spans propagate through :mod:`contextvars`: a span opened inside
+another (same thread/task) records it as its parent and shares its
+trace id, so the claim -> execute -> chunk chain of a service job reads
+as one tree.  Events inherit the ambient span the same way.
+
+When no sink is configured (and metrics are off) :func:`span` returns a
+shared no-op object and :func:`event` returns immediately -- the
+off-by-default cost is one attribute read.  With metrics on, every
+closed span also lands in the ``repro_span_seconds`` histogram, so the
+registry sees durations even without an event log.
+
+The sink path travels in ``REPRO_OBS_EVENTS`` (set by
+:func:`repro.obs.configure`), so worker *processes* append to the same
+file; appends are single ``write`` calls of one line, which POSIX keeps
+atomic at these sizes.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import metrics
+from repro.obs.state import STATE
+
+#: Ambient (trace_id, span_id) for parenting; None outside any span.
+_CONTEXT: "contextvars.ContextVar[Optional[tuple]]" = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+_SPAN_SECONDS = metrics().histogram(
+    "repro_span_seconds",
+    "Wall-clock duration of instrumented spans",
+    ("name",),
+)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class EventSink:
+    """Append-only JSON-lines writer, safe across threads and processes."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._pid = os.getpid()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            # Reopen after a fork: sharing one file offset across
+            # processes interleaves partial lines.
+            if self._fh is None or self._pid != os.getpid():
+                self._fh = open(self.path, "a", encoding="utf-8")
+                self._pid = os.getpid()
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._pid == os.getpid():
+                self._fh.close()
+            self._fh = None
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def annotate(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed region; use via ``with span("name", key=value):``."""
+
+    __slots__ = (
+        "name", "attrs", "trace_id", "span_id", "parent_id", "_t0", "_ts",
+        "_token",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self.name = str(name)
+        self.attrs = attrs
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self._t0 = 0.0
+        self._ts = 0.0
+        self._token = None
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        ambient = _CONTEXT.get()
+        if ambient is None:
+            self.trace_id = _new_id()
+            self.parent_id = None
+        else:
+            self.trace_id, self.parent_id = ambient
+        self.span_id = _new_id()
+        self._token = _CONTEXT.set((self.trace_id, self.span_id))
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        _CONTEXT.reset(self._token)
+        if STATE.metrics_on:
+            _SPAN_SECONDS.observe(duration, name=self.name)
+        sink = STATE.sink()
+        if sink is not None:
+            record = {
+                "kind": "span",
+                "name": self.name,
+                "ts": self._ts,
+                "dur_s": duration,
+                "trace": self.trace_id,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "pid": os.getpid(),
+                "thread": threading.current_thread().name,
+                "attrs": self.attrs,
+            }
+            if exc_type is not None:
+                record["error"] = exc_type.__name__
+            sink.write(record)
+
+
+def span(name: str, /, **attrs):
+    """A context manager timing one region of work.
+
+    Free when telemetry is off: returns a shared no-op object without
+    allocating.  Attribute values must be JSON-serialisable scalars.
+    """
+    if STATE.sink_path is None and not STATE.metrics_on:
+        return _NOOP_SPAN
+    return Span(name, attrs)
+
+
+def event(name: str, /, **attrs) -> None:
+    """Record one instant event (a zero-duration marker) in the sink."""
+    sink = STATE.sink() if STATE.sink_path is not None else None
+    if sink is None and not STATE.metrics_on:
+        return
+    if STATE.metrics_on:
+        _EVENTS_TOTAL.inc(name=name)
+    if sink is not None:
+        ambient = _CONTEXT.get()
+        sink.write(
+            {
+                "kind": "event",
+                "name": str(name),
+                "ts": time.time(),
+                "trace": ambient[0] if ambient else None,
+                "parent": ambient[1] if ambient else None,
+                "pid": os.getpid(),
+                "thread": threading.current_thread().name,
+                "attrs": attrs,
+            }
+        )
+
+
+_EVENTS_TOTAL = metrics().counter(
+    "repro_events_total", "Instant telemetry events recorded", ("name",)
+)
+
+
+def current_trace_id() -> Optional[str]:
+    """The ambient trace id, or ``None`` outside any span."""
+    ambient = _CONTEXT.get()
+    return None if ambient is None else ambient[0]
+
+
+def read_events(path) -> Iterator[dict]:
+    """Parse a JSON-lines event log, skipping torn trailing lines."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigError(f"event log {str(source)!r} does not exist")
+    with open(source, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # a torn line from a killed writer
+            if isinstance(record, dict):
+                yield record

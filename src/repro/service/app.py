@@ -27,10 +27,15 @@ job is a 409; rate-limited requests are 429s with ``Retry-After``.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import repro
+import repro.obs as obs
 from repro.errors import ReproError
+from repro.obs.metrics import metrics as _obs_metrics, render_prometheus
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.service.http import (
     RateLimiter,
     Request,
@@ -43,6 +48,35 @@ from repro.store.db import ResultStore
 
 #: Result-page size cap: keeps one response bounded however large the job.
 MAX_PAGE_LIMIT = 500
+
+#: How long a cached ``store.stats()`` snapshot serves /v1/metrics
+#: before the next scrape recomputes it (a full-store scan otherwise).
+DEFAULT_STATS_TTL_S = 5.0
+
+#: Content type the Prometheus text exposition format specifies.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request telemetry (the registry mirror of the JSON request counters)
+#: and the scrape-time gauges for queue depth, workers and store size.
+_HTTP_REQUESTS = _obs_metrics().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method and response status",
+    ("method", "status"),
+)
+_HTTP_SECONDS = _obs_metrics().histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency",
+    ("method",),
+)
+_QUEUE_JOBS = _obs_metrics().gauge(
+    "repro_queue_jobs", "Jobs in the queue, by status", ("status",)
+)
+_WORKERS_ALIVE = _obs_metrics().gauge(
+    "repro_workers_alive", "Worker threads alive in the attached pool"
+)
+_STORE_RESULTS = _obs_metrics().gauge(
+    "repro_store_results", "Result rows in the store (cached scan)"
+)
 
 
 class _HTTPError(Exception):
@@ -68,6 +102,15 @@ class ServiceApp:
         Bearer tokens; empty means an open (unauthenticated) service.
     rate, burst:
         Token-bucket rate limit per caller (``rate <= 0`` disables).
+    stats_ttl:
+        Seconds a cached ``store.stats()`` snapshot keeps serving
+        ``/v1/metrics`` before a scrape recomputes it (``0`` scans
+        every scrape); the response reports the staleness as
+        ``store.stats_age_s``.
+    telemetry:
+        Switch the process-wide metrics registry on (the default: a
+        service without counters has nothing to export).  Pass
+        ``False`` to leave the global telemetry state alone.
     """
 
     def __init__(
@@ -78,6 +121,8 @@ class ServiceApp:
         rate: float = 0.0,
         burst: Optional[int] = None,
         verbose: bool = False,
+        stats_ttl: float = DEFAULT_STATS_TTL_S,
+        telemetry: bool = True,
     ):
         self.store = store
         self.queue = JobQueue(store)
@@ -86,9 +131,13 @@ class ServiceApp:
         self.limiter = RateLimiter(rate=rate, burst=burst)
         self.middleware = (self.auth, self.limiter)
         self.verbose = verbose
+        self.stats_ttl = float(stats_ttl)
+        if telemetry:
+            obs.configure(metrics=True)
         self._lock = threading.Lock()
         self._requests_total = 0
         self._requests_by_status: Dict[str, int] = {}
+        self._stats_cache: Optional[tuple] = None
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -100,23 +149,35 @@ class ServiceApp:
             from dataclasses import replace
 
             request = replace(request, method="GET")
-        try:
-            response = self._dispatch_inner(request)
-        except _HTTPError as exc:
-            response = error_response(exc.status, str(exc))
-        except ReproError as exc:
-            # The library's own validation errors are the client's
-            # fault by definition: 400 with the real message.
-            response = error_response(400, str(exc))
-        except Exception as exc:  # noqa: BLE001 -- last-resort boundary
-            response = error_response(
-                500, f"internal error: {type(exc).__name__}: {exc}"
-            )
+        started = time.perf_counter()
+        with span(
+            "http.request", method=request.method, path=request.path
+        ) as request_span:
+            try:
+                response = self._dispatch_inner(request)
+            except _HTTPError as exc:
+                response = error_response(exc.status, str(exc))
+            except ReproError as exc:
+                # The library's own validation errors are the client's
+                # fault by definition: 400 with the real message.
+                response = error_response(400, str(exc))
+            except Exception as exc:  # noqa: BLE001 -- last-resort boundary
+                response = error_response(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+            request_span.annotate(status=response.status)
         with self._lock:
             self._requests_total += 1
             key = str(response.status)
             self._requests_by_status[key] = (
                 self._requests_by_status.get(key, 0) + 1
+            )
+        if _OBS.metrics_on:
+            _HTTP_REQUESTS.inc(
+                method=request.method, status=str(response.status)
+            )
+            _HTTP_SECONDS.observe(
+                time.perf_counter() - started, method=request.method
             )
         return response
 
@@ -132,7 +193,7 @@ class ServiceApp:
             raise _HTTPError(404, f"no such path {request.path!r}")
         if parts[1] == "metrics" and len(parts) == 2:
             self._require(request, "GET")
-            return self._metrics()
+            return self._metrics(request)
         if parts[1] == "jobs":
             if len(parts) == 2:
                 if request.method == "POST":
@@ -271,8 +332,45 @@ class ServiceApp:
             }
         return Response(200, doc)
 
-    def _metrics(self) -> Response:
-        stats = self.store.stats()
+    def _store_snapshot(self) -> tuple:
+        """``(stats, n_studies, refreshed_monotonic)``, TTL-cached.
+
+        ``store.stats()`` walks the whole results table; serving scrapes
+        from a bounded-staleness cache keeps tight scrape intervals from
+        turning into repeated full-store scans.
+        """
+        now = time.monotonic()
+        with self._lock:
+            cached = self._stats_cache
+        if cached is not None and now - cached[2] < self.stats_ttl:
+            return cached
+        entry = (
+            self.store.stats(),
+            len(self.store.study_names()),
+            time.monotonic(),
+        )
+        with self._lock:
+            self._stats_cache = entry
+        return entry
+
+    def _metrics(self, request: Request) -> Response:
+        stats, n_studies, refreshed = self._store_snapshot()
+        counts = self.queue.counts()
+        states = None if self.pool is None else self.pool.worker_states()
+        if _OBS.metrics_on:
+            # Scrape-time gauges: the Prometheus view of queue depth,
+            # worker liveness and store size comes from the registry.
+            for status, count in counts.items():
+                _QUEUE_JOBS.set(count, status=status)
+            if states is not None:
+                _WORKERS_ALIVE.set(sum(1 for s in states if s["alive"]))
+            _STORE_RESULTS.set(stats.n_results)
+        if self._wants_prometheus(request):
+            return Response(
+                200,
+                render_prometheus(_obs_metrics().snapshot()),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
         with self._lock:
             requests = {
                 "total": self._requests_total,
@@ -280,21 +378,35 @@ class ServiceApp:
                 "rate_limited": self.limiter.rejected,
             }
         doc = {
-            "jobs": self.queue.counts(),
+            "jobs": counts,
             "store": {
                 "results": stats.n_results,
                 "campaigns": stats.n_campaigns,
-                "studies": len(self.store.study_names()),
+                "studies": n_studies,
                 "payload_bytes": stats.payload_bytes,
                 "file_bytes": stats.file_bytes,
                 "wall_time_banked_s": stats.total_wall_time_s,
+                "stats_age_s": round(time.monotonic() - refreshed, 3),
             },
             "requests": requests,
-            "workers": (
-                None if self.pool is None else self.pool.worker_states()
-            ),
+            "workers": states,
         }
         return Response(200, doc)
+
+    @staticmethod
+    def _wants_prometheus(request: Request) -> bool:
+        """Content negotiation: ``?format=prometheus`` or text/plain."""
+        explicit = request.query.get("format")
+        if explicit is not None:
+            if explicit not in ("json", "prometheus"):
+                raise _HTTPError(
+                    400,
+                    f"unknown metrics format {explicit!r} "
+                    f"(known: json, prometheus)",
+                )
+            return explicit == "prometheus"
+        accept = request.headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
 
     # -- helpers -----------------------------------------------------------------
 

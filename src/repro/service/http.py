@@ -26,11 +26,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs.logging import get_logger
 from repro.store.db import canonical_json
 
 #: Requests with bodies beyond this many bytes are refused (HTTP 400,
 #: per the service's "bad submissions are 400s, never 500s" contract).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_LOG = get_logger("repro.service.http")
 
 
 @dataclass(frozen=True)
@@ -58,19 +61,27 @@ class Request:
 
 @dataclass
 class Response:
-    """One JSON response: status, payload, extra headers.
+    """One response: status, payload, extra headers.
 
     ``canonical=True`` serialises the payload with the store's own
     :func:`~repro.store.db.canonical_json` (sorted keys, fixed
     separators) so embedded result documents keep their stored bytes.
+    A non-JSON ``content_type`` (the Prometheus exposition) sends the
+    payload as literal text instead of serialising it.
     """
 
     status: int
     payload: object
     headers: Dict[str, str] = field(default_factory=dict)
     canonical: bool = False
+    content_type: str = "application/json"
 
     def body_bytes(self) -> bytes:
+        if not self.content_type.startswith("application/json"):
+            text = str(self.payload)
+            if not text.endswith("\n"):
+                text += "\n"
+            return text.encode("utf-8")
         if self.canonical:
             text = canonical_json(self.payload)
         else:
@@ -165,7 +176,7 @@ def _make_handler(app) -> type:
         def _respond(self, response: Response) -> None:
             body = response.body_bytes()
             self.send_response(response.status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", response.content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in response.headers.items():
                 self.send_header(name, value)
@@ -216,8 +227,12 @@ def _make_handler(app) -> type:
             self._dispatch("DELETE")
 
         def log_message(self, format: str, *args) -> None:
+            # Access lines flow through the shared "repro" logger tree,
+            # so --log-json covers them like every other service line.
             if getattr(app, "verbose", False):
-                BaseHTTPRequestHandler.log_message(self, format, *args)
+                _LOG.info(
+                    "%s %s", self.address_string(), format % args
+                )
 
     return Handler
 

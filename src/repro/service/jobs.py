@@ -41,10 +41,31 @@ from time import time as _wall_clock
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, DesignError, ReproError
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import event
 from repro.store.db import ResultStore, canonical_json
 
 #: Accepted job kinds, in routing order for payload sniffing.
 JOB_KINDS = ("scenario", "campaign", "study")
+
+#: Queue lifecycle telemetry; the matching ``job.*`` events carry ids.
+_JOBS_SUBMITTED = _obs_metrics().counter(
+    "repro_jobs_submitted_total", "Jobs accepted into the queue", ("kind",)
+)
+_JOBS_CLAIMED = _obs_metrics().counter(
+    "repro_jobs_claimed_total", "Job claims handed to workers"
+)
+_JOBS_FINISHED = _obs_metrics().counter(
+    "repro_jobs_finished_total",
+    "Jobs reaching a terminal state",
+    ("status",),
+)
+_JOBS_REQUEUED = _obs_metrics().counter(
+    "repro_jobs_requeued_total",
+    "Claims returned to the queue",
+    ("reason",),
+)
 
 #: Every queue state a job row can be in.
 JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
@@ -290,6 +311,9 @@ class JobQueue:
         except BaseException:
             conn.execute("ROLLBACK")
             raise
+        if _OBS.metrics_on:
+            _JOBS_SUBMITTED.inc(kind=kind)
+        event("job.submit", job=job_id, kind=kind, name=job_name)
         return self.get(job_id)
 
     # -- reading -----------------------------------------------------------------
@@ -401,7 +425,12 @@ class JobQueue:
         except BaseException:
             conn.execute("ROLLBACK")
             raise
-        return None if claimed is None else self.get(claimed)
+        if claimed is None:
+            return None
+        if _OBS.metrics_on:
+            _JOBS_CLAIMED.inc()
+        event("job.claim", job=claimed, worker=worker)
+        return self.get(claimed)
 
     def heartbeat(self, job_id: str, worker: str) -> None:
         """Refresh a running claim; raise :class:`JobCancelled` if lost.
@@ -444,6 +473,13 @@ class JobQueue:
             # The claim was cancelled or requeued mid-run; leave the
             # authoritative row alone (its owner already moved on).
             self.get(job_id)  # still raises for a genuinely unknown id
+            return
+        if _OBS.metrics_on:
+            _JOBS_FINISHED.inc(status=status)
+        if status == "failed":
+            event("job.fail", job=job_id, worker=worker, error=error)
+        else:
+            event("job.finish", job=job_id, worker=worker)
 
     def cancel(self, job_id: str) -> Job:
         """Cancel a queued or running job.
@@ -460,20 +496,28 @@ class JobQueue:
             raise ConfigError(
                 f"job {job_id} is already {job.status} and cannot be cancelled"
             )
-        self._execute_write(
+        changed = self._execute_write(
             "UPDATE jobs SET status='cancelled', finished_unix=? "
             "WHERE id=? AND status IN ('queued', 'running')",
             (_wall_clock(), job_id),
         )
+        if changed:
+            if _OBS.metrics_on:
+                _JOBS_FINISHED.inc(status="cancelled")
+            event("job.cancel", job=job_id)
         return self.get(job_id)
 
     def requeue(self, job_id: str, worker: str) -> None:
         """Return a running claim to the queue (graceful drain path)."""
-        self._execute_write(
+        changed = self._execute_write(
             "UPDATE jobs SET status='queued', worker=NULL, started_unix=NULL, "
             "heartbeat_unix=NULL WHERE id=? AND worker=? AND status='running'",
             (job_id, worker),
         )
+        if changed:
+            if _OBS.metrics_on:
+                _JOBS_REQUEUED.inc(reason="drain")
+            event("job.requeue", job=job_id, worker=worker, reason="drain")
 
     def requeue_orphans(self, timeout_s: float) -> int:
         """Requeue running jobs whose heartbeat went silent.
@@ -486,11 +530,16 @@ class JobQueue:
         """
         if timeout_s <= 0.0:
             raise ConfigError("heartbeat timeout must be positive")
-        return self._execute_write(
+        requeued = self._execute_write(
             "UPDATE jobs SET status='queued', worker=NULL, started_unix=NULL, "
             "heartbeat_unix=NULL WHERE status='running' AND heartbeat_unix < ?",
             (_wall_clock() - float(timeout_s),),
         )
+        if requeued:
+            if _OBS.metrics_on:
+                _JOBS_REQUEUED.inc(requeued, reason="orphan")
+            event("job.requeue", n=requeued, reason="orphan")
+        return requeued
 
     def _execute_write(self, sql: str, params) -> int:
         conn = self.store._conn()

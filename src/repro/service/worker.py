@@ -38,11 +38,21 @@ from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigError, ReproError
+from repro.obs.logging import get_logger, log_context
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.service.jobs import Job, JobCancelled, JobQueue
 from repro.store.db import ResultStore
 
 #: Fallback drain window applied by :meth:`WorkerPool.stop`.
 DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+_LOG = get_logger("repro.service.worker")
+
+_BUSY_WORKERS = _obs_metrics().gauge(
+    "repro_workers_busy", "Worker threads currently executing a claim"
+)
 
 
 class DrainRequeue(ReproError):
@@ -285,6 +295,12 @@ class WorkerPool:
         with self._lock:
             self._busy[worker_id] = job.id
             self._lost[worker_id] = False
+        if _OBS.metrics_on:
+            _BUSY_WORKERS.inc()
+        _LOG.info(
+            "claimed job",
+            extra=log_context(job=job.id, kind=job.kind, worker=worker_id),
+        )
 
         def on_chunk(done: int, total: int) -> None:
             if self._requeue_on_stop.is_set():
@@ -299,32 +315,58 @@ class WorkerPool:
             self.queue.heartbeat(job.id, worker_id)
 
         try:
-            execute_job(
-                self.store,
-                job,
-                jobs=self.jobs,
-                chunk_size=self.chunk_size,
-                executor=self.executor,
-                on_chunk=on_chunk,
-            )
+            with span(
+                "job.execute", job=job.id, kind=job.kind, worker=worker_id
+            ):
+                execute_job(
+                    self.store,
+                    job,
+                    jobs=self.jobs,
+                    chunk_size=self.chunk_size,
+                    executor=self.executor,
+                    on_chunk=on_chunk,
+                )
             self.queue.finish(job.id, worker_id)
             with self._lock:
                 self.processed += 1
+            _LOG.info(
+                "finished job", extra=log_context(job=job.id, worker=worker_id)
+            )
         except JobCancelled:
-            pass  # the row is already cancelled (or owned elsewhere)
+            # The row is already cancelled (or owned elsewhere).
+            _LOG.info(
+                "lost claim", extra=log_context(job=job.id, worker=worker_id)
+            )
         except DrainRequeue:
             self.queue.requeue(job.id, worker_id)
+            _LOG.info(
+                "requeued job (drain)",
+                extra=log_context(job=job.id, worker=worker_id),
+            )
         except ReproError as exc:
             self.queue.fail(job.id, worker_id, str(exc))
             with self._lock:
                 self.failed += 1
+            _LOG.warning(
+                "job failed: %s",
+                exc,
+                extra=log_context(job=job.id, worker=worker_id),
+            )
         except Exception as exc:  # a worker thread must survive anything
             self.queue.fail(job.id, worker_id, f"{type(exc).__name__}: {exc}")
             with self._lock:
                 self.failed += 1
+            _LOG.warning(
+                "job failed: %s: %s",
+                type(exc).__name__,
+                exc,
+                extra=log_context(job=job.id, worker=worker_id),
+            )
         finally:
             with self._lock:
                 self._busy[worker_id] = None
+            if _OBS.metrics_on:
+                _BUSY_WORKERS.dec()
 
     def _maybe_sweep_orphans(self) -> None:
         """Opportunistic orphan requeue, at most twice per timeout."""

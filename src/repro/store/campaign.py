@@ -46,6 +46,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.batch import BatchRunner
 from repro.errors import ConfigError
+from repro.obs.trace import span
 from repro.rng import derive_seed
 from repro.scenario import Scenario
 from repro.store.db import ResultStore, canonical_json
@@ -315,15 +316,27 @@ class Campaign:
                 by_key[key] = None
                 pending.append(scenario)
         done = len(scenarios) - len(pending)
-        for start in range(0, len(pending), chunk):
+        with span(
+            "campaign.run",
+            campaign=self.name,
+            total=len(scenarios),
+            pending=len(pending),
+        ):
+            for start in range(0, len(pending), chunk):
+                if on_chunk is not None:
+                    on_chunk(done, len(scenarios))
+                batch = pending[start : start + chunk]
+                with span(
+                    "campaign.chunk",
+                    campaign=self.name,
+                    start=start,
+                    size=len(batch),
+                ):
+                    for scenario, result in zip(batch, runner.run(batch)):
+                        by_key[scenario.cache_key()] = result
+                done += len(batch)
             if on_chunk is not None:
                 on_chunk(done, len(scenarios))
-            batch = pending[start : start + chunk]
-            for scenario, result in zip(batch, runner.run(batch)):
-                by_key[scenario.cache_key()] = result
-            done += len(batch)
-        if on_chunk is not None:
-            on_chunk(done, len(scenarios))
         return [by_key[s.cache_key()] for s in scenarios]
 
     def resume(

@@ -32,14 +32,30 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError, DesignError, StoreError
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
 from repro.scenario import Scenario
 from repro.system.result import SystemResult
+
+#: Store operation telemetry: counts and latency per primitive.  The
+#: ``hit`` label on ``get`` distinguishes a served row from a miss.
+_STORE_OPS = _obs_metrics().counter(
+    "repro_store_ops_total",
+    "Result-store operations by kind and outcome",
+    ("op", "outcome"),
+)
+_STORE_OP_SECONDS = _obs_metrics().histogram(
+    "repro_store_op_seconds",
+    "Result-store operation latency",
+    ("op",),
+)
 
 #: On-disk layout version, recorded in ``store_meta``; a store created by
 #: an incompatible future layout is refused instead of misread.  Purely
@@ -409,6 +425,7 @@ class ResultStore:
         """
         import repro
 
+        t0 = time.perf_counter() if _OBS.metrics_on else 0.0
         key = scenario.cache_key()
         now = _utc_now()
         conn = self._conn()
@@ -448,7 +465,11 @@ class ResultStore:
         except BaseException:
             conn.execute("ROLLBACK")
             raise
-        return cursor.rowcount == 1
+        inserted = cursor.rowcount == 1
+        if _OBS.metrics_on:
+            _STORE_OPS.inc(op="put", outcome="insert" if inserted else "dedup")
+            _STORE_OP_SECONDS.observe(time.perf_counter() - t0, op="put")
+        return inserted
 
     def put_raw(self, row: Tuple, source: str = "") -> bool:
         """Import one raw results row (a :data:`RESULT_COLUMNS` tuple).
@@ -517,10 +538,14 @@ class ResultStore:
 
     def get(self, scenario_or_key: Union[Scenario, str]) -> Optional[SystemResult]:
         """The stored result for a scenario (or raw key), or ``None``."""
+        t0 = time.perf_counter() if _OBS.metrics_on else 0.0
         key = self._key_of(scenario_or_key)
         row = self._conn().execute(
             "SELECT payload FROM results WHERE key=?", (key,)
         ).fetchone()
+        if _OBS.metrics_on:
+            _STORE_OPS.inc(op="get", outcome="hit" if row else "miss")
+            _STORE_OP_SECONDS.observe(time.perf_counter() - t0, op="get")
         if row is None:
             return None
         return SystemResult.from_payload(json.loads(row[0]))

@@ -28,7 +28,17 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import StoreError
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.store.db import ResultStore
+
+#: Store-merge telemetry: rows moved (or found identical) per merge.
+_MERGE_ROWS = _obs_metrics().counter(
+    "repro_store_merge_rows_total",
+    "Result rows handled by store merges, by outcome",
+    ("outcome",),
+)
 
 
 @dataclass(frozen=True)
@@ -82,15 +92,22 @@ def merge_stores(
     """
     source_label = _store_label(source)
     imported = identical = 0
-    for row in source.iter_raw():
-        if dest.put_raw(row, source=source_label):
-            imported += 1
-        else:
-            identical += 1
-    campaigns = studies = shared_campaigns = shared_studies = 0
-    if journals:
-        campaigns, shared_campaigns = _merge_campaigns(dest, source)
-        studies, shared_studies = _merge_studies(dest, source)
+    with span("store.merge", source=source_label, dest=_store_label(dest)) as sp:
+        for row in source.iter_raw():
+            if dest.put_raw(row, source=source_label):
+                imported += 1
+            else:
+                identical += 1
+        campaigns = studies = shared_campaigns = shared_studies = 0
+        if journals:
+            campaigns, shared_campaigns = _merge_campaigns(dest, source)
+            studies, shared_studies = _merge_studies(dest, source)
+        sp.annotate(imported=imported, identical=identical)
+        if _OBS.metrics_on:
+            if imported:
+                _MERGE_ROWS.inc(imported, outcome="imported")
+            if identical:
+                _MERGE_ROWS.inc(identical, outcome="identical")
     return MergeReport(
         source=source_label,
         dest=_store_label(dest),

@@ -38,9 +38,23 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError, StoreError
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
 from repro.scenario import Scenario
 from repro.store.db import ResultStore, StoredResult, StoreStats
 from repro.system.result import SystemResult
+
+#: Per-shard routing telemetry: one count per routed result operation,
+#: labelled with the shard index the key resolved to (balance check).
+_SHARD_ROUTE = _obs_metrics().counter(
+    "repro_store_shard_route_total",
+    "Result operations routed per shard",
+    ("shard",),
+)
+_SHARD_COUNT = _obs_metrics().gauge(
+    "repro_store_shards",
+    "Shard count of the most recently opened sharded store",
+)
 
 #: Shard count used when creating a sharded store without an explicit N.
 DEFAULT_SHARDS = 4
@@ -126,6 +140,8 @@ class ShardedResultStore(ResultStore):
             self._mark_shard(shard, index)
             self._shards.append(shard)
         self._mark_shard(self, 0)
+        if _OBS.metrics_on:
+            _SHARD_COUNT.set(self.n_shards)
 
     # -- layout bookkeeping ------------------------------------------------------
 
@@ -184,7 +200,10 @@ class ShardedResultStore(ResultStore):
         return [shard.path for shard in self._shards]
 
     def _shard_for(self, key: str) -> ResultStore:
-        return self._shards[shard_index(key, self.n_shards)]
+        index = shard_index(key, self.n_shards)
+        if _OBS.metrics_on:
+            _SHARD_ROUTE.inc(shard=str(index))
+        return self._shards[index]
 
     def _group_keys(self, keys: List[str]) -> Dict[int, List[str]]:
         grouped: Dict[int, List[str]] = {}

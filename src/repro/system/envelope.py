@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from typing import List, Optional
 
 from repro.control.commands import (
@@ -45,6 +46,9 @@ from repro.control.session import tuning_session
 from repro.digital.watchdog import WatchdogTimer
 from repro.errors import SimulationError
 from repro.node.radio import TransmissionLog
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.trace import TraceSet
 from repro.system.components import SystemParts, paper_system
@@ -56,6 +60,26 @@ from repro.system.vibration import VibrationProfile
 _V_EPS = 1e-7
 #: Relative time tolerance of the integrator.
 _T_EPS = 1e-9
+
+#: Simulation-run telemetry (shared series with the vectorized backend,
+#: which registers the same counter under ``backend="vectorized"``).
+_SIM_RUNS = _obs_metrics().counter(
+    "repro_sim_runs_total",
+    "Completed simulation runs per backend",
+    ("backend",),
+)
+_TUNING_SESSIONS = _obs_metrics().counter(
+    "repro_sim_tuning_sessions_total",
+    "Algorithm 1 tuning sessions executed",
+)
+_SESSION_SECONDS = _obs_metrics().histogram(
+    "repro_sim_session_seconds",
+    "Wall time per tuning session",
+)
+_POWER_EVALS = _obs_metrics().counter(
+    "repro_harvester_power_evals_total",
+    "Analytic charging-power evaluations served by the harvester",
+)
 
 
 class EnvelopeSimulator(ControllerBackend):
@@ -101,13 +125,22 @@ class EnvelopeSimulator(ControllerBackend):
         """Simulate until ``horizon`` seconds (sessions may finish late)."""
         if horizon <= 0.0:
             raise SimulationError("horizon must be positive")
-        while True:
-            t_wake = self.watchdog.next_wakeup(self.t)
-            if t_wake >= horizon:
-                self._integrate_until(horizon)
-                break
-            self._integrate_until(t_wake)
-            self._run_wakeup()
+        evals_before = self.micro.envelope.power_evals
+        with span("sim.envelope.run", horizon=horizon) as run_span:
+            while True:
+                t_wake = self.watchdog.next_wakeup(self.t)
+                if t_wake >= horizon:
+                    self._integrate_until(horizon)
+                    break
+                self._integrate_until(t_wake)
+                self._run_wakeup()
+            run_span.annotate(
+                sessions=len(self.tuning_events),
+                transmissions=self.log.count,
+            )
+        if _OBS.metrics_on:
+            _SIM_RUNS.inc(backend="envelope")
+            _POWER_EVALS.inc(self.micro.envelope.power_evals - evals_before)
         self.breakdown.final_stored = self.store.energy
         self.breakdown.clipped = self.store.clipped_energy
         return SystemResult(
@@ -125,11 +158,15 @@ class EnvelopeSimulator(ControllerBackend):
         """Execute one Algorithm 1 session at the current time."""
         t0 = self.t
         e0 = self.breakdown.consumed
+        wall0 = time.perf_counter() if _OBS.metrics_on else 0.0
         self._session_active = True
         try:
             result = run_session(tuning_session(self.parts.lut), self)
         finally:
             self._session_active = False
+        if _OBS.metrics_on:
+            _TUNING_SESSIONS.inc()
+            _SESSION_SECONDS.observe(time.perf_counter() - wall0)
         self.tuning_events.append(
             TuningEvent(
                 time=t0,

@@ -57,6 +57,9 @@ except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
 from repro.errors import ConfigError, SimulationError
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+from repro.obs.trace import span
 from repro.scenario import PartsSpec, Scenario
 from repro.system.components import (
     SystemParts,
@@ -70,6 +73,14 @@ from repro.system.result import SystemResult
 #: Environment variable that simulates a missing NumPy installation
 #: (set by the no-NumPy CI leg; see :func:`require_numpy`).
 DISABLE_ENV_VAR = "REPRO_DISABLE_NUMPY"
+
+#: Simulation-run telemetry shared with the scalar backend: one count
+#: per completed scenario, labelled by the backend that produced it.
+_SIM_RUNS = _obs_metrics().counter(
+    "repro_sim_runs_total",
+    "Completed simulation runs per backend",
+    ("backend",),
+)
 
 #: Same runaway-protection bound as the scalar integrator.  The scalar
 #: guard resets per ``_integrate_until`` call (one inter-event stretch);
@@ -603,7 +614,11 @@ def simulate_batch(scenarios: Sequence[Scenario]) -> List[SystemResult]:
             )
         )
     engine = VectorizedEnvelopeEngine(sims, [s.horizon for s in scenarios])
-    return engine.run()
+    with span("sim.vectorized.batch", n=len(scenarios)):
+        results = engine.run()
+    if _OBS.metrics_on:
+        _SIM_RUNS.inc(len(results), backend="vectorized")
+    return results
 
 
 def simulate(scenario: Scenario) -> SystemResult:

@@ -12,6 +12,7 @@ Two profiles are registered:
 import os
 from datetime import timedelta
 
+import pytest
 from hypothesis import settings
 
 settings.register_profile("dev", deadline=None)
@@ -22,3 +23,33 @@ settings.register_profile(
     print_blob=True,
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture
+def clean_obs():
+    """Run the test with telemetry off, restore prior state after.
+
+    Telemetry switches are process-global by design (so instrumented
+    code needs no plumbing); tests that flip them must not leak the
+    flip into their neighbours.
+    """
+    from repro.obs.state import STATE
+
+    saved = (STATE.metrics_on, STATE.sink_path)
+    saved_env = {
+        key: os.environ.get(key)
+        for key in ("REPRO_OBS_METRICS", "REPRO_OBS_EVENTS")
+    }
+    STATE.close_sink()
+    STATE.metrics_on = False
+    STATE.sink_path = None
+    try:
+        yield
+    finally:
+        STATE.close_sink()
+        STATE.metrics_on, STATE.sink_path = saved
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

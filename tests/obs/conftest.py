@@ -1,0 +1,3 @@
+"""Telemetry tests mutate process-global switches; the save/restore
+``clean_obs`` fixture lives in the repo-wide ``tests/conftest.py`` so
+the service tests can share it."""

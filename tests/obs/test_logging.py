@@ -1,0 +1,74 @@
+"""The shared logging configuration: formats, idempotence, context."""
+
+import io
+import json
+import logging
+
+from repro.obs.logging import (
+    JsonLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    get_logger,
+    log_context,
+)
+
+
+def _capture(json_lines):
+    stream = io.StringIO()
+    configure_logging(json_lines=json_lines, stream=stream)
+    return stream
+
+
+def test_json_lines_carry_structured_fields():
+    stream = _capture(json_lines=True)
+    get_logger("service.worker").info(
+        "claimed", extra=log_context(job="abc123", kind="campaign")
+    )
+    payload = json.loads(stream.getvalue())
+    assert payload["msg"] == "claimed"
+    assert payload["level"] == "info"
+    assert payload["logger"] == "repro.service.worker"
+    assert payload["job"] == "abc123"
+    assert payload["kind"] == "campaign"
+    assert isinstance(payload["ts"], float)
+
+
+def test_json_lines_include_exception_text():
+    stream = _capture(json_lines=True)
+    try:
+        raise RuntimeError("kaput")
+    except RuntimeError:
+        get_logger("x").exception("failed")
+    payload = json.loads(stream.getvalue())
+    assert "RuntimeError: kaput" in payload["exc"]
+
+
+def test_text_format_appends_context_pairs():
+    stream = _capture(json_lines=False)
+    get_logger("service.http").info(
+        "GET /v1/metrics", extra=log_context(status=200)
+    )
+    line = stream.getvalue().strip()
+    assert "repro.service.http: GET /v1/metrics" in line
+    assert "(status=200)" in line
+
+
+def test_configure_logging_replaces_instead_of_stacking():
+    configure_logging(stream=io.StringIO())
+    configure_logging(stream=io.StringIO())
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    assert root.propagate is False
+
+
+def test_get_logger_prefixes_bare_names():
+    assert get_logger("service.worker").name == "repro.service.worker"
+    assert get_logger("repro.core.batch").name == "repro.core.batch"
+
+
+def test_formatters_render_plain_records():
+    record = logging.LogRecord(
+        "repro.x", logging.WARNING, __file__, 1, "plain %s", ("msg",), None
+    )
+    assert json.loads(JsonLogFormatter().format(record))["msg"] == "plain msg"
+    assert "plain msg" in TextLogFormatter().format(record)

@@ -1,0 +1,101 @@
+"""Span tracing: context propagation, the sink file, the off switch."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ConfigError
+from repro.obs.state import STATE
+from repro.obs.trace import _NOOP_SPAN, current_trace_id, event, read_events, span
+
+
+@pytest.fixture
+def sink(clean_obs, tmp_path):
+    path = tmp_path / "events.jsonl"
+    obs.configure(metrics=False, events=str(path))
+    return path
+
+
+def test_span_is_a_shared_noop_while_telemetry_is_off(clean_obs):
+    assert span("anything", key=1) is _NOOP_SPAN
+    with span("anything") as sp:
+        assert sp.annotate(x=1) is sp
+        assert current_trace_id() is None
+    event("ignored")  # must not raise, must not open a sink
+
+
+def test_nested_spans_share_a_trace_and_chain_parents(sink):
+    with span("outer") as outer:
+        with span("inner"):
+            event("marker", n=1)
+    records = {(r["kind"], r["name"]): r for r in read_events(sink)}
+    outer_rec = records[("span", "outer")]
+    inner_rec = records[("span", "inner")]
+    marker = records[("event", "marker")]
+    assert outer_rec["parent"] is None
+    assert inner_rec["parent"] == outer_rec["span"]
+    assert marker["parent"] == inner_rec["span"]
+    assert (
+        outer_rec["trace"] == inner_rec["trace"] == marker["trace"]
+    )
+    assert inner_rec["dur_s"] >= 0.0
+    assert marker["attrs"] == {"n": 1}
+
+
+def test_sibling_spans_get_fresh_traces(sink):
+    with span("first"):
+        pass
+    with span("second"):
+        pass
+    traces = {r["trace"] for r in read_events(sink)}
+    assert len(traces) == 2
+
+
+def test_span_records_annotations_and_errors(sink):
+    with pytest.raises(ValueError):
+        with span("boom", stage="x") as sp:
+            sp.annotate(found=3)
+            raise ValueError("no")
+    (record,) = list(read_events(sink))
+    assert record["attrs"] == {"stage": "x", "found": 3}
+    assert record["error"] == "ValueError"
+
+
+def test_span_durations_feed_the_metrics_registry(sink):
+    STATE.metrics_on = True
+    with span("timed"):
+        pass
+    histogram = obs.metrics().histogram(
+        "repro_span_seconds", "", ("name",)
+    )
+    assert histogram.count(name="timed") >= 1
+
+
+def test_read_events_skips_torn_lines(sink):
+    event("good", i=1)
+    with open(sink, "a", encoding="utf-8") as fh:
+        fh.write('{"torn": tru')  # a killed writer's partial line
+    assert [r["name"] for r in read_events(sink)] == ["good"]
+
+
+def test_read_events_refuses_missing_files(tmp_path):
+    with pytest.raises(ConfigError, match="does not exist"):
+        list(read_events(tmp_path / "nope.jsonl"))
+
+
+def test_configure_events_empty_string_disables_the_sink(clean_obs, tmp_path):
+    obs.configure(events=str(tmp_path / "on.jsonl"))
+    assert STATE.sink_path is not None
+    obs.configure(events="")
+    assert STATE.sink_path is None
+    assert span("off") is _NOOP_SPAN
+
+
+def test_sink_lines_are_single_json_objects(sink):
+    event("one")
+    event("two")
+    lines = sink.read_text().strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        assert isinstance(json.loads(line), dict)

@@ -43,15 +43,15 @@ def _submit(db, manifest=None, **kwargs):
 def test_serve_once_drains_the_queue(db, capsys):
     job = _submit(db)
     assert main(["serve", "--store", db, "--once"]) == 0
-    out = capsys.readouterr().out
-    assert "processed 1 job(s)" in out
-    assert "done 1" in out
+    err = capsys.readouterr().err  # service lines flow through logging
+    assert "processed 1 job(s)" in err
+    assert "done 1" in err
     assert JobQueue(ResultStore(db)).get(job.id).status == "done"
 
 
 def test_serve_once_with_empty_queue(db, capsys):
     assert main(["serve", "--store", db, "--once"]) == 0
-    assert "processed 0 job(s)" in capsys.readouterr().out
+    assert "processed 0 job(s)" in capsys.readouterr().err
 
 
 def test_serve_once_requeues_orphans_first(db, capsys):
@@ -67,8 +67,7 @@ def test_serve_once_requeues_orphans_first(db, capsys):
     )
     conn.execute("COMMIT")
     assert main(["serve", "--store", db, "--once"]) == 0
-    out = capsys.readouterr().out
-    assert "requeued 1 orphaned job(s)" in out
+    assert "requeued 1 orphaned job(s)" in capsys.readouterr().err
     assert queue.get(job.id).status == "done"
 
 

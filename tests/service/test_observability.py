@@ -1,0 +1,277 @@
+"""Service telemetry: request counters, Prometheus exposition, caching.
+
+Three contracts live here.  Middleware refusals (401s, 429s) must be
+counted like any other response -- an operator diagnosing a credential
+or throttling problem reads them off ``/v1/metrics``.  The Prometheus
+exposition must be well-formed line format with ``# HELP``/``# TYPE``
+for every metric and monotone counters across scrapes.  And a scrape
+must not cost a full store scan: ``store.stats()`` is served from a
+TTL-bounded cache whose staleness the JSON view reports.
+"""
+
+import json
+import re
+from dataclasses import replace
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.report import summarize_events
+from repro.obs.trace import read_events
+from repro.service import JobQueue, ServiceApp, WorkerPool
+from repro.service.app import PROMETHEUS_CONTENT_TYPE
+from repro.service.http import Request
+from repro.store import ResultStore
+from repro.system.stochastic import named_family
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "obs.db")
+
+
+def _request(method, path, token=None, accept=None, query=None, client="tester"):
+    headers = {}
+    if token is not None:
+        headers["authorization"] = f"Bearer {token}"
+    if accept is not None:
+        headers["accept"] = accept
+    return Request(
+        method=method,
+        path=path,
+        query=query or {},
+        headers=headers,
+        body=b"",
+        client=client,
+    )
+
+
+def _manifest(n=1, seed=3, horizon=60.0):
+    family = replace(named_family("factory-floor"), horizon=horizon)
+    return family.manifest(n=n, seed=seed)
+
+
+# -- middleware refusals in the request counters -------------------------------
+
+
+def test_auth_and_rate_limit_refusals_count_in_metrics(clean_obs, store):
+    app = ServiceApp(
+        store,
+        tokens=("sesame", "scraper"),
+        rate=0.001,
+        burst=1,
+        telemetry=False,
+    )
+    assert app.dispatch(_request("GET", "/v1/jobs")).status == 401
+    assert app.dispatch(_request("GET", "/v1/jobs", token="sesame")).status == 200
+    # The bucket for "sesame" is empty now; the next call is throttled.
+    assert app.dispatch(_request("GET", "/v1/jobs", token="sesame")).status == 429
+
+    # Scrape with a different token: the limiter buckets per caller.
+    response = app.dispatch(_request("GET", "/v1/metrics", token="scraper"))
+    assert response.status == 200
+    requests = response.payload["requests"]
+    assert requests["by_status"]["401"] == 1
+    assert requests["by_status"]["200"] == 1
+    assert requests["by_status"]["429"] == 1
+    assert requests["rate_limited"] == 1
+    assert requests["total"] == 3
+
+
+def test_registry_mirrors_the_request_counters(clean_obs, store):
+    registry = obs.metrics()
+    registry.reset()
+    app = ServiceApp(store)  # telemetry=True is the service default
+    app.dispatch(_request("GET", "/v1/jobs"))
+    app.dispatch(_request("GET", "/v1/nope"))
+    http_requests = registry.counter(
+        "repro_http_requests_total", "", ("method", "status")
+    )
+    assert http_requests.value(method="GET", status="200") == 1
+    assert http_requests.value(method="GET", status="404") == 1
+    latency = registry.histogram(
+        "repro_http_request_seconds", "", ("method",)
+    )
+    assert latency.count(method="GET") == 2
+
+
+# -- Prometheus exposition -----------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"  # labels
+    r" (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$"  # value
+)
+
+
+def _check_exposition(text):
+    """Minimal line-format checker; returns {metric: {sample_line: value}}."""
+    helped, typed, samples = set(), set(), {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+            continue
+        assert _SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+        name = re.split(r"[{ ]", line)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        key = base if base in typed else name
+        samples.setdefault(key, {})[line.rsplit(" ", 1)[0]] = float(
+            line.rsplit(" ", 1)[1]
+        )
+    assert helped == typed, "every # TYPE needs a matching # HELP"
+    for metric in samples:
+        assert metric in typed, f"{metric} exposed without # HELP/# TYPE"
+    return samples
+
+
+def test_prometheus_content_negotiation(clean_obs, store):
+    app = ServiceApp(store)
+    prom = app.dispatch(
+        _request("GET", "/v1/metrics", query={"format": "prometheus"})
+    )
+    assert prom.status == 200
+    assert prom.content_type == PROMETHEUS_CONTENT_TYPE
+    assert isinstance(prom.payload, str)
+    assert prom.body_bytes().endswith(b"\n")
+
+    via_accept = app.dispatch(_request("GET", "/v1/metrics", accept="text/plain"))
+    assert via_accept.content_type == PROMETHEUS_CONTENT_TYPE
+
+    as_json = app.dispatch(_request("GET", "/v1/metrics", accept="application/json"))
+    assert as_json.content_type == "application/json"
+    assert "jobs" in as_json.payload
+    json.loads(as_json.body_bytes())  # still the plain JSON document
+
+    explicit_json = app.dispatch(
+        _request("GET", "/v1/metrics", query={"format": "json"})
+    )
+    assert explicit_json.content_type == "application/json"
+
+    bogus = app.dispatch(_request("GET", "/v1/metrics", query={"format": "xml"}))
+    assert bogus.status == 400
+    assert "unknown metrics format" in bogus.payload["error"]
+
+
+def test_prometheus_exposition_is_well_formed_and_monotone(clean_obs, store):
+    obs.metrics().reset()
+    app = ServiceApp(store)
+    scrape = lambda: app.dispatch(  # noqa: E731
+        _request("GET", "/v1/metrics", query={"format": "prometheus"})
+    ).payload
+
+    app.dispatch(_request("GET", "/v1/jobs"))  # seed the request series
+    first = _check_exposition(scrape())
+    app.dispatch(_request("GET", "/v1/jobs"))
+    app.dispatch(_request("GET", "/v1/jobs"))
+    second = _check_exposition(scrape())
+
+    # Counters never go backwards between scrapes.
+    for line, value in first["repro_http_requests_total"].items():
+        assert second["repro_http_requests_total"][line] >= value
+    total = lambda s: sum(s["repro_http_requests_total"].values())  # noqa: E731
+    assert total(second) > total(first)
+
+    # The scrape-time gauges made it into the exposition.
+    assert "repro_queue_jobs" in second
+    assert "repro_store_results" in second
+    # Histogram plumbing: +Inf bucket equals the series count.
+    latency = second["repro_http_request_seconds"]
+    inf = latency['repro_http_request_seconds_bucket{method="GET",le="+Inf"}']
+    count = latency['repro_http_request_seconds_count{method="GET"}']
+    assert inf == count > 0
+
+
+# -- the stats cache -----------------------------------------------------------
+
+
+def test_store_stats_scan_is_cached_between_scrapes(clean_obs, store, monkeypatch):
+    calls = []
+    real_stats = store.stats
+
+    def counted_stats():
+        calls.append(1)
+        return real_stats()
+
+    monkeypatch.setattr(store, "stats", counted_stats)
+    app = ServiceApp(store, stats_ttl=60.0, telemetry=False)
+    first = app.dispatch(_request("GET", "/v1/metrics")).payload
+    second = app.dispatch(_request("GET", "/v1/metrics")).payload
+    assert len(calls) == 1  # the second scrape was served from cache
+    assert second["store"]["stats_age_s"] >= first["store"]["stats_age_s"] >= 0.0
+
+
+def test_stats_ttl_zero_rescans_every_scrape(clean_obs, store, monkeypatch):
+    calls = []
+    real_stats = store.stats
+    monkeypatch.setattr(
+        store, "stats", lambda: (calls.append(1), real_stats())[1]
+    )
+    app = ServiceApp(store, stats_ttl=0.0, telemetry=False)
+    app.dispatch(_request("GET", "/v1/metrics"))
+    app.dispatch(_request("GET", "/v1/metrics"))
+    assert len(calls) == 2
+
+
+# -- the job lifecycle event chain ---------------------------------------------
+
+
+def test_claim_requeue_finish_event_chain(clean_obs, store, tmp_path):
+    log = tmp_path / "jobs.jsonl"
+    obs.configure(metrics=True, events=str(log))
+    registry = obs.metrics()
+    registry.reset()
+
+    queue = JobQueue(store)
+    job = queue.submit(_manifest())
+    first = queue.claim("w-1")
+    assert first is not None and first.id == job.id
+    queue.requeue(job.id, "w-1")  # a drain hands the claim back
+    again = queue.claim("w-2")
+    assert again is not None
+    queue.finish(job.id, "w-2")
+
+    names = [
+        (r["name"], r["attrs"].get("worker")) for r in read_events(log)
+    ]
+    assert names == [
+        ("job.submit", None),
+        ("job.claim", "w-1"),
+        ("job.requeue", "w-1"),
+        ("job.claim", "w-2"),
+        ("job.finish", "w-2"),
+    ]
+    assert registry.counter(
+        "repro_jobs_claimed_total", ""
+    ).value() == 2
+    assert registry.counter(
+        "repro_jobs_requeued_total", "", ("reason",)
+    ).value(reason="drain") == 1
+    assert registry.counter(
+        "repro_jobs_finished_total", "", ("status",)
+    ).value(status="done") == 1
+
+
+def test_executed_job_exports_tier_counters_and_spans(clean_obs, store, tmp_path):
+    log = tmp_path / "exec.jsonl"
+    obs.configure(metrics=True, events=str(log))
+    obs.metrics().reset()
+
+    app = ServiceApp(store, telemetry=False)
+    queue = app.queue
+    queue.submit(_manifest(n=2, seed=7))
+    assert WorkerPool(store, workers=1, poll_interval=0.05).run_once() == 1
+
+    text = app.dispatch(
+        _request("GET", "/v1/metrics", query={"format": "prometheus"})
+    ).payload
+    assert 'repro_batch_tier_total{tier="simulate"} 2' in text
+    assert 'repro_jobs_finished_total{status="done"} 1' in text
+    assert "repro_sim_runs_total" in text
+
+    summary = summarize_events(log)
+    assert summary.span_stats["job.execute"].count == 1
+    assert summary.span_stats["batch.run"].count >= 1
