@@ -49,12 +49,19 @@ lazily (``import repro`` stays cheap)::
     queue = repro.JobQueue(store)
     job = queue.submit(family.manifest(n=40, seed=0))
     repro.WorkerPool(store, workers=4).run_once()
+
+    # Distributed campaigns: fan partitions out to remote serve
+    # processes, stream-merging results back as partitions finish
+    # (``repro-wsn coord run``).
+    coord = repro.Coordinator(store, family.manifest(n=40, seed=0),
+                              ["http://worker-a:8080", "http://worker-b:8080"])
+    coord.run()                          # kill it; resume() re-fetches nothing merged
 """
 
 import importlib
 from typing import List
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Public name -> defining module.  Resolved on first attribute access so
 #: ``import repro`` pulls in nothing beyond this file.
@@ -150,7 +157,17 @@ _EXPORTS = {
     "JobCancelled": "repro.service",
     "WorkerPool": "repro.service",
     "ServiceApp": "repro.service",
+    "ServiceClient": "repro.service",
+    "ServiceError": "repro.service",
     "ServiceServer": "repro.service",
+    "ServiceUnavailable": "repro.service",
+    # distributed campaign coordination (repro.coord)
+    "Coordinator": "repro.coord",
+    "CoordStatus": "repro.coord",
+    "CoordJournal": "repro.coord",
+    "PartitionState": "repro.coord",
+    "coord_names": "repro.coord",
+    "coord_status": "repro.coord",
     # observability (repro.obs)
     "MetricsRegistry": "repro.obs",
     "MetricsSnapshot": "repro.obs",
@@ -165,6 +182,7 @@ _EXPORTS = {
     # errors
     "ReproError": "repro.errors",
     "ConfigError": "repro.errors",
+    "CoordinationError": "repro.errors",
     "DesignError": "repro.errors",
     "SimulationError": "repro.errors",
     "StoreError": "repro.errors",

@@ -36,6 +36,14 @@ module run (``python -m repro.cli ...``).  Subcommands:
   ``--log-json`` switches service logs to JSON lines, ``--events PATH``
   records telemetry spans, and ``/v1/metrics?format=prometheus``
   exports the registry (:mod:`repro.obs`).
+- ``coord``         -- the distributed campaign coordinator
+  (:mod:`repro.coord`): ``run MANIFEST --workers URL,URL`` fans the
+  campaign's partitions out to remote ``serve`` processes, journals
+  partition state durably in the local store, retries lost partitions
+  on healthy workers and stream-merges results back as partitions
+  finish; ``status`` reads the journal (and local row counts) with no
+  workers needed.  ``--resume`` continues a killed run with zero
+  re-fetch of merged partitions.
 - ``obs``           -- inspect telemetry event logs: ``summary LOG``
   aggregates spans/events by name, ``tail LOG [-n N]`` shows the last
   records.
@@ -379,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="import result rows only (skip campaign/study journals)",
     )
+    sto_mrg.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be imported (rows, collisions, journal "
+        "conflicts) without writing anything",
+    )
 
     sto_syn = sto_sub.add_parser(
         "sync", help="merge two stores both ways so they converge"
@@ -389,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-journals",
         action="store_true",
         help="sync result rows only (skip campaign/study journals)",
+    )
+    sto_syn.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report both directions without writing anything",
     )
 
     sto_exp = sto_sub.add_parser("export", help="export rows as JSON or CSV")
@@ -570,6 +589,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds /v1/metrics may serve cached store stats "
         "(0 rescans every scrape)",
+    )
+
+    crd = sub.add_parser(
+        "coord", help="coordinate a campaign across remote serve workers"
+    )
+    crd_sub = crd.add_subparsers(dest="coord_command", required=True)
+
+    crd_run = crd_sub.add_parser(
+        "run", help="fan a manifest's partitions out to HTTP workers"
+    )
+    crd_run.add_argument(
+        "manifest", type=str, help="gen-scenarios manifest JSON"
+    )
+    crd_run.add_argument(
+        "--workers",
+        type=str,
+        required=True,
+        metavar="URL[,URL...]",
+        help="comma-separated worker base URLs (repro-wsn serve processes)",
+    )
+    crd_run.add_argument(
+        "--store",
+        type=str,
+        required=True,
+        metavar="DB",
+        help="local canonical store: journals + stream-merged results",
+    )
+    crd_run.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="campaign name (default: FAMILY-nN-sSEED from the manifest)",
+    )
+    crd_run.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slice count (default: min(workers, scenarios))",
+    )
+    crd_run.add_argument(
+        "--token", type=str, default=None, help="bearer token for the workers"
+    )
+    crd_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="explicitly continue a journaled run (also implied when the "
+        "journal already matches this manifest)",
+    )
+    crd_run.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        help="seconds between coordinator passes (default: 0.5)",
+    )
+    crd_run.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        help="declare a partition lost after this many seconds without "
+        "progress (default: 60)",
+    )
+    crd_run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="submission budget per partition (default: 3)",
+    )
+    crd_run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up (CoordinationError) after this many seconds "
+        "(default: wait for workers to come back)",
+    )
+
+    crd_st = crd_sub.add_parser("status", help="coordinated-campaign progress")
+    crd_st.add_argument(
+        "name",
+        type=str,
+        nargs="?",
+        default=None,
+        help="coordinated campaign name (omit to list every run)",
+    )
+    crd_st.add_argument(
+        "--store", type=str, required=True, metavar="DB", help="result store file"
     )
 
     ob = sub.add_parser(
@@ -1015,7 +1121,12 @@ def _cmd_store(args) -> int:
         dest = _open_store(args.dest)
         for source_path in args.sources:
             source = _open_store(source_path)
-            report = merge_stores(dest, source, journals=not args.no_journals)
+            report = merge_stores(
+                dest,
+                source,
+                journals=not args.no_journals,
+                dry_run=args.dry_run,
+            )
             print(report.summary())
         return 0
     if args.store_command == "sync":
@@ -1025,6 +1136,7 @@ def _cmd_store(args) -> int:
             _open_store(args.a),
             _open_store(args.b),
             journals=not args.no_journals,
+            dry_run=args.dry_run,
         )
         for report in reports:
             print(report.summary())
@@ -1181,14 +1293,19 @@ def _cmd_campaign(args) -> int:
         print(f"total transmissions: {sum(r.transmissions for r in results)}")
         return 0
     if args.campaign_command == "status":
+        from repro.store import group_campaign_statuses
+
         if args.name is not None:
             print(Campaign(store, args.name).status().summary())
         else:
             statuses = campaign_statuses(store)
             if not statuses:
                 print("no campaigns in this store")
-            for status in statuses:
-                print(status.summary())
+            # NAME@pIofN partition journals fold under their parent
+            # with an I/N-complete summary instead of flooding the list.
+            for group in group_campaign_statuses(statuses):
+                for line in group.summary_lines():
+                    print(line)
         _print_job_counts(store)
         return 0
     raise AssertionError(f"unhandled campaign command {args.campaign_command!r}")
@@ -1291,6 +1408,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_coord(args) -> int:
+    from repro.coord import Coordinator, coord_names, coord_status
+
+    store = _open_store(args.store)
+    if args.coord_command == "status":
+        if args.name is not None:
+            print(coord_status(store, args.name).summary())
+            return 0
+        names = coord_names(store)
+        if not names:
+            print("no coordinated campaigns in this store")
+        for name in names:
+            print(coord_status(store, name).summary())
+        return 0
+    if args.coord_command == "run":
+        import json
+        from pathlib import Path
+
+        from repro.errors import DesignError
+
+        try:
+            payload = json.loads(Path(args.manifest).read_text())
+        except json.JSONDecodeError as exc:
+            raise DesignError(f"manifest is not valid JSON: {exc}") from exc
+        workers = [u.strip() for u in args.workers.split(",") if u.strip()]
+        options = {}
+        if args.poll is not None:
+            options["poll_interval_s"] = args.poll
+        if args.stall_timeout is not None:
+            options["stall_timeout_s"] = args.stall_timeout
+        if args.max_attempts is not None:
+            options["max_attempts"] = args.max_attempts
+        coordinator = Coordinator(
+            store,
+            payload,
+            workers,
+            name=args.name,
+            partitions=args.partitions,
+            token=args.token,
+            deadline_s=args.deadline,
+            **options,
+        )
+        if args.resume and not coordinator._resumed:
+            print(f"note: no prior journal for {coordinator.name!r}; starting fresh")
+        verb = "resuming" if coordinator._resumed else "starting"
+        print(
+            f"{verb} {coordinator.name!r}: {coordinator.partitions} "
+            f"partition(s) over {len(workers)} worker(s)"
+        )
+        status = coordinator.run()
+        print(status.summary())
+        return 0
+    raise AssertionError(f"unhandled coord command {args.coord_command!r}")
+
+
 def _cmd_obs(args) -> int:
     from repro.obs.report import format_event_line, summarize_events, tail_events
 
@@ -1367,6 +1539,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "coord": _cmd_coord,
     "obs": _cmd_obs,
 }
 

@@ -65,6 +65,17 @@ class ConfigError(ReproError):
     """Raised for invalid system configurations (out-of-range parameters)."""
 
 
+class CoordinationError(ReproError):
+    """Raised when a distributed campaign cannot be driven to completion.
+
+    Typical causes: a partition exhausted its retry budget on failing
+    or vanishing workers, or the coordinator's deadline passed with
+    partitions still unmerged.  Everything already stream-merged into
+    the coordinator's store stays durable; a later ``resume()`` picks
+    up from the journal.
+    """
+
+
 class StoreError(ReproError):
     """Raised for result-store integrity violations.
 

@@ -43,6 +43,11 @@ In-process (tests, embedding)::
 """
 
 from repro.service.app import ServiceApp
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.service.http import (
     RateLimiter,
     Request,
@@ -70,7 +75,10 @@ __all__ = [
     "Request",
     "Response",
     "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
     "ServiceServer",
+    "ServiceUnavailable",
     "TokenAuth",
     "WorkerPool",
     "execute_job",

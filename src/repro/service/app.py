@@ -8,9 +8,10 @@
 Method Path                         Meaning
 ====== ============================ ==========================================
 POST   ``/v1/jobs``                 submit a scenario / manifest / study spec
-GET    ``/v1/jobs``                 list jobs (``?status=`` / ``?limit=``)
+GET    ``/v1/jobs``                 list jobs (``status/kind/limit/offset``)
 GET    ``/v1/jobs/{id}``            claim state + progress from the store
-GET    ``/v1/jobs/{id}/results``    canonical payload page (``offset/limit``)
+GET    ``/v1/jobs/{id}/results``    canonical payload page (``offset/limit``;
+                                    ``raw=1`` serves full store rows)
 DELETE ``/v1/jobs/{id}``            cancel (409 once terminal)
 GET    ``/v1/healthz``              cheap liveness probe (never auth-gated)
 GET    ``/v1/metrics``              queue depths, workers, store, requests
@@ -275,11 +276,20 @@ class ServiceApp:
 
     def _list_jobs(self, request: Request) -> Response:
         status = request.query.get("status")
+        kind = request.query.get("kind")
         limit = self._int_param(request, "limit", default=100, minimum=1)
-        jobs = self.queue.jobs(status=status, limit=limit)
+        offset = self._int_param(request, "offset", default=0, minimum=0)
+        jobs = self.queue.jobs(
+            status=status, kind=kind, limit=limit, offset=offset
+        )
         return Response(
             200,
-            {"count": len(jobs), "jobs": [job.to_payload() for job in jobs]},
+            {
+                "count": len(jobs),
+                "total": self.queue.count(status=status, kind=kind),
+                "offset": offset,
+                "jobs": [job.to_payload() for job in jobs],
+            },
         )
 
     def _job_status(self, job_id: str) -> Response:
@@ -294,8 +304,9 @@ class ServiceApp:
         offset = self._int_param(request, "offset", default=0, minimum=0)
         limit = self._int_param(request, "limit", default=100, minimum=1)
         limit = min(limit, MAX_PAGE_LIMIT)
+        raw = request.query.get("raw", "") not in ("", "0", "false")
         count, entries = self.queue.result_entries(
-            job, offset=offset, limit=limit
+            job, offset=offset, limit=limit, raw=raw
         )
         return Response(
             200,
@@ -305,6 +316,7 @@ class ServiceApp:
                 "count": count,
                 "offset": offset,
                 "limit": limit,
+                "raw": raw,
                 "results": entries,
             },
             canonical=True,  # embedded payloads keep their stored bytes

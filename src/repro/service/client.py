@@ -1,0 +1,350 @@
+"""Zero-dependency HTTP client for the simulation service.
+
+:class:`ServiceClient` speaks the ``/v1`` JSON API of one
+``repro-wsn serve`` process using nothing but :mod:`urllib` -- the same
+stdlib-only constraint as the rest of the library.  It is the network
+face the distributed coordinator (:mod:`repro.coord`) builds on, so the
+transport policy lives here, once:
+
+- every request carries a **timeout** (a hung worker must not hang the
+  coordinator);
+- connection errors and 5xx responses retry with **capped exponential
+  backoff** (an overloaded or restarting worker gets a few chances
+  before the caller has to care);
+- a 429 honours the server's ``Retry-After`` header instead of the
+  backoff schedule (the rate limiter already computed when a token
+  frees up);
+- any other 4xx raises :class:`ServiceError` immediately -- client
+  mistakes do not retry.
+
+Exhausted retries raise :class:`ServiceUnavailable`, the signal the
+coordinator's per-worker circuit breaker consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from urllib import error as _urlerror
+from urllib import parse as _urlparse
+from urllib import request as _urlrequest
+
+from repro.errors import ConfigError, ReproError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import metrics as _obs_metrics
+from repro.obs.state import STATE as _OBS
+
+#: Per-request socket timeout (connect + read), seconds.
+DEFAULT_TIMEOUT_S = 10.0
+
+#: Retries after the first attempt for retryable failures.
+DEFAULT_RETRIES = 3
+
+#: First backoff delay; doubles per retry up to the cap.
+DEFAULT_BACKOFF_S = 0.25
+DEFAULT_MAX_BACKOFF_S = 4.0
+
+#: A server-sent ``Retry-After`` is honoured only up to this long.
+MAX_RETRY_AFTER_S = 30.0
+
+_LOG = get_logger("repro.service.client")
+
+_CLIENT_RETRIES = _obs_metrics().counter(
+    "repro_client_retries_total",
+    "Service-client request retries, by reason",
+    ("reason",),
+)
+
+
+class ServiceError(ReproError):
+    """An error response (4xx/5xx) from the simulation service.
+
+    ``status`` is the HTTP status code (0 when the failure never got an
+    HTTP response at all).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class ServiceUnavailable(ServiceError):
+    """The service stayed unreachable through every retry.
+
+    Raised for connection failures, timeouts and persistent 5xx -- the
+    cases that mean "this worker, right now, cannot serve", which is
+    exactly what a coordinator's circuit breaker wants to count.
+    """
+
+
+def _retry_after_seconds(headers) -> Optional[float]:
+    """The ``Retry-After`` delay a response asks for, if parseable."""
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return min(max(float(raw), 0.0), MAX_RETRY_AFTER_S)
+    except ValueError:
+        return None
+
+
+class ServiceClient:
+    """One worker endpoint, with timeouts, retries and backoff built in.
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``http://127.0.0.1:8080`` (anything
+        ``repro-wsn serve`` printed).  A trailing slash is fine.
+    token:
+        Bearer token presented on every request (``--token`` services).
+    timeout_s:
+        Socket timeout per request.
+    retries:
+        How many times a retryable failure (connection error, timeout,
+        5xx, 429) is retried before :class:`ServiceUnavailable`.
+        ``0`` fails fast -- what the coordinator uses, since it owns
+        failure handling at the partition level.
+    backoff_s / max_backoff_s:
+        Exponential backoff schedule between retries
+        (``backoff_s * 2**attempt``, capped).
+    sleep:
+        Injection point for the tests; defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        max_backoff_s: float = DEFAULT_MAX_BACKOFF_S,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        base = str(base_url).strip()
+        if not base.startswith(("http://", "https://")):
+            raise ConfigError(
+                f"worker base URL must start with http:// or https://, "
+                f"got {base_url!r}"
+            )
+        if retries < 0:
+            raise ConfigError("client retries must be >= 0")
+        if timeout_s <= 0:
+            raise ConfigError("client timeout must be positive")
+        self.base_url = base.rstrip("/")
+        self.token = token
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self._sleep = sleep
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.base_url!r})"
+
+    # -- transport ---------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        query: Optional[Dict[str, object]] = None,
+    ) -> dict:
+        """One API call with the full retry/backoff/Retry-After policy.
+
+        Returns the parsed JSON document of a 2xx response.  Raises
+        :class:`ServiceError` for non-retryable error responses and
+        :class:`ServiceUnavailable` when every attempt failed
+        retryably.
+        """
+        url = self.base_url + path
+        if query:
+            pairs = [(k, v) for k, v in query.items() if v is not None]
+            if pairs:
+                url += "?" + _urlparse.urlencode(pairs)
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        last_error = "no attempt made"
+        last_status = 0
+        for attempt in range(self.retries + 1):
+            if attempt:
+                if _OBS.metrics_on:
+                    _CLIENT_RETRIES.inc(
+                        reason="http" if last_status else "connection"
+                    )
+                _LOG.debug(
+                    "retrying %s %s (attempt %d/%d): %s",
+                    method, url, attempt + 1, self.retries + 1, last_error,
+                )
+            wait: Optional[float] = None
+            try:
+                req = _urlrequest.Request(
+                    url, data=body, headers=headers, method=method
+                )
+                with _urlrequest.urlopen(req, timeout=self.timeout_s) as resp:
+                    return self._decode(resp.read())
+            except _urlerror.HTTPError as exc:
+                detail = b""
+                try:
+                    detail = exc.read()
+                except OSError:
+                    pass
+                message = self._error_message(detail, exc.code, url)
+                if exc.code == 429:
+                    wait = _retry_after_seconds(exc.headers)
+                elif exc.code < 500:
+                    raise ServiceError(message, status=exc.code) from exc
+                last_error, last_status = message, exc.code
+            except OSError as exc:  # URLError, timeouts, refused connects
+                reason = getattr(exc, "reason", exc)
+                last_error = f"cannot reach {url}: {reason}"
+                last_status = 0
+            if attempt < self.retries:
+                if wait is None:
+                    wait = min(
+                        self.backoff_s * (2.0 ** attempt), self.max_backoff_s
+                    )
+                if wait > 0:
+                    self._sleep(wait)
+        raise ServiceUnavailable(
+            f"{method} {url} failed after {self.retries + 1} attempt(s): "
+            f"{last_error}",
+            status=last_status,
+        )
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict:
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(
+                f"service returned a non-JSON response: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _error_message(detail: bytes, status: int, url: str) -> str:
+        try:
+            doc = json.loads(detail.decode("utf-8"))
+            message = doc.get("error") or detail.decode("utf-8")
+        except (UnicodeDecodeError, ValueError, AttributeError):
+            message = detail.decode("utf-8", "replace") or "no detail"
+        return f"{url} answered HTTP {status}: {message}"
+
+    # -- API surface -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self.request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /v1/metrics`` (JSON form)."""
+        return self.request("GET", "/v1/metrics", query={"format": "json"})
+
+    def submit(
+        self,
+        payload: dict,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        priority: int = 0,
+        partition: Optional[Tuple[int, int]] = None,
+    ) -> dict:
+        """``POST /v1/jobs``: enqueue one job, returning its document.
+
+        ``partition=(index, of)`` uses the envelope sugar to run only
+        the ``index``-th of ``of`` slices of a campaign manifest.
+        """
+        body: Dict[str, object] = {"payload": payload}
+        if kind is not None:
+            body["kind"] = kind
+        if name is not None:
+            body["name"] = name
+        if priority:
+            body["priority"] = int(priority)
+        if partition is not None:
+            index, of = partition
+            body["partition"] = int(index)
+            body["partitions"] = int(of)
+        return self.request("POST", "/v1/jobs", payload=body)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}``: claim state plus store-derived progress."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(
+        self,
+        status: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> dict:
+        """``GET /v1/jobs`` with the filter/pagination parameters."""
+        return self.request(
+            "GET",
+            "/v1/jobs",
+            query={
+                "status": status,
+                "kind": kind,
+                "limit": limit,
+                "offset": offset,
+            },
+        )
+
+    def find_job(
+        self, name: str, kind: Optional[str] = None, page_size: int = 100
+    ) -> Optional[dict]:
+        """The newest job named ``name``, or ``None``.
+
+        Pages through the (newest-first) listing, so a resumed
+        coordinator can rediscover the job it submitted before dying
+        instead of submitting a duplicate.
+        """
+        offset = 0
+        while True:
+            page = self.jobs(kind=kind, limit=page_size, offset=offset)
+            for doc in page.get("jobs", []):
+                if doc.get("name") == name:
+                    return doc
+            offset += len(page.get("jobs", []))
+            if offset >= int(page.get("total", 0)) or not page.get("jobs"):
+                return None
+
+    def results(
+        self,
+        job_id: str,
+        offset: int = 0,
+        limit: int = 100,
+        raw: bool = False,
+    ) -> dict:
+        """``GET /v1/jobs/{id}/results``: one page of result entries."""
+        query: Dict[str, object] = {"offset": offset, "limit": limit}
+        if raw:
+            query["raw"] = 1
+        return self.request("GET", f"/v1/jobs/{job_id}/results", query=query)
+
+    def iter_results(
+        self, job_id: str, page_size: int = 200, raw: bool = False
+    ) -> Iterator[dict]:
+        """Stream every result entry of a job, page by page."""
+        offset = 0
+        while True:
+            page = self.results(
+                job_id, offset=offset, limit=page_size, raw=raw
+            )
+            entries: List[dict] = page.get("results", [])
+            for entry in entries:
+                yield entry
+            offset += len(entries)
+            if offset >= int(page.get("count", 0)) or not entries:
+                return
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/{id}``: cancel a queued or running job."""
+        return self.request("DELETE", f"/v1/jobs/{job_id}")

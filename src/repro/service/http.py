@@ -31,7 +31,11 @@ from repro.store.db import canonical_json
 
 #: Requests with bodies beyond this many bytes are refused (HTTP 400,
 #: per the service's "bad submissions are 400s, never 500s" contract).
-MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Sized for campaign manifests: a stochastic family embeds its drawn
+#: vibration schedule per scenario, so a 256-scenario manifest at a
+#: multi-hour horizon runs to several MB.  The refusal happens on the
+#: Content-Length header alone, before reading the body.
+MAX_BODY_BYTES = 16 * 1024 * 1024
 
 _LOG = get_logger("repro.service.http")
 

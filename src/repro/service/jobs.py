@@ -37,6 +37,7 @@ import json
 import uuid
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from functools import cached_property
 from time import time as _wall_clock
 from typing import Dict, List, Optional, Tuple
 
@@ -93,12 +94,19 @@ def _new_job_id() -> str:
 
 @dataclass(frozen=True)
 class Job:
-    """One decoded job row."""
+    """One decoded job row.
+
+    The payload column stays as stored JSON text until something
+    actually reads :attr:`payload`: a status poll on a campaign job
+    carries the whole manifest in that column, and decoding it on
+    every ``GET /v1/jobs/{id}`` would make polling cost scale with
+    manifest size instead of O(1).
+    """
 
     id: str
     kind: str
     name: str
-    payload: dict
+    payload_text: str
     status: str
     priority: int
     owner: str
@@ -111,6 +119,11 @@ class Job:
     started_unix: Optional[float]
     finished_unix: Optional[float]
     heartbeat_unix: Optional[float]
+
+    @cached_property
+    def payload(self) -> dict:
+        """The decoded payload (parsed once, on first access)."""
+        return json.loads(self.payload_text)
 
     @property
     def terminal(self) -> bool:
@@ -330,7 +343,7 @@ class JobQueue:
             id=row[0],
             kind=row[1],
             name=row[2],
-            payload=json.loads(row[3]),
+            payload_text=row[3],
             status=row[4],
             priority=int(row[5]),
             owner=row[6],
@@ -354,28 +367,67 @@ class JobQueue:
             raise ConfigError(f"unknown job {job_id!r} in {self.store.path}")
         return self._row_job(row)
 
-    def jobs(
-        self, status: Optional[str] = None, limit: Optional[int] = None
-    ) -> List[Job]:
-        """Job rows, newest submission first, optionally by status."""
+    @staticmethod
+    def _job_filters(
+        status: Optional[str], kind: Optional[str]
+    ) -> Tuple[str, List[object]]:
+        """Validated ``WHERE`` clause + params for job listings."""
         if status is not None and status not in JOB_STATUSES:
             raise ConfigError(
                 f"unknown job status {status!r} "
                 f"(known: {', '.join(JOB_STATUSES)})"
             )
-        sql = f"SELECT {self._COLUMNS} FROM jobs"
+        if kind is not None and kind not in JOB_KINDS:
+            raise ConfigError(
+                f"unknown job kind {kind!r} (known: {', '.join(JOB_KINDS)})"
+            )
+        clauses: List[str] = []
         params: List[object] = []
         if status is not None:
-            sql += " WHERE status=?"
+            clauses.append("status=?")
             params.append(status)
+        if kind is not None:
+            clauses.append("kind=?")
+            params.append(kind)
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", params
+
+    def jobs(
+        self,
+        status: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Job]:
+        """Job rows, newest submission first, filtered and paginated.
+
+        ``status``/``kind`` filter (AND-combined), ``limit``/``offset``
+        page through the filtered listing -- what a coordinator polling
+        a busy queue needs instead of the whole table.
+        """
+        if offset < 0:
+            raise ConfigError("job listing offset must be >= 0")
+        where, params = self._job_filters(status, kind)
+        sql = f"SELECT {self._COLUMNS} FROM jobs{where}"
         sql += " ORDER BY submitted_unix DESC, id"
-        if limit is not None:
-            sql += " LIMIT ?"
-            params.append(int(limit))
+        if limit is not None or offset:
+            # SQLite's OFFSET requires a LIMIT; -1 means "unbounded".
+            sql += " LIMIT ? OFFSET ?"
+            params.extend([-1 if limit is None else int(limit), int(offset)])
         return [
             self._row_job(row)
             for row in self.store._conn().execute(sql, params)
         ]
+
+    def count(
+        self, status: Optional[str] = None, kind: Optional[str] = None
+    ) -> int:
+        """How many jobs match the given filters (ignoring pagination)."""
+        where, params = self._job_filters(status, kind)
+        return int(
+            self.store._conn().execute(
+                f"SELECT COUNT(*) FROM jobs{where}", params
+            ).fetchone()[0]
+        )
 
     def counts(self) -> Dict[str, int]:
         """Jobs by status (every status present, zero included)."""
@@ -584,7 +636,7 @@ class JobQueue:
         ]
 
     def result_entries(
-        self, job: Job, offset: int = 0, limit: int = 100
+        self, job: Job, offset: int = 0, limit: int = 100, raw: bool = False
     ) -> Tuple[int, List[dict]]:
         """One page of the job's canonical result payloads.
 
@@ -594,6 +646,13 @@ class JobQueue:
         pending).  Serialising an entry back with
         :func:`~repro.store.db.canonical_json` reproduces the stored
         row's exact bytes -- the byte-identity contract the tests pin.
+
+        ``raw=True`` swaps the payload for the full
+        :data:`~repro.store.db.RESULT_COLUMNS` row (``"row"``, a list;
+        again ``None`` while pending): the exact canonical bytes *and*
+        provenance columns, so a remote coordinator can feed pages
+        straight into :meth:`~repro.store.db.ResultStore.put_raw` and
+        an HTTP-fetched merge is byte-identical to a file-level one.
         """
         if offset < 0 or limit < 1:
             raise ConfigError("results page needs offset >= 0 and limit >= 1")
@@ -616,13 +675,16 @@ class JobQueue:
             ]
         entries = []
         for index in range(offset, min(offset + limit, len(keys))):
-            text = self.store.get_payload_text(keys[index])
-            entries.append(
-                {
-                    "index": index,
-                    "name": names[index],
-                    "key": keys[index],
-                    "result": None if text is None else json.loads(text),
-                }
-            )
+            entry = {
+                "index": index,
+                "name": names[index],
+                "key": keys[index],
+            }
+            if raw:
+                stored = self.store.get_raw(keys[index])
+                entry["row"] = None if stored is None else list(stored)
+            else:
+                text = self.store.get_payload_text(keys[index])
+                entry["result"] = None if text is None else json.loads(text)
+            entries.append(entry)
         return len(keys), entries

@@ -50,15 +50,23 @@ from repro.store.db import (
 )
 from repro.store.campaign import (
     Campaign,
+    CampaignGroup,
     CampaignPartition,
     CampaignStatus,
     campaign_names,
     campaign_statuses,
+    group_campaign_statuses,
     partition_name,
     partition_scenarios,
     partition_slices,
+    split_partition_name,
 )
-from repro.store.merge import MergeReport, merge_stores, sync_stores
+from repro.store.merge import (
+    MergeReport,
+    import_raw_rows,
+    merge_stores,
+    sync_stores,
+)
 from repro.store.shard import (
     DEFAULT_SHARDS,
     ShardedResultStore,
@@ -77,11 +85,14 @@ __all__ = [
     "StoredStudy",
     "StoreStats",
     "Campaign",
+    "CampaignGroup",
     "CampaignPartition",
     "CampaignStatus",
     "campaign_names",
     "campaign_statuses",
     "canonical_json",
+    "group_campaign_statuses",
+    "import_raw_rows",
     "merge_stores",
     "open_store",
     "partition_name",
@@ -89,5 +100,6 @@ __all__ = [
     "partition_slices",
     "scenario_family",
     "shard_index",
+    "split_partition_name",
     "sync_stores",
 ]

@@ -39,6 +39,7 @@ because completion stays derived from the results tables.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
@@ -472,6 +473,26 @@ def partition_name(campaign: str, index: int, of: int) -> str:
     return f"{campaign}@p{index}of{of}"
 
 
+_PARTITION_NAME = re.compile(r"^(?P<campaign>.+)@p(?P<index>\d+)of(?P<of>\d+)$")
+
+
+def split_partition_name(name: str) -> Optional[Tuple[str, int, int]]:
+    """Invert :func:`partition_name`: ``(campaign, index, of)`` or ``None``.
+
+    ``None`` means ``name`` is an ordinary campaign, not a partition
+    sub-campaign -- the status listing uses this to group partitions
+    under their parent instead of showing them as unrelated campaigns.
+    """
+    match = _PARTITION_NAME.match(name)
+    if match is None:
+        return None
+    return (
+        match.group("campaign"),
+        int(match.group("index")),
+        int(match.group("of")),
+    )
+
+
 @dataclass(frozen=True)
 class CampaignPartition:
     """One disjoint slice of a campaign, runnable against any store.
@@ -544,3 +565,76 @@ def campaign_names(store: ResultStore) -> List[str]:
 def campaign_statuses(store: ResultStore) -> List[CampaignStatus]:
     """Progress snapshots for every campaign in ``store``."""
     return [Campaign(store, name).status() for name in campaign_names(store)]
+
+
+@dataclass(frozen=True)
+class CampaignGroup:
+    """One campaign with its partition sub-campaigns folded underneath.
+
+    ``status`` is the parent campaign's own snapshot when the store
+    journals it (a coordinator or ``run_partitioned`` store does; a
+    worker's scratch store holding only partitions does not).
+    ``partitions`` are the ``NAME@pIofN`` sub-campaigns in index order
+    and ``of`` is their declared partition count.
+    """
+
+    name: str
+    status: Optional[CampaignStatus]
+    partitions: Tuple[CampaignStatus, ...] = ()
+    of: int = 0
+
+    @property
+    def partitions_complete(self) -> int:
+        return sum(1 for status in self.partitions if status.complete)
+
+    def summary_lines(self) -> List[str]:
+        """Multi-line report: parent line, then indented partitions."""
+        head = (
+            self.status.summary()
+            if self.status is not None
+            else f"{self.name}: (journal not in this store)"
+        )
+        lines = [head]
+        if self.of:
+            lines.append(
+                f"  partitions: {self.partitions_complete}/{self.of} complete"
+            )
+            for status in self.partitions:
+                split = split_partition_name(status.name)
+                index = split[1] if split else 0
+                lines.append(f"    p{index}: {status.summary()}")
+        return lines
+
+
+def group_campaign_statuses(
+    statuses: Sequence[CampaignStatus],
+) -> List[CampaignGroup]:
+    """Fold partition sub-campaigns under their parent campaign.
+
+    Pure reshaping of :func:`campaign_statuses` output: every
+    ``NAME@pIofN`` status attaches to group ``NAME`` (created even when
+    the parent journal itself is absent, as on a worker's scratch
+    store); everything else becomes its own group.  Groups come back
+    sorted by name, partitions by index.
+    """
+    own: dict = {}
+    parts: dict = {}
+    for status in statuses:
+        split = split_partition_name(status.name)
+        if split is None:
+            own[status.name] = status
+        else:
+            parent, index, of = split
+            parts.setdefault(parent, []).append((index, of, status))
+    groups = []
+    for name in sorted(set(own) | set(parts)):
+        grouped = sorted(parts.get(name, []))
+        groups.append(
+            CampaignGroup(
+                name=name,
+                status=own.get(name),
+                partitions=tuple(status for _, _, status in grouped),
+                of=max((of for _, of, _ in grouped), default=0),
+            )
+        )
+    return groups

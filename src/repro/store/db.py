@@ -137,6 +137,25 @@ CREATE TABLE IF NOT EXISTS jobs (
     heartbeat_unix REAL
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs(status, priority, submitted_unix);
+CREATE TABLE IF NOT EXISTS coord_runs (
+    name         TEXT PRIMARY KEY,
+    manifest     TEXT NOT NULL,
+    partitions   INTEGER NOT NULL,
+    created_at   TEXT NOT NULL,
+    created_unix REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS coord_partitions (
+    run          TEXT NOT NULL,
+    idx          INTEGER NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'queued',
+    worker       TEXT NOT NULL DEFAULT '',
+    job_id       TEXT NOT NULL DEFAULT '',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    rows_merged  INTEGER NOT NULL DEFAULT 0,
+    error        TEXT NOT NULL DEFAULT '',
+    updated_unix REAL NOT NULL DEFAULT 0.0,
+    PRIMARY KEY (run, idx)
+);
 """
 
 #: Every ``results`` column, in table order -- the raw-row shape
@@ -559,6 +578,22 @@ class ResultStore:
             "SELECT payload FROM results WHERE key=?", (key,)
         ).fetchone()
         return None if row is None else row[0]
+
+    def get_raw(self, scenario_or_key: Union[Scenario, str]) -> Optional[Tuple]:
+        """One stored row as a raw :data:`RESULT_COLUMNS` tuple, or ``None``.
+
+        The point lookup sibling of :meth:`iter_raw`: exact canonical
+        bytes and provenance columns, suitable for :meth:`put_raw` on
+        another store.  The service layer serves these to remote
+        coordinators so a merge over HTTP preserves the same bytes a
+        file-level merge would.
+        """
+        key = self._key_of(scenario_or_key)
+        row = self._conn().execute(
+            f"SELECT {', '.join(RESULT_COLUMNS)} FROM results WHERE key=?",
+            (key,),
+        ).fetchone()
+        return None if row is None else tuple(row)
 
     def get_scenario(
         self, scenario_or_key: Union[Scenario, str]

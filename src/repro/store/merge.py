@@ -24,14 +24,14 @@ which heartbeat) is meaningful only inside one deployment.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
 
 from repro.errors import StoreError
 from repro.obs.metrics import metrics as _obs_metrics
 from repro.obs.state import STATE as _OBS
 from repro.obs.trace import span
-from repro.store.db import ResultStore
+from repro.store.db import RESULT_COLUMNS, ResultStore
 
 #: Store-merge telemetry: rows moved (or found identical) per merge.
 _MERGE_ROWS = _obs_metrics().counter(
@@ -43,7 +43,15 @@ _MERGE_ROWS = _obs_metrics().counter(
 
 @dataclass(frozen=True)
 class MergeReport:
-    """What one :func:`merge_stores` call did."""
+    """What one :func:`merge_stores` call did (or, dry, *would* do).
+
+    A dry run additionally names what a real merge would refuse on:
+    ``conflicts`` holds content keys whose canonical bytes diverge
+    between the stores, ``journal_conflicts`` the campaign/study names
+    journaled with different content on each side.  A non-dry merge
+    never populates these -- it raises :class:`StoreError` at the first
+    one instead of writing past it.
+    """
 
     source: str
     dest: str
@@ -53,13 +61,21 @@ class MergeReport:
     campaigns_shared: int
     studies_imported: int
     studies_shared: int
+    dry_run: bool = False
+    conflicts: Tuple[str, ...] = field(default=())
+    journal_conflicts: Tuple[str, ...] = field(default=())
 
     def summary(self) -> str:
         """One-line human-readable report."""
+        verb = "would merge" if self.dry_run else "merged"
+        imported = (
+            f"{self.imported} row(s) to import"
+            if self.dry_run
+            else f"{self.imported} row(s) imported"
+        )
         parts = [
-            f"merged {self.source} -> {self.dest}: "
-            f"{self.imported} row(s) imported, "
-            f"{self.identical} already present"
+            f"{verb} {self.source} -> {self.dest}: "
+            f"{imported}, {self.identical} already present"
         ]
         if self.campaigns_imported or self.campaigns_shared:
             parts.append(
@@ -71,11 +87,52 @@ class MergeReport:
                 f"studies: {self.studies_imported} imported, "
                 f"{self.studies_shared} shared"
             )
+        if self.conflicts:
+            parts.append(
+                f"REFUSES: {len(self.conflicts)} diverging row(s) "
+                f"({', '.join(k[:12] for k in self.conflicts[:4])}"
+                f"{', ...' if len(self.conflicts) > 4 else ''})"
+            )
+        if self.journal_conflicts:
+            parts.append(
+                "REFUSES: journal conflict(s) "
+                + ", ".join(self.journal_conflicts)
+            )
         return "; ".join(parts)
 
 
+def import_raw_rows(
+    dest: ResultStore, rows: Iterable[Tuple], source: str = ""
+) -> Tuple[int, int]:
+    """Import raw :data:`RESULT_COLUMNS` rows into ``dest``.
+
+    The incremental sibling of :func:`merge_stores`: same first-writer-
+    wins :meth:`~repro.store.db.ResultStore.put_raw` semantics (a key
+    collision with different canonical bytes raises
+    :class:`StoreError`), same telemetry, but fed page by page -- this
+    is what the distributed coordinator calls as each partition's
+    result pages land, so rows are queryable long before the campaign
+    finishes.  Returns ``(imported, identical)``.
+    """
+    imported = identical = 0
+    for row in rows:
+        if dest.put_raw(tuple(row), source=source):
+            imported += 1
+        else:
+            identical += 1
+    if _OBS.metrics_on:
+        if imported:
+            _MERGE_ROWS.inc(imported, outcome="imported")
+        if identical:
+            _MERGE_ROWS.inc(identical, outcome="identical")
+    return imported, identical
+
+
 def merge_stores(
-    dest: ResultStore, source: ResultStore, journals: bool = True
+    dest: ResultStore,
+    source: ResultStore,
+    journals: bool = True,
+    dry_run: bool = False,
 ) -> MergeReport:
     """Import every row of ``source`` into ``dest``; return the tally.
 
@@ -86,31 +143,31 @@ def merge_stores(
     -- the canonical campaign journal already lives in the destination
     and the partitions' scratch journals should not follow it there).
 
+    ``dry_run=True`` writes nothing: the report counts what a real
+    merge would import, and -- instead of raising at the first
+    divergence -- collects *every* conflicting key and journal name, so
+    an operator can audit a merge before committing to it.
+
     Idempotent and kill-safe: every imported row is durable the moment
     its transaction commits, and re-running the merge just counts the
     survivors as already-present.
     """
     source_label = _store_label(source)
-    imported = identical = 0
-    with span("store.merge", source=source_label, dest=_store_label(dest)) as sp:
-        for row in source.iter_raw():
-            if dest.put_raw(row, source=source_label):
-                imported += 1
-            else:
-                identical += 1
+    dest_label = _store_label(dest)
+    if dry_run:
+        return _dry_run_report(dest, source, journals)
+    with span("store.merge", source=source_label, dest=dest_label) as sp:
+        imported, identical = import_raw_rows(
+            dest, source.iter_raw(), source=source_label
+        )
         campaigns = studies = shared_campaigns = shared_studies = 0
         if journals:
             campaigns, shared_campaigns = _merge_campaigns(dest, source)
             studies, shared_studies = _merge_studies(dest, source)
         sp.annotate(imported=imported, identical=identical)
-        if _OBS.metrics_on:
-            if imported:
-                _MERGE_ROWS.inc(imported, outcome="imported")
-            if identical:
-                _MERGE_ROWS.inc(identical, outcome="identical")
     return MergeReport(
         source=source_label,
-        dest=_store_label(dest),
+        dest=dest_label,
         imported=imported,
         identical=identical,
         campaigns_imported=campaigns,
@@ -121,12 +178,116 @@ def merge_stores(
 
 
 def sync_stores(
-    a: ResultStore, b: ResultStore, journals: bool = True
+    a: ResultStore, b: ResultStore, journals: bool = True, dry_run: bool = False
 ) -> Tuple[MergeReport, MergeReport]:
     """Merge both ways so ``a`` and ``b`` converge on the union."""
-    return merge_stores(a, b, journals=journals), merge_stores(
-        b, a, journals=journals
+    return merge_stores(a, b, journals=journals, dry_run=dry_run), merge_stores(
+        b, a, journals=journals, dry_run=dry_run
     )
+
+
+def _dry_run_report(
+    dest: ResultStore, source: ResultStore, journals: bool
+) -> MergeReport:
+    """What :func:`merge_stores` would do, computed read-only."""
+    scenario_idx = RESULT_COLUMNS.index("scenario")
+    payload_idx = RESULT_COLUMNS.index("payload")
+    imported = identical = 0
+    conflicts = []
+    for row in source.iter_raw():
+        held = dest.get_raw(row[0])
+        if held is None:
+            imported += 1
+        elif (held[scenario_idx], held[payload_idx]) == (
+            row[scenario_idx],
+            row[payload_idx],
+        ):
+            identical += 1
+        else:
+            conflicts.append(str(row[0]))
+    campaigns = studies = shared_campaigns = shared_studies = 0
+    journal_conflicts = []
+    if journals:
+        campaigns, shared_campaigns, bad = _diff_campaigns(dest, source)
+        journal_conflicts.extend(f"campaign {name!r}" for name in bad)
+        studies, shared_studies, bad = _diff_studies(dest, source)
+        journal_conflicts.extend(f"study {name!r}" for name in bad)
+    return MergeReport(
+        source=_store_label(source),
+        dest=_store_label(dest),
+        imported=imported,
+        identical=identical,
+        campaigns_imported=campaigns,
+        campaigns_shared=shared_campaigns,
+        studies_imported=studies,
+        studies_shared=shared_studies,
+        dry_run=True,
+        conflicts=tuple(conflicts),
+        journal_conflicts=tuple(journal_conflicts),
+    )
+
+
+def _diff_campaigns(
+    dest: ResultStore, source: ResultStore
+) -> Tuple[int, int, Tuple[str, ...]]:
+    """(would import, shared, conflicting) campaign journal names."""
+    src_conn = source._conn()
+    dest_conn = dest._conn()
+    imported = shared = 0
+    conflicting = []
+    for (name,) in src_conn.execute(
+        "SELECT name FROM campaigns ORDER BY name"
+    ).fetchall():
+        held = dest_conn.execute(
+            "SELECT 1 FROM campaigns WHERE name=?", (name,)
+        ).fetchone()
+        if held is None:
+            imported += 1
+            continue
+        rows = [
+            tuple(r)
+            for r in src_conn.execute(
+                "SELECT idx, key, scenario FROM campaign_scenarios "
+                "WHERE campaign=? ORDER BY idx",
+                (name,),
+            )
+        ]
+        journaled = [
+            tuple(r)
+            for r in dest_conn.execute(
+                "SELECT idx, key, scenario FROM campaign_scenarios "
+                "WHERE campaign=? ORDER BY idx",
+                (name,),
+            )
+        ]
+        if journaled == rows:
+            shared += 1
+        else:
+            conflicting.append(name)
+    return imported, shared, tuple(conflicting)
+
+
+def _diff_studies(
+    dest: ResultStore, source: ResultStore
+) -> Tuple[int, int, Tuple[str, ...]]:
+    """(would import, shared, conflicting) study journal names."""
+    src_conn = source._conn()
+    dest_conn = dest._conn()
+    imported = shared = 0
+    conflicting = []
+    for name, spec_key, keys_doc in src_conn.execute(
+        "SELECT name, spec_key, keys FROM studies ORDER BY name"
+    ).fetchall():
+        held = dest_conn.execute(
+            "SELECT spec_key, keys FROM studies WHERE name=?", (name,)
+        ).fetchone()
+        if held is None:
+            imported += 1
+        elif (held[0], json.loads(held[1])) == (spec_key, json.loads(keys_doc)):
+            shared += 1
+        else:
+            conflicting.append(name)
+    return imported, shared, tuple(conflicting)
 
 
 def _store_label(store: ResultStore) -> str:

@@ -262,6 +262,13 @@ class ShardedResultStore(ResultStore):
             return ResultStore.get_payload_text(self, key)
         return shard.get_payload_text(key)
 
+    def get_raw(self, scenario_or_key: Union[Scenario, str]) -> Optional[Tuple]:
+        key = self._key_of(scenario_or_key)
+        shard = self._shard_for(key)
+        if shard is self:
+            return ResultStore.get_raw(self, key)
+        return shard.get_raw(key)
+
     def get_scenario(
         self, scenario_or_key: Union[Scenario, str]
     ) -> Optional[Scenario]:

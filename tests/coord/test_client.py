@@ -1,0 +1,267 @@
+"""ServiceClient transport policy: timeouts, retries, backoff, Retry-After.
+
+The retry contract is wire-level, so these tests run a scripted stub
+HTTP server (each test enqueues the exact status/header/body sequence
+the server should answer with) and inject a recording ``sleep`` -- the
+backoff schedule is asserted, never waited for.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.client import MAX_RETRY_AFTER_S, _retry_after_seconds
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    def _serve(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        self.server.seen.append((self.command, self.path, body))
+        if not self.server.script:
+            status, headers, payload = 500, {}, {"error": "script exhausted"}
+        else:
+            status, headers, payload = self.server.script.pop(0)
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = do_POST = do_DELETE = _serve
+
+    def log_message(self, *args):  # keep test output clean
+        pass
+
+
+class _Stub:
+    """A scripted HTTP server: answers `script` entries in order."""
+
+    def __init__(self):
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+        self.server.script = []
+        self.server.seen = []
+        self.url = f"http://127.0.0.1:{self.server.server_port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def script(self):
+        return self.server.script
+
+    @property
+    def seen(self):
+        return self.server.seen
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def stub():
+    server = _Stub()
+    yield server
+    server.close()
+
+
+def _client(stub, sleeps=None, **kwargs):
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff_s", 0.25)
+    sleep = sleeps.append if sleeps is not None else (lambda s: None)
+    return ServiceClient(stub.url, sleep=sleep, **kwargs)
+
+
+# -- construction --------------------------------------------------------------
+
+
+def test_rejects_bad_base_url_and_params():
+    with pytest.raises(ConfigError):
+        ServiceClient("127.0.0.1:8080")  # no scheme
+    with pytest.raises(ConfigError):
+        ServiceClient("http://x", retries=-1)
+    with pytest.raises(ConfigError):
+        ServiceClient("http://x", timeout_s=0)
+
+
+def test_trailing_slash_is_normalised(stub):
+    stub.script.append((200, {}, {"status": "ok"}))
+    client = ServiceClient(stub.url + "/", retries=0)
+    assert client.healthz() == {"status": "ok"}
+    assert stub.seen[0][1] == "/v1/healthz"
+
+
+# -- success and non-retryable errors ------------------------------------------
+
+
+def test_get_parses_json(stub):
+    stub.script.append((200, {}, {"jobs": [], "total": 0}))
+    assert _client(stub).jobs() == {"jobs": [], "total": 0}
+
+
+def test_4xx_raises_immediately_with_server_message(stub):
+    stub.script.append((404, {}, {"error": "unknown job j-1", "status": 404}))
+    client = _client(stub)
+    with pytest.raises(ServiceError) as excinfo:
+        client.job("j-1")
+    assert excinfo.value.status == 404
+    assert "unknown job j-1" in str(excinfo.value)
+    assert len(stub.seen) == 1  # client mistakes never retry
+
+
+def test_token_and_json_body_are_sent(stub):
+    stub.script.append((201, {}, {"id": "j-1"}))
+    client = ServiceClient(stub.url, token="s3cret", retries=0)
+    client.submit({"family": "f"}, kind="campaign", name="n", partition=(2, 4))
+    method, path, body = stub.seen[0]
+    assert (method, path) == ("POST", "/v1/jobs")
+    doc = json.loads(body)
+    assert doc == {
+        "payload": {"family": "f"},
+        "kind": "campaign",
+        "name": "n",
+        "partition": 2,
+        "partitions": 4,
+    }
+
+
+# -- the retry schedule --------------------------------------------------------
+
+
+def test_5xx_retries_with_exponential_backoff_then_succeeds(stub):
+    stub.script.extend(
+        [
+            (500, {}, {"error": "boom"}),
+            (503, {}, {"error": "still warming up"}),
+            (200, {}, {"status": "ok"}),
+        ]
+    )
+    sleeps = []
+    assert _client(stub, sleeps=sleeps).healthz() == {"status": "ok"}
+    assert len(stub.seen) == 3
+    assert sleeps == [0.25, 0.5]  # backoff_s * 2**attempt
+
+
+def test_backoff_is_capped(stub):
+    stub.script.extend([(500, {}, {})] * 5)
+    sleeps = []
+    client = _client(stub, sleeps=sleeps, retries=4, max_backoff_s=0.6)
+    with pytest.raises(ServiceUnavailable):
+        client.healthz()
+    assert sleeps == [0.25, 0.5, 0.6, 0.6]
+
+
+def test_persistent_5xx_exhausts_into_service_unavailable(stub):
+    stub.script.extend([(500, {}, {"error": "down"})] * 2)
+    client = _client(stub, sleeps=[], retries=1)
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 500
+    assert "2 attempt(s)" in str(excinfo.value)
+    assert len(stub.seen) == 2
+
+
+def test_connection_failure_exhausts_into_service_unavailable(stub):
+    url = stub.url
+    stub.close()  # nothing listens any more
+    sleeps = []
+    client = ServiceClient(url, retries=2, sleep=sleeps.append)
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 0  # never got an HTTP response
+    assert len(sleeps) == 2
+
+
+def test_429_honours_retry_after_instead_of_backoff(stub):
+    stub.script.extend(
+        [
+            (429, {"Retry-After": "3"}, {"error": "rate limited"}),
+            (200, {}, {"status": "ok"}),
+        ]
+    )
+    sleeps = []
+    assert _client(stub, sleeps=sleeps).healthz() == {"status": "ok"}
+    assert sleeps == [3.0]
+
+
+def test_retry_after_parsing_clamps_and_tolerates_garbage():
+    assert _retry_after_seconds({"Retry-After": "2.5"}) == 2.5
+    assert _retry_after_seconds({"Retry-After": "-4"}) == 0.0
+    assert _retry_after_seconds({"Retry-After": "99999"}) == MAX_RETRY_AFTER_S
+    assert _retry_after_seconds({"Retry-After": "soon"}) is None
+    assert _retry_after_seconds({}) is None
+
+
+# -- pagination helpers --------------------------------------------------------
+
+
+def test_iter_results_pages_through(stub):
+    entries = [{"key": f"k{i}", "result": {}} for i in range(5)]
+    stub.script.extend(
+        [
+            (200, {}, {"count": 5, "results": entries[:2]}),
+            (200, {}, {"count": 5, "results": entries[2:4]}),
+            (200, {}, {"count": 5, "results": entries[4:]}),
+        ]
+    )
+    got = list(_client(stub).iter_results("j-1", page_size=2))
+    assert got == entries
+    paths = [path for _, path, _ in stub.seen]
+    assert all(path.startswith("/v1/jobs/j-1/results?") for path in paths)
+    assert "offset=2" in paths[1] and "offset=4" in paths[2]
+
+
+def test_iter_results_raw_flag_rides_the_query(stub):
+    stub.script.append((200, {}, {"count": 0, "results": []}))
+    list(_client(stub).iter_results("j-1", raw=True))
+    assert "raw=1" in stub.seen[0][1]
+
+
+def test_find_job_pages_until_match(stub):
+    stub.script.extend(
+        [
+            (200, {}, {"total": 3, "jobs": [{"name": "a", "id": "j-a"},
+                                            {"name": "b", "id": "j-b"}]}),
+            (200, {}, {"total": 3, "jobs": [{"name": "c", "id": "j-c"}]}),
+        ]
+    )
+    assert _client(stub).find_job("c", page_size=2)["id"] == "j-c"
+
+
+def test_find_job_returns_none_when_absent(stub):
+    stub.script.append((200, {}, {"total": 1, "jobs": [{"name": "a"}]}))
+    assert _client(stub).find_job("zzz", page_size=10) is None
+
+
+def test_non_json_response_is_a_service_error(stub):
+    class _RawHandler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            self.send_response(200)
+            self.send_header("Content-Length", "9")
+            self.end_headers()
+            self.wfile.write(b"<html!!!>")
+
+        def log_message(self, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _RawHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_port}", retries=0
+        )
+        with pytest.raises(ServiceError, match="non-JSON"):
+            client.healthz()
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,108 @@
+"""The coordinator's durable partition journal."""
+
+import pytest
+
+from repro.coord import CoordJournal, PARTITION_STATES
+from repro.errors import ConfigError
+from repro.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "journal.db")
+
+
+@pytest.fixture
+def journal(store):
+    return CoordJournal(store)
+
+
+MANIFEST = {"family": "factory-floor", "n": 4, "seed": 0}
+
+
+def test_create_journals_run_and_partitions(journal):
+    assert journal.create("camp", MANIFEST, 3) is True
+    run = journal.get("camp")
+    assert run.manifest == MANIFEST and run.partitions == 3
+    parts = journal.partitions("camp")
+    assert [p.index for p in parts] == [1, 2, 3]
+    assert all(p.state == "queued" and p.attempts == 0 for p in parts)
+    assert journal.names() == ["camp"]
+
+
+def test_recreate_with_matching_arguments_is_a_resume(journal):
+    assert journal.create("camp", MANIFEST, 2) is True
+    journal.update("camp", 1, "merged", rows_merged=7)
+    assert journal.create("camp", MANIFEST, 2) is False  # resume
+    # ...and the journaled state survived untouched.
+    assert journal.partitions("camp")[0].state == "merged"
+
+
+def test_recreate_with_different_arguments_refuses(journal):
+    journal.create("camp", MANIFEST, 2)
+    with pytest.raises(ConfigError, match="different manifest or partition"):
+        journal.create("camp", MANIFEST, 3)
+    with pytest.raises(ConfigError, match="different manifest or partition"):
+        journal.create("camp", {**MANIFEST, "seed": 9}, 2)
+
+
+def test_manifest_comparison_is_canonical_not_textual(journal):
+    journal.create("camp", {"b": 1, "a": 2}, 1)
+    assert journal.create("camp", {"a": 2, "b": 1}, 1) is False  # same value
+
+
+def test_update_transitions_and_selective_fields(journal):
+    journal.create("camp", MANIFEST, 1)
+    journal.update(
+        "camp", 1, "running", worker="http://w", job_id="j-1",
+        bump_attempts=True,
+    )
+    part = journal.partitions("camp")[0]
+    assert (part.state, part.worker, part.job_id, part.attempts) == (
+        "running", "http://w", "j-1", 1,
+    )
+    # None keeps columns; bump is atomic and cumulative.
+    journal.update("camp", 1, "lost", error="worker-dead: gone")
+    part = journal.partitions("camp")[0]
+    assert part.worker == "http://w" and part.attempts == 1
+    assert "worker-dead" in part.error
+    journal.update("camp", 1, "running", bump_attempts=True)
+    assert journal.partitions("camp")[0].attempts == 2
+
+
+def test_update_validates_state_and_target(journal):
+    journal.create("camp", MANIFEST, 1)
+    with pytest.raises(ConfigError, match="unknown partition state"):
+        journal.update("camp", 1, "exploded")
+    with pytest.raises(ConfigError, match="no partition 5"):
+        journal.update("camp", 5, "running")
+    with pytest.raises(ConfigError, match="no partition"):
+        journal.update("ghost", 1, "running")
+
+
+def test_counts_cover_every_state_with_zeros(journal):
+    journal.create("camp", MANIFEST, 3)
+    journal.update("camp", 1, "merged")
+    journal.update("camp", 2, "running")
+    counts = journal.counts("camp")
+    assert set(counts) == set(PARTITION_STATES)
+    assert counts["merged"] == 1 and counts["running"] == 1
+    assert counts["queued"] == 1 and counts["failed"] == 0
+
+
+def test_partition_summary_lines(journal):
+    journal.create("camp", MANIFEST, 1)
+    journal.update(
+        "camp", 1, "merged", worker="http://w", rows_merged=16,
+        bump_attempts=True,
+    )
+    line = journal.partitions("camp")[0].summary()
+    assert "p1: merged" in line and "worker=http://w" in line
+    assert "attempts=1" in line and "rows=16" in line
+
+
+def test_create_validates_inputs(journal):
+    with pytest.raises(ConfigError):
+        journal.create("", MANIFEST, 1)
+    with pytest.raises(ConfigError):
+        journal.create("camp", MANIFEST, 0)

@@ -1,0 +1,145 @@
+"""Job-listing filters and pagination, plus raw result pages.
+
+``GET /v1/jobs`` grew ``?status=``/``?kind=`` filters and
+``limit``/``offset`` pagination so a coordinator can watch a busy queue
+without downloading the whole table; ``/results?raw=1`` returns exact
+:data:`RESULT_COLUMNS` store rows so a merge can preserve provenance.
+"""
+
+import json
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import JobQueue, ServiceApp, ServiceServer, WorkerPool
+from repro.store import RESULT_COLUMNS, ResultStore
+from repro.system.stochastic import named_family
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "filters.db")
+
+
+@pytest.fixture
+def queue(store):
+    return JobQueue(store)
+
+
+def _manifest(n=2, seed=3):
+    family = replace(
+        named_family("factory-floor"), horizon=120.0, backend="envelope"
+    )
+    return family.manifest(n=n, seed=seed)
+
+
+def _scenario_payload(seed):
+    from repro.scenario import named_scenario
+
+    return named_scenario("paper").with_seed(seed).to_dict()
+
+
+@pytest.fixture
+def mixed_queue(queue):
+    """Five jobs: 3 campaigns (1 cancelled) + 2 scenario jobs."""
+    jobs = [queue.submit(_manifest(seed=i), name=f"camp-{i}") for i in range(3)]
+    jobs += [
+        queue.submit(_scenario_payload(i), name=f"sc-{i}") for i in range(2)
+    ]
+    queue.cancel(jobs[0].id)
+    return jobs
+
+
+# -- queue-level ---------------------------------------------------------------
+
+
+def test_filter_by_status_and_kind(queue, mixed_queue):
+    assert {j.name for j in queue.jobs(status="cancelled")} == {"camp-0"}
+    assert len(queue.jobs(status="queued")) == 4
+    assert {j.kind for j in queue.jobs(kind="scenario")} == {"scenario"}
+    assert {j.name for j in queue.jobs(status="queued", kind="campaign")} == {
+        "camp-1", "camp-2",
+    }
+    assert queue.jobs(status="failed") == []
+
+
+def test_count_matches_filters(queue, mixed_queue):
+    assert queue.count() == 5
+    assert queue.count(status="queued") == 4
+    assert queue.count(kind="campaign") == 3
+    assert queue.count(status="cancelled", kind="scenario") == 0
+
+
+def test_pagination_windows_the_newest_first_listing(queue, mixed_queue):
+    everything = queue.jobs()
+    assert len(everything) == 5
+    page1 = queue.jobs(limit=2)
+    page2 = queue.jobs(limit=2, offset=2)
+    tail = queue.jobs(offset=4)  # offset without limit: rest of the list
+    assert [j.id for j in page1 + page2 + tail] == [j.id for j in everything]
+
+
+def test_filter_validation(queue):
+    with pytest.raises(ConfigError, match="unknown job status"):
+        queue.jobs(status="exploded")
+    with pytest.raises(ConfigError, match="unknown job kind"):
+        queue.jobs(kind="sorcery")
+    with pytest.raises(ConfigError, match="offset"):
+        queue.jobs(offset=-1)
+
+
+# -- over HTTP -----------------------------------------------------------------
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.fixture
+def served(store):
+    server = ServiceServer(ServiceApp(store)).start()
+    yield server
+    server.shutdown()
+
+
+def test_http_listing_filters_and_paginates(served, queue, mixed_queue):
+    base = served.url
+    doc = _get(base, "/v1/jobs?status=queued&kind=campaign")
+    assert doc["total"] == 2 and doc["count"] == 2
+    assert {j["name"] for j in doc["jobs"]} == {"camp-1", "camp-2"}
+
+    page = _get(base, "/v1/jobs?limit=2&offset=2")
+    assert page["total"] == 5 and page["count"] == 2 and page["offset"] == 2
+    everything = _get(base, "/v1/jobs")["jobs"]
+    assert [j["id"] for j in page["jobs"]] == [
+        j["id"] for j in everything[2:4]
+    ]
+
+
+def test_http_rejects_bad_filter(served, queue):
+    import urllib.error
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(served.url, "/v1/jobs?status=exploded")
+    assert excinfo.value.code == 400
+    assert "unknown job status" in json.loads(excinfo.value.read())["error"]
+
+
+def test_raw_results_page_carries_exact_store_rows(served, store, queue):
+    job = queue.submit(_manifest(n=2, seed=5))
+    WorkerPool(store, workers=1, poll_interval=0.05).run_once()
+
+    doc = _get(served.url, f"/v1/jobs/{job.id}/results?raw=1")
+    assert doc["raw"] is True and doc["count"] == 2
+    for entry in doc["results"]:
+        assert "result" not in entry
+        row = entry["row"]
+        assert len(row) == len(RESULT_COLUMNS)
+        assert tuple(row) == store.get_raw(entry["key"])  # exact bytes
+
+    plain = _get(served.url, f"/v1/jobs/{job.id}/results")
+    assert plain["raw"] is False
+    assert all("row" not in e and "result" in e for e in plain["results"])

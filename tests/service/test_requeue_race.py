@@ -1,0 +1,149 @@
+"""``requeue_orphans`` under concurrency: sweeps must never double-count.
+
+Two serve processes pointed at one store each sweep for orphaned claims
+on startup and between polls.  The sweep is one conditional ``UPDATE
+... WHERE status='running' AND heartbeat_unix < cutoff`` inside a
+``BEGIN IMMEDIATE`` transaction, so racing sweepers partition the
+orphans between them instead of both counting (or re-queueing) the same
+rows -- and a freshly-claimed job, whose heartbeat is current, is never
+swept out from under its live worker.
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.service import JobQueue
+from repro.store import ResultStore
+from repro.system.stochastic import named_family
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "race.db")
+
+
+def _manifest(seed):
+    family = replace(
+        named_family("factory-floor"), horizon=120.0, backend="envelope"
+    )
+    return family.manifest(n=1, seed=seed)
+
+
+def _orphan(store, queue, job_id, age_s=3600.0):
+    conn = store._conn()
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute(
+        "UPDATE jobs SET heartbeat_unix = heartbeat_unix - ? WHERE id=?",
+        (float(age_s), job_id),
+    )
+    conn.execute("COMMIT")
+
+
+def test_concurrent_sweeps_partition_the_orphans(store):
+    """Two simultaneous sweeps: every orphan requeued exactly once."""
+    queue = JobQueue(store)
+    jobs = [queue.submit(_manifest(i)) for i in range(6)]
+    for _ in jobs:
+        assert queue.claim("dead-worker") is not None
+    for job in jobs:
+        _orphan(store, queue, job.id)
+
+    barrier = threading.Barrier(2)
+    requeued = [0, 0]
+    errors = []
+
+    def sweep(slot):
+        try:
+            # Per-thread JobQueue: each gets its own SQLite connection.
+            local = JobQueue(store)
+            barrier.wait()
+            for _ in range(5):  # hammer: repeated sweeps stay idempotent
+                requeued[slot] += local.requeue_orphans(60.0)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=sweep, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    assert sum(requeued) == 6  # never double-counted across sweepers
+    counts = queue.counts()
+    assert counts["queued"] == 6 and counts["running"] == 0
+    # Requeue releases the claim without inventing attempts.
+    assert all(queue.get(j.id).attempts == 1 for j in jobs)
+
+
+def test_sweep_and_claim_storm_each_job_claimed_exactly_once(store):
+    """Sweeps running concurrently with claimers: a requeued job is
+    claimed by exactly one pool, and a fresh claim is never swept."""
+    queue = JobQueue(store)
+    jobs = [queue.submit(_manifest(i)) for i in range(8)]
+    for _ in jobs:
+        assert queue.claim("dead-worker") is not None
+    for job in jobs:
+        _orphan(store, queue, job.id)
+
+    import time
+
+    barrier = threading.Barrier(4)
+    claimed = {0: [], 1: []}
+    sweep_totals = [0, 0]
+    errors = []
+    deadline = time.monotonic() + 60.0
+
+    def _all_reclaimed():
+        return len(claimed[0]) + len(claimed[1]) >= len(jobs)
+
+    def claimer(slot):
+        try:
+            local = JobQueue(store)
+            barrier.wait()
+            while not _all_reclaimed() and time.monotonic() < deadline:
+                job = local.claim(f"pool-{slot}")
+                if job is None:
+                    continue  # the sweepers may not have requeued yet
+                claimed[slot].append(job.id)
+                # A live claim heartbeats NOW: sweeps must not touch it.
+                local.heartbeat(job.id, f"pool-{slot}")
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    def sweeper(slot):
+        try:
+            local = JobQueue(store)
+            barrier.wait()
+            while not _all_reclaimed() and time.monotonic() < deadline:
+                sweep_totals[slot] += local.requeue_orphans(60.0)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=claimer, args=(0,)),
+        threading.Thread(target=claimer, args=(1,)),
+        threading.Thread(target=sweeper, args=(0,)),
+        threading.Thread(target=sweeper, args=(1,)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    # Exactly once each: the two pools' claims are disjoint and cover
+    # every requeued job.
+    assert len(claimed[0]) + len(claimed[1]) == 8
+    assert set(claimed[0]).isdisjoint(claimed[1])
+    assert set(claimed[0]) | set(claimed[1]) == {j.id for j in jobs}
+    assert sum(sweep_totals) == 8  # the orphan sweep, exactly once per job
+    # Every job is running under whichever pool claimed it -- the
+    # concurrent sweeps never stole a freshly-heartbeaten claim.
+    for job in jobs:
+        row = queue.get(job.id)
+        assert row.status == "running"
+        assert row.worker in ("pool-0", "pool-1")
+        assert row.attempts == 2  # dead claim + exactly one reclaim

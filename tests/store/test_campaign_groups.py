@@ -1,0 +1,79 @@
+"""Grouping partition campaign journals under their parent campaign."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.store import (
+    Campaign,
+    ResultStore,
+    campaign_statuses,
+    group_campaign_statuses,
+    partition_name,
+    split_partition_name,
+)
+from repro.system.stochastic import named_family
+
+
+def _scenarios(n=4, seed=3):
+    family = replace(
+        named_family("factory-floor"), horizon=120.0, backend="envelope"
+    )
+    return family.expand(n=n, seed=seed)
+
+
+def test_split_partition_name_round_trips():
+    assert split_partition_name(partition_name("camp", 2, 4)) == ("camp", 2, 4)
+    assert split_partition_name("a@b@p10of12") == ("a@b", 10, 12)
+    assert split_partition_name("plain-campaign") is None
+    assert split_partition_name("camp@pXof4") is None
+    assert split_partition_name("camp@p1of") is None
+
+
+def test_grouping_folds_partitions_under_parent(tmp_path):
+    store = ResultStore(tmp_path / "groups.db")
+    scenarios = _scenarios(n=4)
+    Campaign.create(store, "camp", scenarios)
+    Campaign.create(store, "camp@p1of2", scenarios[:2]).run(jobs=1)
+    Campaign.create(store, "camp@p2of2", scenarios[2:])
+    Campaign.create(store, "solo", scenarios[:1])
+
+    groups = group_campaign_statuses(campaign_statuses(store))
+    assert [g.name for g in groups] == ["camp", "solo"]
+    camp, solo = groups
+    assert camp.of == 2 and [p.name for p in camp.partitions] == [
+        "camp@p1of2", "camp@p2of2",
+    ]
+    assert camp.partitions_complete == 1
+    assert solo.of == 0 and solo.partitions == ()
+
+    lines = camp.summary_lines()
+    assert lines[0].startswith("camp:")
+    assert "partitions: 1/2 complete" in lines[1]
+    assert lines[2].strip().startswith("p1:") and "2/2 done" in lines[2]
+    assert solo.summary_lines() == [solo.status.summary()]
+
+
+def test_grouping_without_parent_journal(tmp_path):
+    """Partition journals whose parent lives elsewhere (a worker's
+    scratch store) still group, with an explicit placeholder head."""
+    store = ResultStore(tmp_path / "orphan.db")
+    Campaign.create(store, "remote@p2of3", _scenarios(n=2))
+    (group,) = group_campaign_statuses(campaign_statuses(store))
+    assert group.name == "remote" and group.status is None
+    assert group.of == 3 and group.partitions_complete == 0
+    head = group.summary_lines()[0]
+    assert "remote" in head and "not in this store" in head
+
+
+def test_grouping_preserves_partition_index_order(tmp_path):
+    store = ResultStore(tmp_path / "order.db")
+    scenarios = _scenarios(n=4)
+    # Created out of order; grouping must sort by index, not name/time.
+    Campaign.create(store, "c@p3of3", scenarios[2:3])
+    Campaign.create(store, "c@p1of3", scenarios[0:1])
+    Campaign.create(store, "c@p2of3", scenarios[1:2])
+    (group,) = group_campaign_statuses(campaign_statuses(store))
+    assert [split_partition_name(p.name)[1] for p in group.partitions] == [
+        1, 2, 3,
+    ]
