@@ -186,8 +186,36 @@ def supports_batch(backend: Backend) -> bool:
     return callable(getattr(backend, "run_batch", None))
 
 
+def shard_contiguous(items: Sequence, parts: int) -> List[List]:
+    """Split ``items`` into at most ``parts`` contiguous, non-empty runs.
+
+    The shard boundaries are deterministic in ``(len(items), parts)``
+    alone (sizes differ by at most one, longer shards first), so a
+    batch splits identically on every worker count -- the property the
+    ``jobs x run_batch`` composition relies on for order-stable
+    reassembly.
+    """
+    if parts < 1:
+        raise ConfigError("shard count must be >= 1")
+    n = len(items)
+    parts = min(parts, n)
+    if parts <= 1:
+        return [list(items)] if n else []
+    base, extra = divmod(n, parts)
+    shards: List[List] = []
+    start = 0
+    for k in range(parts):
+        size = base + (1 if k < extra else 0)
+        shards.append(list(items[start : start + size]))
+        start += size
+    return shards
+
+
 def dispatch_batchable(
     scenarios: Sequence[Scenario],
+    batch_executor: Optional[
+        Callable[[str, List[Scenario]], List[SystemResult]]
+    ] = None,
 ) -> "tuple[List[Optional[SystemResult]], List[int]]":
     """Run every batch-capable backend group in one call each.
 
@@ -198,6 +226,13 @@ def dispatch_batchable(
     backends must run scenario by scenario.  This is the one shared
     dispatch primitive behind :func:`run_batch` and
     :class:`~repro.core.batch.BatchRunner`.
+
+    ``batch_executor`` overrides *how* a batch-capable group executes:
+    it is called as ``batch_executor(name, batch)`` and must return one
+    result per scenario in order.  :class:`~repro.core.batch.BatchRunner`
+    passes its sharded fan-out here so ``jobs=N`` composes with
+    ``run_batch`` (N workers, one contiguous sub-batch each) instead of
+    batch dispatch silently running below the process pool.
     """
     results: List[Optional[SystemResult]] = [None] * len(scenarios)
     leftover: List[int] = []
@@ -210,7 +245,10 @@ def dispatch_batchable(
             leftover.extend(indices)
             continue
         batch = [scenarios[i] for i in indices]
-        fresh = backend.run_batch(batch)
+        if batch_executor is not None:
+            fresh = batch_executor(name, batch)
+        else:
+            fresh = backend.run_batch(batch)
         if len(fresh) != len(batch):
             raise SimulationError(
                 f"backend {name!r} returned {len(fresh)} results for a "

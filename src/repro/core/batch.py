@@ -26,8 +26,11 @@ loop over :func:`repro.backends.run`:
   implements ``run_batch`` (the ``vectorized`` backend) are handed over
   in one call per backend instead of being fanned out one scenario at a
   time, so a 256-scenario batch is a single lockstep array integration.
-  The cache tiers and ``store_hits`` accounting sit *above* this
-  dispatch and behave identically for every backend.
+  With ``jobs=N`` the two compose: the group shards into N contiguous
+  sub-batches and each worker advances its sub-batch through one
+  ``run_batch`` call, preserving byte-identical results for any worker
+  count.  The cache tiers and ``store_hits`` accounting sit *above*
+  this dispatch and behave identically for every backend.
 
 Results come back in submission order regardless of completion order.
 """
@@ -39,7 +42,12 @@ from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.backends import dispatch_batchable, get_backend, run
+from repro.backends import (
+    dispatch_batchable,
+    get_backend,
+    run,
+    shard_contiguous,
+)
 from repro.errors import ConfigError
 from repro.obs.metrics import metrics
 from repro.obs.state import STATE as _OBS
@@ -87,6 +95,26 @@ def _run_scenario_metered(scenario: Scenario):
     registry.reset()
     result = run(scenario)
     return result, registry.snapshot()
+
+
+def _run_subbatch(payload) -> List[SystemResult]:
+    """Module-level worker: one ``run_batch`` call over one sub-batch.
+
+    ``payload`` is ``(backend_name, scenarios)``; keeping the worker at
+    module level (and the payload plain data) is what lets process
+    pools pickle it.
+    """
+    name, scenarios = payload
+    return get_backend(name).run_batch(scenarios)
+
+
+def _run_subbatch_metered(payload):
+    """Sub-batch worker that ships its metrics delta home (see
+    :func:`_run_scenario_metered`)."""
+    registry = metrics()
+    registry.reset()
+    results = _run_subbatch(payload)
+    return results, registry.snapshot()
 
 
 class BatchRunner:
@@ -264,11 +292,14 @@ class BatchRunner:
 
     def _execute(self, scenarios: List[Scenario]) -> List[SystemResult]:
         self.misses += len(scenarios)
-        # Batch-capable backends take their whole group in one call (in
-        # the coordinating process -- a lockstep array integration beats
-        # per-scenario process fan-out); the leftovers keep the executor
-        # path.
-        results, serial = dispatch_batchable(scenarios)
+        # Batch-capable backends take their whole group in one
+        # ``run_batch`` call with ``jobs=1``; with ``jobs=N`` the group
+        # is sharded into N contiguous sub-batches, one ``run_batch``
+        # call per worker (results are per-scenario deterministic, so
+        # the reassembled batch is byte-identical for any worker
+        # count).  The leftovers keep the per-scenario executor path.
+        executor = self._run_group_sharded if self.jobs > 1 else None
+        results, serial = dispatch_batchable(scenarios, batch_executor=executor)
         if serial:
             subset = [scenarios[i] for i in serial]
             if self.jobs == 1 or len(subset) == 1:
@@ -290,6 +321,36 @@ class BatchRunner:
             for i, result in zip(serial, fresh):
                 results[i] = result
         return results  # type: ignore[return-value]
+
+    def _run_group_sharded(
+        self, name: str, batch: List[Scenario]
+    ) -> List[SystemResult]:
+        """Fan one batch-capable backend group out over the worker pool.
+
+        The group splits into ``min(jobs, len(batch))`` contiguous
+        sub-batches (:func:`repro.backends.shard_contiguous`); each
+        worker advances its sub-batch through a single ``run_batch``
+        call, and the sub-results concatenate back in submission order.
+        """
+        if len(batch) == 1:
+            return get_backend(name).run_batch(batch)
+        shards = shard_contiguous(batch, self.jobs)
+        payloads = [(name, shard) for shard in shards]
+        if self.executor == "process" and _OBS.metrics_on:
+            with self._make_executor(len(shards)) as pool:
+                pairs = list(pool.map(_run_subbatch_metered, payloads))
+            registry = metrics()
+            parts = []
+            for results, snapshot in pairs:
+                parts.append(results)
+                registry.merge(snapshot)
+        else:
+            with self._make_executor(len(shards)) as pool:
+                parts = list(pool.map(_run_subbatch, payloads))
+        out: List[SystemResult] = []
+        for part in parts:
+            out.extend(part)
+        return out
 
     def _make_executor(self, workers: int) -> Executor:
         if self.executor == "thread":

@@ -30,6 +30,12 @@ from repro.system.config import ORIGINAL_DESIGN, SystemConfig
 from repro.system.stochastic import ScenarioFamily
 from repro.system.vibration import VibrationProfile
 
+#: Stream components mirroring :mod:`repro.system.stochastic`: the
+#: serial environment-sampling stream and the per-sample noise seeds
+#: are decorrelated sub-streams of the one family seed.
+_ENV_STREAM = 0
+_NOISE_STREAM = 1
+
 
 @dataclass(frozen=True)
 class EnvironmentModel:
@@ -61,10 +67,13 @@ class EnvironmentFamily(ScenarioFamily):
     """The Monte Carlo sampling model as a scenario family.
 
     ``expand(n, seed)`` draws ``n`` environments from one serial rng
-    stream -- sample ``i`` depends only on the samples before it, so
-    growing ``n`` extends the list without changing the existing prefix
-    -- and gives each scenario a measurement-noise seed derived from the
-    stream's base, making the study reproducible for any worker count.
+    stream (seeded ``derive_seed(seed, 0)``) -- sample ``i`` depends
+    only on the samples before it, so growing ``n`` extends the list
+    without changing the existing prefix -- and gives scenario ``i``
+    the measurement-noise seed ``derive_seed(seed, i, 1)``, the same
+    ``(seed, index, stream)`` discipline as
+    :class:`~repro.system.stochastic.StochasticFamily`, making the
+    study reproducible for any worker count.
     """
 
     environment: EnvironmentModel = field(default_factory=EnvironmentModel)
@@ -76,8 +85,17 @@ class EnvironmentFamily(ScenarioFamily):
     def expand(self, n: int = 1, seed: SeedLike = 0) -> List[Scenario]:
         if n < 1:
             raise ConfigError("need at least one Monte Carlo sample")
-        rng = ensure_rng(seed)
-        base_seed = int(rng.integers(0, 2**31 - 1))
+        # Same seed discipline as StochasticFamily.expand: an integer
+        # seed is the derivation base directly, a live generator is
+        # collapsed to one once.  The environment stream and the
+        # per-sample measurement-noise seeds then come from
+        # ``derive_seed(base, ...)`` -- the earlier ad-hoc
+        # ``rng.integers(0, 2**31 - 1)`` draw both silently excluded
+        # the top value and diverged from the documented derivation.
+        base = 0 if seed is None else seed
+        if not isinstance(base, int):
+            base = int(ensure_rng(base).integers(0, 2**31 - 1))
+        rng = ensure_rng(derive_seed(base, _ENV_STREAM))
         scenarios: List[Scenario] = []
         for i in range(n):
             profile, v_init = self.environment.sample(rng)
@@ -89,7 +107,7 @@ class EnvironmentFamily(ScenarioFamily):
                     ),
                     profile=profile,
                     horizon=self.horizon,
-                    seed=derive_seed(base_seed, i),
+                    seed=derive_seed(base, i, _NOISE_STREAM),
                     backend=self.backend,
                     options=quiet_options(self.backend),
                     name=f"mc-{i}",

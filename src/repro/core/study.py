@@ -422,7 +422,10 @@ class Study:
     chunk_size:
         Design points per durable chunk when a store is attached
         (default ``max(4 * jobs, 8)``); a crash wastes at most one
-        chunk of simulations.
+        chunk of simulations.  Without a store there is nothing durable
+        to protect, so the whole design stage executes as **one batch**
+        -- on a batch-capable backend one (sharded) ``run_batch``
+        dispatch for the entire DoE.
     on_name_conflict:
         What to do when the journal already holds this name with a
         *different* spec: ``"error"`` (default -- the explicit ``study
@@ -451,11 +454,15 @@ class Study:
         self.jobs = spec.jobs if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ConfigError("study jobs must be >= 1")
-        self.chunk_size = (
-            max(4 * self.jobs, 8) if chunk_size is None else int(chunk_size)
-        )
-        if self.chunk_size < 1:
-            raise ConfigError("chunk_size must be >= 1")
+        if chunk_size is None:
+            # Durable chunks only matter when results are written
+            # through to a store; storeless studies batch the whole
+            # design stage in one dispatch instead.
+            self.chunk_size = max(4 * self.jobs, 8) if store is not None else 0
+        else:
+            self.chunk_size = int(chunk_size)
+            if self.chunk_size < 1:
+                raise ConfigError("chunk_size must be >= 1")
         self.name = spec.name or f"study-{spec.cache_key()[:12]}"
         if store is not None and on_name_conflict == "suffix":
             row = store.get_study(self.name)
@@ -645,19 +652,21 @@ class Study:
         spec = self.spec
         design = self._ensure_journaled()
         points = design.points
+        # ``chunk_size == 0`` (no store, no explicit size) runs the
+        # whole design stage as a single batch: one (sharded)
+        # ``run_batch`` dispatch on batch-capable backends.
+        step = self.chunk_size or max(len(points), 1)
         with span("study.run", study=self.name, points=len(points)):
-            for start in range(0, len(points), self.chunk_size):
+            for start in range(0, len(points), step):
                 if on_chunk is not None:
                     on_chunk(start, len(points))
                 with span(
                     "study.chunk",
                     study=self.name,
                     start=start,
-                    size=min(self.chunk_size, len(points) - start),
+                    size=min(step, len(points) - start),
                 ):
-                    self.objective.evaluate_design(
-                        points[start : start + self.chunk_size]
-                    )
+                    self.objective.evaluate_design(points[start : start + step])
             if on_chunk is not None:
                 on_chunk(len(points), len(points))
         return self.explorer.run(

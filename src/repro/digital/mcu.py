@@ -19,8 +19,7 @@ with ``1/f_clk``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.digital.power_model import (
     ACCELEROMETER_ON_TIME,
@@ -44,9 +43,14 @@ FINE_CALC_CYCLES = 688000.0  # 172 ms at 4 MHz: 325 ms total at 65 Hz input
 FINE_PERIPHERAL_POWER = 1.5e-3
 
 
-@dataclass(frozen=True)
-class Measurement:
-    """Result of one MCU operation: value, wall time and energy drawn."""
+class Measurement(NamedTuple):
+    """Result of one MCU operation: value, wall time and energy drawn.
+
+    A ``NamedTuple`` rather than a dataclass: both backends create one
+    per MCU operation on their hot paths, and tuple construction is a
+    single C call where a frozen dataclass pays ``object.__setattr__``
+    per field.  Still immutable, same field API.
+    """
 
     value: float
     duration: float
@@ -78,6 +82,9 @@ class Microcontroller:
         self.accelerometer = accelerometer or AccelerometerPower()
         self.n_measure_cycles = n_measure_cycles
         self.timer = TimerCounter(clock_hz)
+        # Active-mode power is a pure function of the (fixed) clock;
+        # computed once so the per-measurement hot path reads a float.
+        self._active_power = self.power.active_power(clock_hz)
 
     # -- operations -----------------------------------------------------------
 
@@ -91,7 +98,7 @@ class Microcontroller:
             self.n_measure_cycles / true_frequency
             + COARSE_CALC_CYCLES / self.clock_hz
         )
-        energy = self.power.active_power(self.clock_hz) * duration
+        energy = self._active_power * duration
         return Measurement(f_measured, duration, energy)
 
     def measure_phase(self, true_phase_seconds: float, rng: SeedLike = None) -> Measurement:
@@ -107,9 +114,7 @@ class Microcontroller:
         duration = (
             self.accelerometer.on_time + FINE_CALC_CYCLES / self.clock_hz
         )
-        mcu_energy = (
-            self.power.active_power(self.clock_hz) + FINE_PERIPHERAL_POWER
-        ) * duration
+        mcu_energy = (self._active_power + FINE_PERIPHERAL_POWER) * duration
         return Measurement(
             value,
             duration,
@@ -121,9 +126,7 @@ class Microcontroller:
         """Account an arbitrary active-mode stretch (e.g. issuing commands)."""
         if duration < 0.0:
             raise ModelError("duration must be >= 0")
-        return Measurement(
-            0.0, duration, self.power.active_power(self.clock_hz) * duration
-        )
+        return Measurement(0.0, duration, self._active_power * duration)
 
     # -- standby ------------------------------------------------------------
 

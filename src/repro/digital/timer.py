@@ -83,14 +83,30 @@ class TimerCounter:
         if n_periods < 1:
             raise ModelError("need at least one period")
         gen = ensure_rng(rng)
+        # Hot loop (every tuning session starts with a frequency
+        # measurement): hoist the tick property and bound methods, and
+        # draw through the raw-variate methods -- ``jitter *
+        # standard_normal()`` consumes the same bit stream and sums to
+        # the same value as ``normal(0.0, jitter)`` (ditto ``tick *
+        # random()`` for ``uniform(0.0, tick)``) without the location/
+        # scale broadcasting overhead.
+        tick = 1.0 / self.clock_hz
+        clock_hz = self.clock_hz
+        jitter = self.jitter_seconds
+        std_normal = gen.standard_normal
+        random = gen.random
+        floor = math.floor
         total = 0.0
         for _ in range(n_periods):
-            noisy = true_period + gen.normal(0.0, self.jitter_seconds)
+            # float() unwraps the NumPy scalar draw (exact -- same IEEE
+            # double) so the rest of the chain runs on plain floats
+            # instead of ufunc-dispatching scalar ndarrays.
+            noisy = true_period + jitter * float(std_normal())
             # Asynchronous sampling: the start/stop edges land uniformly
             # within a tick, flooring the count.
-            phase = gen.uniform(0.0, self.tick)
-            counts = math.floor((noisy + phase) * self.clock_hz)
-            total += counts * self.tick
+            phase = tick * float(random())
+            counts = floor((noisy + phase) * clock_hz)
+            total += counts * tick
         return total / n_periods
 
     def measure_frequency(
@@ -122,7 +138,8 @@ class TimerCounter:
         if true_interval < 0.0:
             raise ModelError("interval must be >= 0")
         gen = ensure_rng(rng)
-        noisy = true_interval + gen.normal(0.0, self.jitter_seconds)
-        phase = gen.uniform(0.0, self.tick)
-        counts = math.floor(max(noisy, 0.0) / self.tick + phase / self.tick)
-        return max(counts, 0) * self.tick
+        tick = 1.0 / self.clock_hz
+        noisy = true_interval + self.jitter_seconds * float(gen.standard_normal())
+        phase = tick * float(gen.random())
+        counts = math.floor(max(noisy, 0.0) / tick + phase / tick)
+        return max(counts, 0) * tick

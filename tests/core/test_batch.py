@@ -172,9 +172,13 @@ def test_vectorized_runner_matches_envelope_runner():
 
 
 @needs_numpy
-def test_vectorized_batch_uses_one_run_batch_call(monkeypatch):
-    """With a batch-capable backend the runner must hand the pending
-    work over in one call instead of per-scenario fan-out."""
+def test_vectorized_batch_composes_with_jobs(monkeypatch):
+    """With a batch-capable backend the runner hands the pending work
+    over in one ``run_batch`` call at ``jobs=1``, and in one call *per
+    worker* (contiguous shards) at ``jobs=N`` -- never per-scenario
+    fan-out, and byte-identical results either way."""
+    import json
+
     from repro import backends
 
     calls = []
@@ -185,10 +189,20 @@ def test_vectorized_batch_uses_one_run_batch_call(monkeypatch):
         return original(self, scenarios)
 
     monkeypatch.setattr(backends.VectorizedBackend, "run_batch", spy)
-    runner = BatchRunner(jobs=4, seed=9, backend="vectorized")
-    results = runner.run(_scenarios(n=5))
+    serial = BatchRunner(jobs=1, seed=9, backend="vectorized")
+    results = serial.run(_scenarios(n=5))
     assert len(results) == 5
-    assert calls == [5]  # one call, whole batch, despite jobs=4
+    assert calls == [5]  # one call, whole batch
+
+    calls.clear()
+    # Threads keep the spy's call log in-process; the shard layout is
+    # identical under the process executor.
+    sharded = BatchRunner(jobs=4, seed=9, backend="vectorized", executor="thread")
+    fanned = sharded.run(_scenarios(n=5))
+    assert sorted(calls) == [1, 1, 1, 2]  # four workers, contiguous shards
+    assert [json.dumps(r.to_payload(), sort_keys=True) for r in results] == [
+        json.dumps(r.to_payload(), sort_keys=True) for r in fanned
+    ]
 
 
 @needs_numpy

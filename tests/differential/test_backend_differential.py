@@ -187,6 +187,99 @@ def test_detailed_cross_check(name):
     )
 
 
+def _payload_json(result: SystemResult) -> str:
+    import json
+
+    return json.dumps(result.to_payload(), sort_keys=True)
+
+
+class TestByteIdentity:
+    """Canonical-JSON payload equality -- not tolerance bands.
+
+    ``SystemResult.to_payload`` carries the config, headline metrics,
+    the full energy audit, **every tuning event and every recorded
+    trace**, so one string comparison pins all of them at once.  These
+    are the paths this release batched; each must be a pure
+    re-expression of the scalar reference.
+    """
+
+    def test_batched_sessions_with_traces_and_tuning_log(self):
+        # factory-floor lanes enter tuning sessions every few minutes;
+        # traces stay ON (the family default), so the comparison covers
+        # the batched session machinery, the tuning log and the traces.
+        family = named_family("factory-floor")
+        scenarios = [
+            replace(s, horizon=900.0)
+            for s in family.expand(n=FAMILY_N, seed=FAMILY_SEED)
+        ]
+        envelope = [run(s) for s in scenarios]
+        vectorized = run_batch(
+            [replace(s, backend="vectorized") for s in scenarios]
+        )
+        for scenario, env, vec in zip(scenarios, envelope, vectorized):
+            assert _payload_json(env) == _payload_json(vec), scenario.name
+
+    def test_jobs_compose_with_run_batch(self):
+        """serial == one batch == N-worker sharded batch, byte for byte,
+        on both executors."""
+        from repro.core.batch import BatchRunner
+
+        family = named_family("vehicle")
+        scenarios = [
+            replace(s, horizon=600.0, options=quiet_options("envelope"))
+            for s in family.expand(n=5, seed=11)
+        ]
+        serial = [run(replace(s, backend="vectorized")) for s in scenarios]
+        batched = BatchRunner(
+            jobs=1, cache_size=0, backend="vectorized"
+        ).run(scenarios)
+        threaded = BatchRunner(
+            jobs=3, cache_size=0, backend="vectorized", executor="thread"
+        ).run(scenarios)
+        forked = BatchRunner(
+            jobs=2, cache_size=0, backend="vectorized", executor="process"
+        ).run(scenarios)
+        want = [_payload_json(r) for r in serial]
+        assert want == [_payload_json(r) for r in batched]
+        assert want == [_payload_json(r) for r in threaded]
+        assert want == [_payload_json(r) for r in forked]
+
+    def test_monte_carlo_batched_path(self):
+        """A whole Monte Carlo run through the batched dispatcher equals
+        the scalar-envelope run sample for sample."""
+        from repro.core.montecarlo import monte_carlo
+        from repro.system.config import ORIGINAL_DESIGN
+
+        scalar = monte_carlo(
+            ORIGINAL_DESIGN, n_samples=4, horizon=600.0, seed=5,
+            backend="envelope",
+        )
+        batched = monte_carlo(
+            ORIGINAL_DESIGN, n_samples=4, horizon=600.0, seed=5,
+            backend="vectorized", jobs=2,
+        )
+        assert list(scalar.transmissions) == list(batched.transmissions)
+        assert list(scalar.final_voltages) == list(batched.final_voltages)
+
+    def test_study_design_stage_batched_path(self):
+        """A DoE design-matrix evaluation through the batched dispatcher
+        equals the scalar-envelope evaluation point for point."""
+        import numpy as np
+
+        from repro.core.objective import SimulationObjective
+
+        points = np.array(
+            [[0.0, 0.0, 0.0], [1.0, -1.0, 0.5], [-1.0, 1.0, -0.5]]
+        )
+        scalar = SimulationObjective(
+            horizon=600.0, seed=3, backend="envelope"
+        ).evaluate_design(points)
+        batched = SimulationObjective(
+            horizon=600.0, seed=3, backend="vectorized", jobs=2
+        ).evaluate_design(points)
+        assert list(scalar) == list(batched)
+
+
 def test_tolerance_table_is_complete():
     """Every metric the harness compares has a declared envelope."""
     result = run(

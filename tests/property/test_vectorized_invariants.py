@@ -160,6 +160,61 @@ class TestGeneratedConfigsAndProfiles:
             )
 
 
+class TestJobsComposition:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+            HealthCheck.filter_too_much,
+        ],
+    )
+    @given(
+        config=configs,
+        generator=generators,
+        gen_seed=st.integers(0, 2**31 - 1),
+        horizon=st.floats(60.0, 180.0),
+        n_lanes=st.integers(2, 5),
+        jobs=st.integers(2, 4),
+    )
+    def test_sharded_batch_is_byte_identical(
+        self, config, generator, gen_seed, horizon, n_lanes, jobs
+    ):
+        """jobs=N x run_batch lockstep: on any generated workload, the
+        N-worker sharded dispatch returns exactly the payloads (traces
+        and tuning log included) of the single-call batch, which in turn
+        equal the scalar envelope reference lane for lane."""
+        import json
+        from dataclasses import replace
+
+        from repro.backends import run
+        from repro.core.batch import BatchRunner
+
+        profile = generator.generate(horizon, seed=gen_seed)
+        scenarios = [
+            _scenario(config, profile, horizon, seed=gen_seed + lane)
+            for lane in range(n_lanes)
+        ]
+
+        def payloads(results):
+            return [json.dumps(r.to_payload(), sort_keys=True) for r in results]
+
+        want = payloads(
+            [run(replace(s, backend="envelope")) for s in scenarios]
+        )
+        one_call = payloads(
+            BatchRunner(jobs=1, cache_size=0).run(scenarios)
+        )
+        sharded = payloads(
+            BatchRunner(jobs=jobs, cache_size=0, executor="thread").run(
+                scenarios
+            )
+        )
+        assert want == one_call
+        assert one_call == sharded
+
+
 class TestSlidingMode:
     @slow
     @given(

@@ -1,0 +1,32 @@
+"""The package version is declared twice; pin the two together.
+
+``pyproject.toml`` (what installers see) and ``repro.__version__``
+(what the runtime reports) have drifted before -- PR 9 bumped only one.
+Parsing the project file here makes any future one-sided bump a test
+failure instead of a silent mismatch.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def _pyproject_version() -> str:
+    # No tomllib dependency needed: the version line is a plain
+    # ``version = "X.Y.Z"`` entry in the [project] table.
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(), re.MULTILINE
+    )
+    assert match is not None, "pyproject.toml has no version line"
+    return match.group(1)
+
+
+def test_versions_match():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_version_is_semver():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
